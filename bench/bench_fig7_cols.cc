@@ -1,0 +1,61 @@
+// Reproduces Figure 7 of the HyFD paper: runtime as a function of the column
+// count on uniprot and plista stand-ins with 1,000 records each.
+//
+// Flags: --max_cols=N (default 40), --rows=N (default 1000), --tl=SECONDS
+//        (default 5).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "data/datasets.h"
+
+namespace hyfd::bench {
+namespace {
+
+void Sweep(const char* dataset, int max_cols, size_t rows, double tl) {
+  std::printf("\n=== Figure 7: column scalability on %s (%zu rows) ===\n",
+              dataset, rows);
+  std::printf("%8s", "cols");
+  for (const AlgoInfo& algo : AllAlgorithms()) std::printf(" %9s", algo.name.c_str());
+  std::printf(" %9s\n", "FDs");
+
+  for (int cols = 10; cols <= max_cols; cols += 10) {
+    Relation relation = MakeDataset(dataset, rows, cols);
+    std::printf("%8d", cols);
+    size_t fd_count = 0;
+    for (const AlgoInfo& algo : AllAlgorithms()) {
+      RunResult r;
+      // Lattice-traversal algorithms exhaust memory beyond ~30 columns
+      // (the paper's ML); skip instead of swapping.
+      if (algo.exponential_in_columns && cols > 30) {
+        r.status = RunResult::kSkipped;
+      } else {
+        r = RunTimed(algo, relation, tl);
+      }
+      if (r.status == RunResult::kOk && algo.name == "hyfd") fd_count = r.num_fds;
+      std::printf(" %9s", r.Cell().c_str());
+      std::fflush(stdout);
+    }
+    std::printf(" %9zu\n", fd_count);
+  }
+}
+
+}  // namespace
+}  // namespace hyfd::bench
+
+int main(int argc, char** argv) {
+  using namespace hyfd::bench;
+  Flags flags(argc, argv);
+  double tl = flags.GetDouble("tl", 5.0);
+  int max_cols = static_cast<int>(flags.GetInt("max_cols", 40));
+  size_t rows = static_cast<size_t>(flags.GetInt("rows", 1000));
+  Sweep("uniprot", max_cols, rows, tl);
+  Sweep("plista", max_cols, rows, tl);
+  std::printf(
+      "\nPaper reference (Fig. 7): runtimes scale with the number of FDs in\n"
+      "the result rather than the column count; HyFD and FDEP handle the wide\n"
+      "configurations while lattice algorithms run out of memory, and HyFD\n"
+      "stays slightly ahead of FDEP because it compares PLI-compressed rather\n"
+      "than string records.\n");
+  return 0;
+}

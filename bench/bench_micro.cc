@@ -1,0 +1,109 @@
+// Micro-benchmarks (google-benchmark) for the substrates every discovery
+// algorithm sits on: PLI construction and intersection, compressed-record
+// matching, FDTree operations, and the Validator's direct refinement check.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "core/preprocessor.h"
+#include "data/generators.h"
+#include "fd/fd_tree.h"
+#include "pli/pli_builder.h"
+
+namespace hyfd {
+namespace {
+
+Relation BenchRelation(size_t rows, int cols, uint64_t domain) {
+  return GenerateFdReduced(rows, cols, domain, /*seed=*/7);
+}
+
+void BM_PliBuild(benchmark::State& state) {
+  Relation r = BenchRelation(static_cast<size_t>(state.range(0)), 4, 100);
+  for (auto _ : state) {
+    Pli pli = BuildColumnPli(r, 0);
+    benchmark::DoNotOptimize(pli);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PliBuild)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_PliIntersect(benchmark::State& state) {
+  Relation r = BenchRelation(static_cast<size_t>(state.range(0)), 4, 50);
+  Pli a = BuildColumnPli(r, 0);
+  Pli b = BuildColumnPli(r, 1);
+  auto probing = b.BuildProbingTable();
+  for (auto _ : state) {
+    Pli ab = a.Intersect(probing);
+    benchmark::DoNotOptimize(ab);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PliIntersect)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_PliRefines(benchmark::State& state) {
+  Relation r = BenchRelation(static_cast<size_t>(state.range(0)), 4, 50);
+  Pli a = BuildColumnPli(r, 0);
+  auto probing = BuildColumnPli(r, 1).BuildProbingTable();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Refines(probing));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PliRefines)->Arg(10000)->Arg(100000);
+
+void BM_RecordMatch(benchmark::State& state) {
+  const int cols = static_cast<int>(state.range(0));
+  Relation r = BenchRelation(4096, cols, 16);
+  PreprocessedData data = Preprocess(r);
+  RecordId i = 0;
+  for (auto _ : state) {
+    AttributeSet agree = data.records.Match(i, (i + 1) % 4096);
+    benchmark::DoNotOptimize(agree);
+    i = (i + 1) % 4096;
+  }
+  state.SetItemsProcessed(state.iterations() * cols);
+}
+BENCHMARK(BM_RecordMatch)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_FdTreeAddAndLookup(benchmark::State& state) {
+  const int m = 32;
+  std::mt19937_64 rng(11);
+  std::vector<AttributeSet> lhss;
+  for (int i = 0; i < 2000; ++i) {
+    AttributeSet lhs(m);
+    for (int b = 0; b < 4; ++b) lhs.Set(static_cast<int>(rng() % m));
+    lhss.push_back(lhs);
+  }
+  for (auto _ : state) {
+    FDTree tree(m);
+    for (const auto& lhs : lhss) {
+      if (!tree.ContainsFdOrGeneralization(lhs, 0)) tree.AddFd(lhs, 0);
+    }
+    benchmark::DoNotOptimize(tree.CountFds());
+  }
+  state.SetItemsProcessed(state.iterations() * lhss.size());
+}
+BENCHMARK(BM_FdTreeAddAndLookup);
+
+void BM_FdTreeGetLevel(benchmark::State& state) {
+  const int m = 24;
+  std::mt19937_64 rng(13);
+  FDTree tree(m);
+  for (int i = 0; i < 5000; ++i) {
+    AttributeSet lhs(m);
+    for (int b = 0; b < 3; ++b) lhs.Set(static_cast<int>(rng() % m));
+    tree.AddFd(lhs, static_cast<int>(rng() % m));
+  }
+  for (auto _ : state) {
+    auto level = tree.GetLevel(3);
+    benchmark::DoNotOptimize(level);
+  }
+}
+BENCHMARK(BM_FdTreeGetLevel);
+
+}  // namespace
+}  // namespace hyfd
+
+BENCHMARK_MAIN();

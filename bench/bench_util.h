@@ -1,0 +1,98 @@
+#ifndef HYFD_BENCH_BENCH_UTIL_H_
+#define HYFD_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "baselines/registry.h"
+#include "data/relation.h"
+#include "fd/fd_set.h"
+#include "util/timer.h"
+
+namespace hyfd::bench {
+
+/// Outcome of one timed discovery run.
+struct RunResult {
+  enum Status { kOk, kTimeLimit, kSkipped } status = kSkipped;
+  double seconds = 0;
+  size_t num_fds = 0;
+
+  /// Paper-style cell: runtime in seconds, "TL", or "-" (skipped).
+  std::string Cell() const {
+    char buf[32];
+    switch (status) {
+      case kOk:
+        if (seconds < 10) {
+          std::snprintf(buf, sizeof(buf), "%.2f", seconds);
+        } else {
+          std::snprintf(buf, sizeof(buf), "%.1f", seconds);
+        }
+        return buf;
+      case kTimeLimit:
+        return "TL";
+      case kSkipped:
+        return "-";
+    }
+    return "-";
+  }
+};
+
+/// Runs `algo` on `relation` under a cooperative time limit.
+inline RunResult RunTimed(const AlgoInfo& algo, const Relation& relation,
+                          double time_limit_seconds) {
+  RunResult result;
+  AlgoOptions options;
+  options.deadline_seconds = time_limit_seconds;
+  Timer timer;
+  try {
+    FDSet fds = algo.run(relation, options);
+    result.status = RunResult::kOk;
+    result.num_fds = fds.size();
+  } catch (const TimeoutError&) {
+    result.status = RunResult::kTimeLimit;
+  }
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+/// Tiny flag parser: --name=value, with defaults.
+class Flags {
+ public:
+  Flags(int argc, char** argv) : argc_(argc), argv_(argv) {}
+
+  double GetDouble(const char* name, double fallback) const {
+    const char* v = Find(name);
+    return v != nullptr ? std::atof(v) : fallback;
+  }
+  long GetInt(const char* name, long fallback) const {
+    const char* v = Find(name);
+    return v != nullptr ? std::atol(v) : fallback;
+  }
+  bool GetBool(const char* name) const {
+    std::string plain = std::string("--") + name;
+    for (int i = 1; i < argc_; ++i) {
+      if (plain == argv_[i]) return true;
+    }
+    return Find(name) != nullptr;
+  }
+
+ private:
+  const char* Find(const char* name) const {
+    std::string prefix = std::string("--") + name + "=";
+    for (int i = 1; i < argc_; ++i) {
+      if (std::strncmp(argv_[i], prefix.c_str(), prefix.size()) == 0) {
+        return argv_[i] + prefix.size();
+      }
+    }
+    return nullptr;
+  }
+
+  int argc_;
+  char** argv_;
+};
+
+}  // namespace hyfd::bench
+
+#endif  // HYFD_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,71 @@
+// Data cleansing with approximate FDs — another §1 use case. Real data
+// violates its intended rules through typos; exact discovery then loses
+// those rules entirely, while approximate discovery (g3 error) recovers
+// them and pinpoints the dirty records.
+//
+//   $ ./data_cleaning [rows] [noise_percent]
+
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+
+#include "core/hyfd.h"
+#include "data/generators.h"
+#include "fd/approximate.h"
+
+int main(int argc, char** argv) {
+  using namespace hyfd;
+  size_t rows = argc > 1 ? static_cast<size_t>(std::atol(argv[1])) : 500;
+  double noise = argc > 2 ? std::atof(argv[2]) / 100.0 : 0.02;
+
+  Relation relation = MakeAddressDataset(rows, /*seed=*/7);
+  const auto& names = relation.schema().names();
+  int zipcode = relation.schema().IndexOf("zipcode");
+  int city = relation.schema().IndexOf("city");
+  const int m = relation.num_columns();
+
+  // Corrupt a noise-fraction of the city values: zipcode -> city now has
+  // exceptions, like a dirty address database.
+  std::mt19937_64 rng(99);
+  size_t corrupted = 0;
+  for (size_t r = 0; r < relation.num_rows(); ++r) {
+    if (std::uniform_real_distribution<>(0, 1)(rng) < noise) {
+      relation.SetValue(r, city, "typo_" + std::to_string(rng() % 50));
+      ++corrupted;
+    }
+  }
+  std::printf("Corrupted %zu of %zu city values (%.1f%% noise)\n", corrupted,
+              relation.num_rows(), noise * 100);
+
+  AttributeSet zip_lhs(m);
+  zip_lhs.Set(zipcode);
+
+  FDSet exact = DiscoverFds(relation);
+  bool exact_has_rule = exact.ContainsGeneralizationOf(FD(zip_lhs, city));
+  std::printf("\nExact discovery: %zu FDs; zipcode -> city %s\n", exact.size(),
+              exact_has_rule ? "still holds" : "was LOST to the noise");
+
+  double g3 = ComputeG3Error(relation, zip_lhs, city);
+  std::printf("g3(zipcode -> city) = %.4f  (fraction of records to remove)\n",
+              g3);
+
+  FDSet approx = DiscoverApproximateFds(relation, noise * 2);
+  bool approx_has_rule = approx.ContainsGeneralizationOf(FD(zip_lhs, city));
+  std::printf("Approximate discovery (g3 <= %.3f): %zu FDs; "
+              "zipcode -> city %s\n",
+              noise * 2, approx.size(),
+              approx_has_rule ? "RECOVERED" : "not found");
+
+  if (approx_has_rule) {
+    std::printf("\nRecovered rules a cleansing pass could enforce:\n");
+    int shown = 0;
+    for (const FD& fd : approx) {
+      if (fd.lhs.Count() == 1 && shown < 10) {
+        std::printf("  %s (g3 = %.4f)\n", fd.ToString(names).c_str(),
+                    ComputeG3Error(relation, fd.lhs, fd.rhs));
+        ++shown;
+      }
+    }
+  }
+  return approx_has_rule && !exact_has_rule ? 0 : 0;
+}

@@ -1,0 +1,52 @@
+// Schema normalization — the paper's headline use case (§1): discover the
+// FDs of a denormalized table, derive its candidate keys, and decompose it
+// into Boyce-Codd normal form.
+//
+//   $ ./schema_normalization [rows]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/hyfd.h"
+#include "data/generators.h"
+#include "fd/closure.h"
+#include "fd/normalizer.h"
+
+int main(int argc, char** argv) {
+  using namespace hyfd;
+  size_t rows = argc > 1 ? static_cast<size_t>(std::atol(argv[1])) : 1000;
+
+  // The introduction's address example: firstname -> gender,
+  // zipcode -> city, birthdate -> age hold by construction.
+  Relation relation = MakeAddressDataset(rows, /*seed=*/42);
+  const auto& names = relation.schema().names();
+  std::printf("Relation: %zu rows, %d columns\n", relation.num_rows(),
+              relation.num_columns());
+
+  FDSet fds = DiscoverFds(relation);
+  std::printf("\n%zu minimal FDs, e.g.:\n", fds.size());
+  size_t shown = 0;
+  for (const FD& fd : fds) {
+    if (fd.lhs.Count() <= 1 && shown < 8) {
+      std::printf("  %s\n", fd.ToString(names).c_str());
+      ++shown;
+    }
+  }
+
+  auto keys = CandidateKeys(fds, relation.num_columns(), 16);
+  std::printf("\nCandidate keys:\n");
+  for (const auto& key : keys) {
+    std::printf("  %s\n", key.ToString(names).c_str());
+  }
+
+  Normalizer normalizer(relation.num_columns(), fds);
+  if (normalizer.IsBcnf()) {
+    std::printf("\nSchema is already in BCNF.\n");
+    return 0;
+  }
+  std::printf("\n%zu BCNF violations; decomposing:\n",
+              normalizer.BcnfViolations().size());
+  Decomposition d = normalizer.BcnfDecompose();
+  std::printf("%s", DescribeDecomposition(d, relation.schema()).c_str());
+  return 0;
+}

@@ -1,0 +1,67 @@
+#include "baselines/agree_sets.h"
+
+#include <algorithm>
+
+namespace hyfd {
+
+std::unordered_set<AttributeSet> ComputeAgreeSets(const CompressedRecords& records,
+                                                  const Deadline& deadline) {
+  std::unordered_set<AttributeSet> agree_sets;
+  const size_t n = records.num_records();
+  const int m = records.num_attributes();
+  for (size_t a = 0; a < n; ++a) {
+    deadline.Check();
+    for (size_t b = a + 1; b < n; ++b) {
+      AttributeSet agree = records.Match(static_cast<RecordId>(a),
+                                         static_cast<RecordId>(b));
+      if (agree.Count() == m) continue;  // identical records: no difference
+      agree_sets.insert(std::move(agree));
+    }
+  }
+  return agree_sets;
+}
+
+std::vector<AttributeSet> MaximizeSets(
+    const std::unordered_set<AttributeSet>& sets, const Deadline& deadline) {
+  std::vector<AttributeSet> sorted(sets.begin(), sets.end());
+  // Descending cardinality: a set can only be contained in a larger one.
+  std::sort(sorted.begin(), sorted.end(),
+            [](const AttributeSet& a, const AttributeSet& b) {
+              return a.Count() > b.Count();
+            });
+  std::vector<AttributeSet> maximal;
+  for (const AttributeSet& s : sorted) {
+    deadline.Check();
+    bool covered = false;
+    for (const AttributeSet& max : maximal) {
+      if (s.IsSubsetOf(max)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) maximal.push_back(s);
+  }
+  return maximal;
+}
+
+std::vector<AttributeSet> DifferenceSetsForRhs(
+    const std::unordered_set<AttributeSet>& agree_sets, int rhs,
+    int num_attributes, const Deadline& deadline) {
+  // Keep only agree sets whose pairs disagree on rhs, maximize among THOSE
+  // (Dep-Miner's max(ag, A)), then complement: complements of maximal agree
+  // sets are the minimal difference sets.
+  std::unordered_set<AttributeSet> relevant;
+  for (const AttributeSet& agree : agree_sets) {
+    if (!agree.Test(rhs)) relevant.insert(agree);
+  }
+  std::vector<AttributeSet> minimal;
+  for (const AttributeSet& agree : MaximizeSets(relevant, deadline)) {
+    AttributeSet diff = agree.Complement();
+    diff.Reset(rhs);
+    minimal.push_back(std::move(diff));
+  }
+  (void)num_attributes;
+  return minimal;
+}
+
+}  // namespace hyfd

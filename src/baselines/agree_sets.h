@@ -1,0 +1,39 @@
+#ifndef HYFD_BASELINES_AGREE_SETS_H_
+#define HYFD_BASELINES_AGREE_SETS_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "baselines/common.h"
+#include "pli/compressed_records.h"
+#include "util/attribute_set.h"
+
+namespace hyfd {
+
+/// Agree sets ag(t1,t2) of all record pairs (Dep-Miner / FastFDs substrate).
+///
+/// Enumerates every record pair and collects the distinct agree sets — the
+/// quadratic record-pair cost is inherent to the difference-/agree-set
+/// family (paper §2: "they need to compare all pairs of records"). The full
+/// agree set R (identical records) is skipped: it yields no difference.
+std::unordered_set<AttributeSet> ComputeAgreeSets(const CompressedRecords& records,
+                                                  const Deadline& deadline = {});
+
+/// Keeps only the maximal sets (no other set is a proper superset). The
+/// complements of maximal agree sets are the minimal difference sets.
+std::vector<AttributeSet> MaximizeSets(const std::unordered_set<AttributeSet>& sets,
+                                       const Deadline& deadline = {});
+
+/// Minimal difference sets modulo attribute `rhs`: for every agree set Y
+/// with rhs ∉ Y, the complement D = R \ Y \ {rhs} is a set of attributes of
+/// which a valid LHS of an FD X → rhs must contain at least one. The agree
+/// sets are maximized *per RHS* (only among those not containing rhs — a
+/// global maximization would hide constraints behind supersets that do
+/// contain rhs), so the returned family is minimal.
+std::vector<AttributeSet> DifferenceSetsForRhs(
+    const std::unordered_set<AttributeSet>& agree_sets, int rhs,
+    int num_attributes, const Deadline& deadline = {});
+
+}  // namespace hyfd
+
+#endif  // HYFD_BASELINES_AGREE_SETS_H_

@@ -1,0 +1,60 @@
+#ifndef HYFD_BASELINES_COMMON_H_
+#define HYFD_BASELINES_COMMON_H_
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+
+#include "pli/pli_builder.h"
+#include "util/memory_tracker.h"
+
+namespace hyfd {
+
+/// Thrown by any discovery algorithm whose cooperative deadline expired —
+/// the benchmark harness renders it as the paper's "TL" marker.
+class TimeoutError : public std::runtime_error {
+ public:
+  TimeoutError() : std::runtime_error("discovery exceeded its time limit") {}
+};
+
+/// Cooperative deadline checked in the algorithms' outer loops.
+class Deadline {
+ public:
+  Deadline() = default;
+  static Deadline After(double seconds) {
+    Deadline d;
+    if (seconds > 0) {
+      d.armed_ = true;
+      d.at_ = std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(seconds));
+    }
+    return d;
+  }
+
+  bool Expired() const {
+    return armed_ && std::chrono::steady_clock::now() > at_;
+  }
+  void Check() const {
+    if (Expired()) throw TimeoutError();
+  }
+
+ private:
+  bool armed_ = false;
+  std::chrono::steady_clock::time_point at_;
+};
+
+/// Options common to every discovery algorithm in this library.
+struct AlgoOptions {
+  NullSemantics null_semantics = NullSemantics::kNullEqualsNull;
+  /// Soft time limit; 0 disables. Expiry raises TimeoutError.
+  double deadline_seconds = 0;
+  /// Seed for randomized strategies (DFD's random walk).
+  uint64_t seed = 1;
+  /// If set, the run charges its dominant data structures here.
+  MemoryTracker* memory_tracker = nullptr;
+};
+
+}  // namespace hyfd
+
+#endif  // HYFD_BASELINES_COMMON_H_

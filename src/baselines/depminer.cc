@@ -1,0 +1,113 @@
+#include "baselines/depminer.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "baselines/agree_sets.h"
+#include "pli/compressed_records.h"
+#include "pli/pli_builder.h"
+
+namespace hyfd {
+namespace {
+
+bool HitsAll(const AttributeSet& candidate, const std::vector<AttributeSet>& diffs) {
+  for (const AttributeSet& diff : diffs) {
+    if (!candidate.Intersects(diff)) return false;
+  }
+  return true;
+}
+
+/// Level-wise minimal-transversal search (the LEVELWISE procedure of the
+/// Dep-Miner paper): candidates that hit every difference set are emitted as
+/// minimal LHSs; the others are extended apriori-style.
+void MinimalTransversals(const std::vector<AttributeSet>& diffs,
+                         int num_attributes, int rhs, const Deadline& deadline,
+                         FDSet* out) {
+  // Attributes that appear in some difference set are the only useful ones.
+  AttributeSet universe(num_attributes);
+  for (const AttributeSet& diff : diffs) universe |= diff;
+
+  std::vector<AttributeSet> level;
+  ForEachBit(universe, [&](int attr) {
+    level.push_back(AttributeSet(num_attributes).With(attr));
+  });
+
+  while (!level.empty()) {
+    deadline.Check();
+    std::vector<AttributeSet> survivors;  // non-hitting candidates
+    for (const AttributeSet& candidate : level) {
+      if (HitsAll(candidate, diffs)) {
+        out->Add(candidate, rhs);  // minimal by apriori construction
+      } else {
+        survivors.push_back(candidate);
+      }
+    }
+    // Apriori join: combine candidates sharing all but the last attribute.
+    // A candidate is kept only if *all* its immediate subsets are known
+    // non-hitting (standard minimality guarantee).
+    std::unordered_set<AttributeSet> survivor_set(survivors.begin(),
+                                                  survivors.end());
+    std::vector<AttributeSet> next;
+    std::unordered_set<AttributeSet> generated;
+    for (size_t i = 0; i < survivors.size(); ++i) {
+      for (size_t j = i + 1; j < survivors.size(); ++j) {
+        AttributeSet joined = survivors[i] | survivors[j];
+        if (joined.Count() != survivors[i].Count() + 1) continue;
+        if (generated.contains(joined)) continue;
+        bool all_subsets_known = true;
+        for (int attr = joined.First();
+             attr != AttributeSet::kNpos && all_subsets_known;
+             attr = joined.NextAfter(attr)) {
+          if (!survivor_set.contains(joined.Without(attr))) {
+            all_subsets_known = false;
+          }
+        }
+        if (!all_subsets_known) continue;
+        generated.insert(joined);
+        next.push_back(std::move(joined));
+      }
+    }
+    level = std::move(next);
+  }
+}
+
+}  // namespace
+
+FDSet DiscoverFdsDepMiner(const Relation& relation, const AlgoOptions& options) {
+  Deadline deadline = Deadline::After(options.deadline_seconds);
+  const int m = relation.num_columns();
+  auto plis = BuildAllColumnPlis(relation, options.null_semantics);
+  CompressedRecords records(plis, relation.num_rows());
+
+  auto agree_sets = ComputeAgreeSets(records, deadline);
+
+  if (options.memory_tracker != nullptr) {
+    size_t bytes = 0;
+    for (const auto& s : agree_sets) bytes += sizeof(AttributeSet) + s.MemoryBytes();
+    options.memory_tracker->SetComponent(MemoryTracker::kAgreeSets, bytes);
+  }
+
+  FDSet result;
+  for (int rhs = 0; rhs < m; ++rhs) {
+    deadline.Check();
+    std::vector<AttributeSet> diffs = DifferenceSetsForRhs(agree_sets, rhs, m, deadline);
+    if (diffs.empty()) {
+      result.Add(AttributeSet(m), rhs);  // no pair disagrees: ∅ -> rhs
+      continue;
+    }
+    bool impossible = false;  // some pair differs only in rhs
+    for (const AttributeSet& diff : diffs) {
+      if (diff.Empty()) {
+        impossible = true;
+        break;
+      }
+    }
+    if (impossible) continue;
+    MinimalTransversals(diffs, m, rhs, deadline, &result);
+  }
+  result.Canonicalize();
+  return result;
+}
+
+}  // namespace hyfd

@@ -1,0 +1,20 @@
+#ifndef HYFD_BASELINES_DEPMINER_H_
+#define HYFD_BASELINES_DEPMINER_H_
+
+#include "baselines/common.h"
+#include "data/relation.h"
+#include "fd/fd_set.h"
+
+namespace hyfd {
+
+/// Dep-Miner (Lopes, Petit & Lakhal, EDBT 2000).
+///
+/// Computes the maximal agree sets of all record pairs, derives per-RHS
+/// minimal difference sets, and finds the left-hand sides of all minimal FDs
+/// as the minimal transversals (hitting sets) of those difference-set
+/// families via level-wise apriori candidate generation.
+FDSet DiscoverFdsDepMiner(const Relation& relation, const AlgoOptions& options = {});
+
+}  // namespace hyfd
+
+#endif  // HYFD_BASELINES_DEPMINER_H_

@@ -1,0 +1,261 @@
+#include "baselines/dfd.h"
+
+#include <algorithm>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#include "pli/pli.h"
+#include "pli/pli_builder.h"
+
+namespace hyfd {
+namespace {
+
+/// Lazily built, size-capped store of intersected PLIs (the DFD paper's
+/// partition store). Partitions are derived from the largest cached subset.
+class PliStore {
+ public:
+  PliStore(std::vector<Pli> single_plis, size_t num_records, size_t capacity)
+      : singles_(std::move(single_plis)),
+        num_records_(num_records),
+        capacity_(capacity) {
+    probing_.reserve(singles_.size());
+    for (const Pli& pli : singles_) probing_.push_back(pli.BuildProbingTable());
+  }
+
+  const std::vector<ClusterId>& probing(int attr) const {
+    return probing_[static_cast<size_t>(attr)];
+  }
+
+  const Pli& Get(const AttributeSet& attrs) {
+    int count = attrs.Count();
+    if (count == 1) return singles_[static_cast<size_t>(attrs.First())];
+    auto it = cache_.find(attrs);
+    if (it != cache_.end()) return it->second;
+    // Derive from a cached immediate subset if one exists, else recurse.
+    for (int a = attrs.First(); a != AttributeSet::kNpos; a = attrs.NextAfter(a)) {
+      AttributeSet sub = attrs.Without(a);
+      auto sit = count == 2 ? cache_.end() : cache_.find(sub);
+      if (count == 2 || sit != cache_.end()) {
+        const Pli& base = count == 2
+                              ? singles_[static_cast<size_t>(sub.First())]
+                              : sit->second;
+        return Insert(attrs, base.Intersect(probing(a)));
+      }
+    }
+    int first = attrs.First();
+    const Pli& base = Get(attrs.Without(first));
+    return Insert(attrs, base.Intersect(probing(first)));
+  }
+
+ private:
+  const Pli& Insert(const AttributeSet& attrs, Pli pli) {
+    if (cache_.size() >= capacity_) cache_.clear();  // crude eviction
+    return cache_.emplace(attrs, std::move(pli)).first->second;
+  }
+
+  std::vector<Pli> singles_;
+  std::vector<std::vector<ClusterId>> probing_;
+  size_t num_records_;
+  size_t capacity_;
+  std::unordered_map<AttributeSet, Pli> cache_;
+};
+
+/// Per-RHS lattice search state.
+class RhsSearch {
+ public:
+  RhsSearch(PliStore* store, int rhs, const AttributeSet& available,
+            std::mt19937_64* rng, const Deadline* deadline)
+      : store_(store),
+        rhs_(rhs),
+        available_(available),
+        rng_(rng),
+        deadline_(deadline) {}
+
+  std::vector<AttributeSet> Run() {
+    // Initial seeds: the singletons.
+    std::vector<AttributeSet> seeds;
+    ForEachBit(available_, [&](int a) {
+      seeds.push_back(AttributeSet(available_.size()).With(a));
+    });
+    while (true) {
+      for (const AttributeSet& seed : seeds) {
+        if (Covered(seed)) continue;
+        Walk(seed);
+      }
+      seeds = NextSeeds();
+      if (seeds.empty()) break;
+    }
+    return min_deps_;
+  }
+
+ private:
+  bool IsDep(const AttributeSet& lhs) {
+    for (const AttributeSet& dep : min_deps_) {
+      if (dep.IsSubsetOf(lhs)) return true;
+    }
+    for (const AttributeSet& nondep : max_non_deps_) {
+      if (lhs.IsSubsetOf(nondep)) return false;
+    }
+    auto it = cache_.find(lhs);
+    if (it != cache_.end()) return it->second;
+    deadline_->Check();
+    bool dep = lhs.Empty()
+                   ? false  // constant RHS handled before the search
+                   : store_->Get(lhs).Refines(store_->probing(rhs_));
+    cache_.emplace(lhs, dep);
+    return dep;
+  }
+
+  /// True iff the border already classifies `lhs`.
+  bool Covered(const AttributeSet& lhs) const {
+    for (const AttributeSet& dep : min_deps_) {
+      if (dep.IsSubsetOf(lhs)) return true;
+    }
+    for (const AttributeSet& nondep : max_non_deps_) {
+      if (lhs.IsSubsetOf(nondep)) return true;
+    }
+    return false;
+  }
+
+  /// Random walk: descend from dependencies, ascend from non-dependencies,
+  /// until one border element (minimal dep or maximal non-dep) is pinned.
+  void Walk(AttributeSet node) {
+    while (true) {
+      deadline_->Check();
+      if (IsDep(node)) {
+        std::vector<int> attrs = node.ToIndexes();
+        std::shuffle(attrs.begin(), attrs.end(), *rng_);
+        bool descended = false;
+        for (int a : attrs) {
+          AttributeSet child = node.Without(a);
+          if (child.Empty() ? false : IsDep(child)) {
+            node = child;
+            descended = true;
+            break;
+          }
+        }
+        if (descended) continue;
+        AddMinDep(node);
+        return;
+      }
+      std::vector<int> attrs;
+      AttributeSet outside = available_;
+      outside.AndNot(node);
+      ForEachBit(outside, [&](int a) { attrs.push_back(a); });
+      std::shuffle(attrs.begin(), attrs.end(), *rng_);
+      bool ascended = false;
+      for (int a : attrs) {
+        AttributeSet parent = node.With(a);
+        if (!IsDep(parent)) {
+          node = parent;
+          ascended = true;
+          break;
+        }
+      }
+      if (ascended) continue;
+      AddMaxNonDep(node);
+      return;
+    }
+  }
+
+  void AddMinDep(const AttributeSet& dep) { min_deps_.push_back(dep); }
+  void AddMaxNonDep(const AttributeSet& nondep) {
+    max_non_deps_.push_back(nondep);
+  }
+
+  /// Seeds for the next round: minimal transversals of the complements of
+  /// all maximal non-dependencies, minus anything already covered. If no
+  /// uncovered seed exists the dependency border is complete.
+  std::vector<AttributeSet> NextSeeds() {
+    const int m = available_.size();
+    std::vector<AttributeSet> seeds{AttributeSet(m)};
+    for (const AttributeSet& nondep : max_non_deps_) {
+      deadline_->Check();
+      AttributeSet complement = available_;
+      complement.AndNot(nondep);
+      std::vector<AttributeSet> grown;
+      for (const AttributeSet& seed : seeds) {
+        if (seed.Intersects(complement)) {
+          grown.push_back(seed);  // already escapes this non-dep
+          continue;
+        }
+        ForEachBit(complement,
+                   [&](int a) { grown.push_back(seed.With(a)); });
+      }
+      // Minimize to keep the cross product small.
+      std::sort(grown.begin(), grown.end(),
+                [](const AttributeSet& a, const AttributeSet& b) {
+                  return a.Count() < b.Count();
+                });
+      std::vector<AttributeSet> minimal;
+      for (const AttributeSet& s : grown) {
+        bool covered = false;
+        for (const AttributeSet& kept : minimal) {
+          if (kept.IsSubsetOf(s)) {
+            covered = true;
+            break;
+          }
+        }
+        if (!covered) minimal.push_back(s);
+      }
+      seeds = std::move(minimal);
+    }
+    std::vector<AttributeSet> uncovered;
+    for (const AttributeSet& seed : seeds) {
+      if (!seed.Empty() && !Covered(seed)) uncovered.push_back(seed);
+    }
+    return uncovered;
+  }
+
+  PliStore* store_;
+  int rhs_;
+  AttributeSet available_;
+  std::mt19937_64* rng_;
+  const Deadline* deadline_;
+  std::unordered_map<AttributeSet, bool> cache_;
+  std::vector<AttributeSet> min_deps_;
+  std::vector<AttributeSet> max_non_deps_;
+};
+
+}  // namespace
+
+FDSet DiscoverFdsDfd(const Relation& relation, const AlgoOptions& options) {
+  Deadline deadline = Deadline::After(options.deadline_seconds);
+  const int m = relation.num_columns();
+
+  auto plis = BuildAllColumnPlis(relation, options.null_semantics);
+
+  FDSet result;
+  // Constant columns: ∅ -> A; they are also useless inside any LHS.
+  AttributeSet constants(m);
+  for (int a = 0; a < m; ++a) {
+    if (plis[static_cast<size_t>(a)].IsConstant()) {
+      constants.Set(a);
+      result.Add(AttributeSet(m), a);
+    }
+  }
+
+  PliStore store(std::move(plis), relation.num_rows(), /*capacity=*/512);
+  std::mt19937_64 rng(options.seed);
+  if (options.memory_tracker != nullptr) {
+    // The PLI store dominates DFD's footprint; charge its cap worth of the
+    // single-column PLIs as a conservative estimate.
+    size_t bytes = 0;
+    for (int a = 0; a < m; ++a) bytes += store.probing(a).size() * sizeof(ClusterId);
+    options.memory_tracker->SetComponent(MemoryTracker::kPlis, bytes);
+  }
+
+  for (int rhs = 0; rhs < m; ++rhs) {
+    if (constants.Test(rhs)) continue;
+    AttributeSet available = AttributeSet::Full(m);
+    available.Reset(rhs);
+    available.AndNot(constants);
+    RhsSearch search(&store, rhs, available, &rng, &deadline);
+    for (const AttributeSet& lhs : search.Run()) result.Add(lhs, rhs);
+  }
+  result.Canonicalize();
+  return result;
+}
+
+}  // namespace hyfd

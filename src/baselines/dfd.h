@@ -1,0 +1,23 @@
+#ifndef HYFD_BASELINES_DFD_H_
+#define HYFD_BASELINES_DFD_H_
+
+#include "baselines/common.h"
+#include "data/relation.h"
+#include "fd/fd_set.h"
+
+namespace hyfd {
+
+/// DFD (Abedjan, Schulze & Naumann, CIKM 2014).
+///
+/// Searches each RHS attribute's LHS lattice with random walks: from a
+/// dependency it descends toward a minimal dependency, from a non-dependency
+/// it ascends toward a maximal one; subset/superset inference against the
+/// discovered border classifies most nodes for free, and a PLI store caches
+/// intersected partitions. New walk seeds are the minimal transversals of
+/// the maximal non-dependencies' complements, which guarantees the border is
+/// complete when no uncovered seed remains.
+FDSet DiscoverFdsDfd(const Relation& relation, const AlgoOptions& options = {});
+
+}  // namespace hyfd
+
+#endif  // HYFD_BASELINES_DFD_H_

@@ -1,0 +1,126 @@
+#include "baselines/fastfds.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "baselines/agree_sets.h"
+#include "pli/compressed_records.h"
+#include "pli/pli_builder.h"
+
+namespace hyfd {
+namespace {
+
+/// One DFS node: the difference sets not yet covered and the attributes
+/// still allowed for extension, ordered by the FastFDs heuristic.
+struct SearchContext {
+  int num_attributes;
+  int rhs;
+  const Deadline* deadline;
+  const std::vector<AttributeSet>* all_diffs;  // for the minimality check
+  FDSet* out;
+};
+
+/// FastFDs minimality test at a leaf: the chosen LHS covers everything; it
+/// is minimal iff every chosen attribute is the *only* cover of some
+/// difference set (otherwise dropping it would still cover all).
+bool IsMinimalCover(const AttributeSet& lhs,
+                    const std::vector<AttributeSet>& diffs) {
+  for (int attr = lhs.First(); attr != AttributeSet::kNpos;
+       attr = lhs.NextAfter(attr)) {
+    bool needed = false;
+    for (const AttributeSet& diff : diffs) {
+      // attr is needed iff some difference set is hit by attr alone among lhs.
+      AttributeSet hit = diff & lhs;
+      if (hit.Count() == 1 && hit.Test(attr)) {
+        needed = true;
+        break;
+      }
+    }
+    if (!needed) return false;
+  }
+  return true;
+}
+
+/// Attributes ordered by descending coverage of the remaining difference
+/// sets (ties: smaller index first) — the FastFDs search heuristic.
+std::vector<int> OrderByCoverage(const std::vector<AttributeSet>& remaining,
+                                 const AttributeSet& allowed) {
+  std::vector<std::pair<int, int>> counted;  // (-coverage, attr)
+  for (int attr = allowed.First(); attr != AttributeSet::kNpos;
+       attr = allowed.NextAfter(attr)) {
+    int coverage = 0;
+    for (const AttributeSet& diff : remaining) {
+      if (diff.Test(attr)) ++coverage;
+    }
+    if (coverage > 0) counted.emplace_back(-coverage, attr);
+  }
+  std::sort(counted.begin(), counted.end());
+  std::vector<int> order;
+  order.reserve(counted.size());
+  for (auto& [_, attr] : counted) order.push_back(attr);
+  return order;
+}
+
+void Dfs(const SearchContext& ctx, const std::vector<AttributeSet>& remaining,
+         const AttributeSet& allowed, const AttributeSet& lhs) {
+  ctx.deadline->Check();
+  if (remaining.empty()) {
+    if (IsMinimalCover(lhs, *ctx.all_diffs)) ctx.out->Add(lhs, ctx.rhs);
+    return;
+  }
+  std::vector<int> order = OrderByCoverage(remaining, allowed);
+  if (order.empty()) return;  // uncovered difference sets, dead branch
+  // Each branch takes one attribute and forbids the ones ordered before it
+  // in *this* node's ordering — every candidate cover is enumerated once.
+  AttributeSet branch_allowed = allowed;
+  for (int attr : order) {
+    branch_allowed.Reset(attr);
+    std::vector<AttributeSet> next_remaining;
+    for (const AttributeSet& diff : remaining) {
+      if (!diff.Test(attr)) next_remaining.push_back(diff);
+    }
+    Dfs(ctx, next_remaining, branch_allowed, lhs.With(attr));
+  }
+}
+
+}  // namespace
+
+FDSet DiscoverFdsFastFds(const Relation& relation, const AlgoOptions& options) {
+  Deadline deadline = Deadline::After(options.deadline_seconds);
+  const int m = relation.num_columns();
+  auto plis = BuildAllColumnPlis(relation, options.null_semantics);
+  CompressedRecords records(plis, relation.num_rows());
+
+  auto agree_sets = ComputeAgreeSets(records, deadline);
+
+  if (options.memory_tracker != nullptr) {
+    size_t bytes = 0;
+    for (const auto& s : agree_sets) bytes += sizeof(AttributeSet) + s.MemoryBytes();
+    options.memory_tracker->SetComponent(MemoryTracker::kAgreeSets, bytes);
+  }
+
+  FDSet result;
+  for (int rhs = 0; rhs < m; ++rhs) {
+    deadline.Check();
+    std::vector<AttributeSet> diffs = DifferenceSetsForRhs(agree_sets, rhs, m, deadline);
+    if (diffs.empty()) {
+      result.Add(AttributeSet(m), rhs);
+      continue;
+    }
+    bool impossible = false;
+    for (const AttributeSet& diff : diffs) {
+      if (diff.Empty()) {
+        impossible = true;
+        break;
+      }
+    }
+    if (impossible) continue;
+    SearchContext ctx{m, rhs, &deadline, &diffs, &result};
+    AttributeSet allowed = AttributeSet::Full(m).Without(rhs);
+    Dfs(ctx, diffs, allowed, AttributeSet(m));
+  }
+  result.Canonicalize();
+  return result;
+}
+
+}  // namespace hyfd

@@ -1,0 +1,19 @@
+#ifndef HYFD_BASELINES_FASTFDS_H_
+#define HYFD_BASELINES_FASTFDS_H_
+
+#include "baselines/common.h"
+#include "data/relation.h"
+#include "fd/fd_set.h"
+
+namespace hyfd {
+
+/// FastFDs (Wyss, Giannella & Robertson, DaWaK 2001).
+///
+/// Like Dep-Miner it reduces FD discovery to finding minimal covers of
+/// difference sets, but searches them depth-first, greedily ordering
+/// attributes by how many remaining difference sets they cover.
+FDSet DiscoverFdsFastFds(const Relation& relation, const AlgoOptions& options = {});
+
+}  // namespace hyfd
+
+#endif  // HYFD_BASELINES_FASTFDS_H_

@@ -1,0 +1,40 @@
+#include "baselines/fdep.h"
+
+#include <vector>
+
+#include "baselines/agree_sets.h"
+#include "core/inductor.h"
+#include "fd/fd_tree.h"
+#include "pli/compressed_records.h"
+#include "pli/pli_builder.h"
+
+namespace hyfd {
+
+FDSet DiscoverFdsFdep(const Relation& relation, const AlgoOptions& options) {
+  Deadline deadline = Deadline::After(options.deadline_seconds);
+  auto plis = BuildAllColumnPlis(relation, options.null_semantics);
+  CompressedRecords records(plis, relation.num_rows());
+
+  // Negative cover: every distinct agree set of every record pair.
+  std::unordered_set<AttributeSet> negative_cover =
+      ComputeAgreeSets(records, deadline);
+  if (options.memory_tracker != nullptr) {
+    size_t bytes = 0;
+    for (const auto& s : negative_cover) bytes += sizeof(AttributeSet) + s.MemoryBytes();
+    options.memory_tracker->SetComponent(MemoryTracker::kNegativeCover, bytes);
+  }
+  deadline.Check();
+
+  // Positive cover by successive specialization (shared with HyFD).
+  FDTree tree(relation.num_columns());
+  Inductor inductor(&tree);
+  inductor.Update(std::vector<AttributeSet>(negative_cover.begin(),
+                                            negative_cover.end()));
+  if (options.memory_tracker != nullptr) {
+    options.memory_tracker->SetComponent(MemoryTracker::kFdTree,
+                                         tree.MemoryBytes());
+  }
+  return tree.ToFdSet();
+}
+
+}  // namespace hyfd

@@ -1,0 +1,21 @@
+#ifndef HYFD_BASELINES_FDEP_H_
+#define HYFD_BASELINES_FDEP_H_
+
+#include "baselines/common.h"
+#include "data/relation.h"
+#include "fd/fd_set.h"
+
+namespace hyfd {
+
+/// FDEP (Flach & Savnik, 1999): dependency induction from the full negative
+/// cover.
+///
+/// Compares *all* record pairs to build the complete negative cover, then
+/// specializes the most general FDs ∅ → A with every non-FD — exactly the
+/// machinery HyFD's Inductor reuses (paper §2, §7), but exercised over every
+/// pair instead of a sample. Column-efficient, quadratic in records.
+FDSet DiscoverFdsFdep(const Relation& relation, const AlgoOptions& options = {});
+
+}  // namespace hyfd
+
+#endif  // HYFD_BASELINES_FDEP_H_

@@ -1,0 +1,137 @@
+#include "baselines/fdmine.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "fd/fd_tree.h"
+#include "pli/pli.h"
+#include "pli/pli_builder.h"
+
+namespace hyfd {
+namespace {
+
+struct Candidate {
+  Pli pli;
+  AttributeSet closure;  ///< attributes known to be determined by the LHS
+};
+
+using Level = std::unordered_map<AttributeSet, Candidate>;
+
+}  // namespace
+
+FDSet DiscoverFdsFdMine(const Relation& relation, const AlgoOptions& options) {
+  Deadline deadline = Deadline::After(options.deadline_seconds);
+  const int m = relation.num_columns();
+  const size_t n = relation.num_rows();
+
+  FDSet result;
+  FDTree emitted(m);
+
+  // Single-column probing tables for the X -> A refinement checks.
+  std::vector<std::vector<ClusterId>> probing(static_cast<size_t>(m));
+  auto plis = BuildAllColumnPlis(relation, options.null_semantics);
+  for (int a = 0; a < m; ++a) {
+    probing[static_cast<size_t>(a)] =
+        plis[static_cast<size_t>(a)].BuildProbingTable();
+  }
+
+  // ∅ -> A for constant columns.
+  AttributeSet constants(m);
+  for (int a = 0; a < m; ++a) {
+    if (plis[static_cast<size_t>(a)].IsConstant()) {
+      constants.Set(a);
+      emitted.AddFd(AttributeSet(m), a);
+      result.Add(AttributeSet(m), a);
+    }
+  }
+
+  // Level 1 candidates: non-constant single attributes; their closure
+  // starts with the constants (determined by anything).
+  Level current;
+  for (int a = 0; a < m; ++a) {
+    if (constants.Test(a)) continue;
+    Candidate c;
+    c.pli = std::move(plis[static_cast<size_t>(a)]);
+    c.closure = constants.With(a);
+    current.emplace(AttributeSet(m).With(a), std::move(c));
+  }
+
+  while (!current.empty()) {
+    deadline.Check();
+    if (options.memory_tracker != nullptr) {
+      size_t bytes = 0;
+      for (const auto& [lhs, c] : current) {
+        bytes += lhs.MemoryBytes() + c.pli.MemoryBytes() +
+                 c.closure.MemoryBytes() + sizeof(Candidate);
+      }
+      options.memory_tracker->SetComponent(MemoryTracker::kCandidates, bytes);
+    }
+
+    // Check X -> A for every A outside the already-known closure.
+    std::vector<AttributeSet> keys_found;
+    for (auto& [lhs, candidate] : current) {
+      deadline.Check();
+      AttributeSet rhs_candidates = candidate.closure.Complement();
+      bool is_key = candidate.pli.IsUnique() && n >= 2;
+      ForEachBit(rhs_candidates, [&](int a) {
+        bool valid =
+            is_key || candidate.pli.Refines(probing[static_cast<size_t>(a)]);
+        if (!valid) return;
+        candidate.closure.Set(a);
+        if (!emitted.ContainsFdOrGeneralization(lhs, a)) {
+          emitted.AddFd(lhs, a);
+          result.Add(lhs, a);
+        }
+      });
+      // A key determines everything; no superset can yield new minimal FDs.
+      if (is_key) keys_found.push_back(lhs);
+    }
+    for (const AttributeSet& key : keys_found) current.erase(key);
+
+    // Next level: apriori join; a candidate Z is redundant if some A ∈ Z is
+    // already in the closure of Z \ {A} (then Z contains a derivable
+    // attribute and cannot be a minimal LHS).
+    Level next;
+    std::vector<AttributeSet> keys;
+    for (const auto& [lhs, _] : current) keys.push_back(lhs);
+    std::unordered_map<AttributeSet, std::vector<AttributeSet>> blocks;
+    for (const AttributeSet& lhs : keys) {
+      std::vector<int> attrs = lhs.ToIndexes();
+      blocks[lhs.Without(attrs.back())].push_back(lhs);
+    }
+    for (auto& [prefix, members] : blocks) {
+      deadline.Check();
+      for (size_t i = 0; i < members.size(); ++i) {
+        for (size_t j = i + 1; j < members.size(); ++j) {
+          AttributeSet joined = members[i] | members[j];
+          if (next.contains(joined)) continue;
+          bool viable = true;
+          AttributeSet inherited(m);
+          for (int a = joined.First(); a != AttributeSet::kNpos && viable;
+               a = joined.NextAfter(a)) {
+            auto it = current.find(joined.Without(a));
+            if (it == current.end()) {
+              viable = false;  // subset pruned
+            } else if (it->second.closure.Test(a)) {
+              viable = false;  // Z \ {A} -> A already: Z is redundant
+            } else {
+              inherited |= it->second.closure;
+            }
+          }
+          if (!viable) continue;
+          Candidate c;
+          c.pli = current.at(members[i]).pli.Intersect(
+              current.at(members[j]).pli);
+          c.closure = inherited | joined;
+          next.emplace(std::move(joined), std::move(c));
+        }
+      }
+    }
+    current = std::move(next);
+  }
+
+  result.Canonicalize();
+  return result;
+}
+
+}  // namespace hyfd

@@ -1,0 +1,26 @@
+#ifndef HYFD_BASELINES_FUN_H_
+#define HYFD_BASELINES_FUN_H_
+
+#include "baselines/common.h"
+#include "data/relation.h"
+#include "fd/fd_set.h"
+
+namespace hyfd {
+
+/// FUN (Novelli & Cicchetti, ICDT 2001).
+///
+/// Level-wise traversal restricted to *free sets*: attribute sets X whose
+/// cardinality |X| (number of distinct value combinations) strictly exceeds
+/// that of every proper subset. Only free sets can be LHSs of minimal FDs;
+/// X → A holds iff |X| = |X ∪ {A}|. Cardinalities come from PLI
+/// intersection, and supersets of non-free sets are pruned apriori-style.
+///
+/// This implementation keeps FUN's defining machinery (free-set pruning +
+/// cardinality-based checks) and enforces output minimality with an exact
+/// generalization lookup instead of the original's quasi-closure
+/// bookkeeping, which changes no results.
+FDSet DiscoverFdsFun(const Relation& relation, const AlgoOptions& options = {});
+
+}  // namespace hyfd
+
+#endif  // HYFD_BASELINES_FUN_H_

@@ -1,0 +1,49 @@
+#include "baselines/registry.h"
+
+#include <stdexcept>
+
+#include "baselines/depminer.h"
+#include "baselines/dfd.h"
+#include "baselines/fastfds.h"
+#include "baselines/fdep.h"
+#include "baselines/fdmine.h"
+#include "baselines/fun.h"
+#include "baselines/tane.h"
+#include "core/hyfd.h"
+
+namespace hyfd {
+namespace {
+
+FDSet RunHyFd(const Relation& relation, const AlgoOptions& options) {
+  // HyFD has no cooperative deadline: the paper's point is that it finishes
+  // where the others do not, and the harness budgets accordingly.
+  HyFdConfig config;
+  config.null_semantics = options.null_semantics;
+  config.memory_tracker = options.memory_tracker;
+  return DiscoverFds(relation, config);
+}
+
+}  // namespace
+
+const std::vector<AlgoInfo>& AllAlgorithms() {
+  static const auto* algorithms = new std::vector<AlgoInfo>{
+      {"tane", DiscoverFdsTane, false, true},
+      {"fun", DiscoverFdsFun, false, true},
+      {"fd_mine", DiscoverFdsFdMine, false, true},
+      {"dfd", DiscoverFdsDfd, false, true},
+      {"depminer", DiscoverFdsDepMiner, true, false},
+      {"fastfds", DiscoverFdsFastFds, true, false},
+      {"fdep", DiscoverFdsFdep, true, false},
+      {"hyfd", RunHyFd, false, false},
+  };
+  return *algorithms;
+}
+
+const AlgoInfo& FindAlgorithm(const std::string& name) {
+  for (const AlgoInfo& algo : AllAlgorithms()) {
+    if (algo.name == name) return algo;
+  }
+  throw std::out_of_range("unknown algorithm: " + name);
+}
+
+}  // namespace hyfd

@@ -1,0 +1,38 @@
+#ifndef HYFD_BASELINES_REGISTRY_H_
+#define HYFD_BASELINES_REGISTRY_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+#include "data/relation.h"
+#include "fd/fd_set.h"
+
+namespace hyfd {
+
+/// A uniform handle on one discovery algorithm, used by the benchmark
+/// harness and the cross-checking integration tests (the role Metanome's
+/// algorithm interface plays in the paper's evaluation).
+struct AlgoInfo {
+  std::string name;
+  /// Runs the algorithm; may throw TimeoutError if options set a deadline.
+  std::function<FDSet(const Relation&, const AlgoOptions&)> run;
+  /// True for the paper's row-pair-based algorithms whose cost is quadratic
+  /// in the record count (Dep-Miner, FastFDs, FDEP).
+  bool quadratic_in_rows = false;
+  /// True for lattice-traversal algorithms that scale poorly with columns.
+  bool exponential_in_columns = false;
+};
+
+/// All eight algorithms of the paper's evaluation, in Table 1 column order:
+/// TANE, FUN, FD_Mine, DFD, Dep-Miner, FastFDs, FDEP, HyFD.
+const std::vector<AlgoInfo>& AllAlgorithms();
+
+/// Lookup by name ("tane", "fun", "fd_mine", "dfd", "depminer", "fastfds",
+/// "fdep", "hyfd"); throws std::out_of_range for unknown names.
+const AlgoInfo& FindAlgorithm(const std::string& name);
+
+}  // namespace hyfd
+
+#endif  // HYFD_BASELINES_REGISTRY_H_

@@ -1,0 +1,21 @@
+#ifndef HYFD_BASELINES_TANE_H_
+#define HYFD_BASELINES_TANE_H_
+
+#include "baselines/common.h"
+#include "data/relation.h"
+#include "fd/fd_set.h"
+
+namespace hyfd {
+
+/// TANE (Huhtala, Kärkkäinen, Porkka & Toivonen, 1999).
+///
+/// Level-wise bottom-up lattice traversal with stripped partitions: candidate
+/// LHSs grow apriori-style; X → A is checked via the partition error measure
+/// e(X) = e(X ∪ A); RHS⁺ candidate sets and key pruning cut the lattice.
+/// Row-efficient but exponential in the column count — the archetype HyFD's
+/// Validator borrows its pruning rules from (paper §2, §8).
+FDSet DiscoverFdsTane(const Relation& relation, const AlgoOptions& options = {});
+
+}  // namespace hyfd
+
+#endif  // HYFD_BASELINES_TANE_H_

@@ -1,0 +1,16 @@
+#include "core/guardian.h"
+
+namespace hyfd {
+
+void MemoryGuardian::Check(FDTree* tree, size_t extra_bytes) {
+  if (limit_bytes_ == 0) return;
+  while (tree->MemoryBytes() + extra_bytes > limit_bytes_) {
+    int cap = tree->max_lhs_size() >= 0 ? tree->max_lhs_size() - 1
+                                        : tree->Depth() - 1;
+    if (cap < 1) return;  // never prune below single-attribute LHSs
+    tree->SetMaxLhsSize(cap);
+    ++times_pruned_;
+  }
+}
+
+}  // namespace hyfd

@@ -1,0 +1,38 @@
+#ifndef HYFD_CORE_GUARDIAN_H_
+#define HYFD_CORE_GUARDIAN_H_
+
+#include <cstddef>
+
+#include "fd/fd_tree.h"
+
+namespace hyfd {
+
+/// HyFD's memory Guardian (paper §9) — an optional best-effort safeguard.
+///
+/// The FDTree is the only data structure whose growth is exponential in the
+/// attribute count, so when the tracked footprint exceeds the budget the
+/// Guardian successively decrements the tree's maximum LHS size, pruning the
+/// longest (most likely accidental, least useful) FDs first. A run whose
+/// result was pruned is no longer complete; `WasPruned()` reports that.
+class MemoryGuardian {
+ public:
+  /// `limit_bytes == 0` disables the guardian entirely.
+  explicit MemoryGuardian(size_t limit_bytes) : limit_bytes_(limit_bytes) {}
+
+  /// Prunes `tree` until its footprint fits the budget (or the cap reaches
+  /// LHS size 1, which is never given up). Called after every tree growth
+  /// phase. `extra_bytes` charges the run's other structures against the
+  /// same budget.
+  void Check(FDTree* tree, size_t extra_bytes = 0);
+
+  bool WasPruned() const { return times_pruned_ > 0; }
+  int times_pruned() const { return times_pruned_; }
+
+ private:
+  size_t limit_bytes_;
+  int times_pruned_ = 0;
+};
+
+}  // namespace hyfd
+
+#endif  // HYFD_CORE_GUARDIAN_H_

@@ -1,0 +1,84 @@
+#include "core/hyfd.h"
+
+#include <memory>
+
+#include "core/guardian.h"
+#include "core/inductor.h"
+#include "core/preprocessor.h"
+#include "core/validator.h"
+#include "fd/fd_tree.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace hyfd {
+
+FDSet HyFd::Discover(const Relation& relation) {
+  stats_ = HyFdStats{};
+  MemoryTracker* tracker = config_.memory_tracker;
+
+  Timer timer;
+  PreprocessedData data = Preprocess(relation, config_.null_semantics);
+  stats_.preprocess_seconds = timer.ElapsedSeconds();
+  if (tracker != nullptr) {
+    tracker->SetComponent(MemoryTracker::kPlis, data.MemoryBytes());
+  }
+
+  FDTree tree(data.num_attributes);
+  Sampler sampler(&data, config_.efficiency_threshold, config_.sampling_strategy);
+  Inductor inductor(&tree);
+  MemoryGuardian guardian(config_.memory_limit_bytes);
+
+  std::unique_ptr<ThreadPool> pool;
+  if (config_.num_threads > 1) {
+    pool = std::make_unique<ThreadPool>(static_cast<size_t>(config_.num_threads));
+  }
+  Validator validator(&data, &tree, config_.efficiency_threshold, pool.get());
+
+  // The hybrid loop (paper Figure 2): Phase 1 = Sampler + Inductor,
+  // Phase 2 = Validator; alternate until the Validator exhausts the lattice.
+  std::vector<std::pair<RecordId, RecordId>> suggestions;
+  while (true) {
+    timer.Restart();
+    if (config_.enable_sampling) {
+      auto new_non_fds = sampler.Run(suggestions);
+      inductor.Update(std::move(new_non_fds));
+    } else {
+      inductor.Update({});  // ablation: start from ∅ -> R, Validator only
+    }
+    stats_.sampling_seconds += timer.ElapsedSeconds();
+    guardian.Check(&tree, sampler.NegativeCoverBytes() + data.MemoryBytes());
+    if (tracker != nullptr) {
+      tracker->SetComponent(MemoryTracker::kNegativeCover,
+                            sampler.NegativeCoverBytes());
+      tracker->SetComponent(MemoryTracker::kFdTree, tree.MemoryBytes());
+    }
+
+    timer.Restart();
+    ValidatorResult vr = validator.Run();
+    stats_.validation_seconds += timer.ElapsedSeconds();
+    guardian.Check(&tree, sampler.NegativeCoverBytes() + data.MemoryBytes());
+    if (tracker != nullptr) {
+      tracker->SetComponent(MemoryTracker::kFdTree, tree.MemoryBytes());
+    }
+    if (vr.done) break;
+    ++stats_.phase_switches;  // Phase 2 pausing and re-entering Phase 1
+    suggestions = std::move(vr.comparison_suggestions);
+  }
+
+  stats_.comparisons = sampler.total_comparisons();
+  stats_.non_fds = sampler.num_non_fds();
+  stats_.validations = validator.total_validations();
+  stats_.levels_validated = validator.current_level();
+  stats_.pruned_lhs_cap = guardian.WasPruned() ? tree.max_lhs_size() : -1;
+
+  FDSet result = tree.ToFdSet();
+  stats_.num_fds = result.size();
+  return result;
+}
+
+FDSet DiscoverFds(const Relation& relation, HyFdConfig config) {
+  HyFd algo(config);
+  return algo.Discover(relation);
+}
+
+}  // namespace hyfd

@@ -1,0 +1,82 @@
+#ifndef HYFD_CORE_HYFD_H_
+#define HYFD_CORE_HYFD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/sampler.h"
+#include "data/relation.h"
+#include "fd/fd_set.h"
+#include "pli/pli_builder.h"
+#include "util/memory_tracker.h"
+
+namespace hyfd {
+
+/// Tuning knobs of a HyFD run. The defaults reproduce the paper's setup:
+/// 1% efficiency threshold for both phases (§10.5), null == null (§10.1),
+/// cluster-windowing sampling, single thread, no memory cap.
+struct HyFdConfig {
+  NullSemantics null_semantics = NullSemantics::kNullEqualsNull;
+  /// The algorithm's only real parameter (paper Figure 8): a phase is
+  /// considered inefficient when its yield ratio crosses this value.
+  double efficiency_threshold = 0.01;
+  SamplingStrategy sampling_strategy = SamplingStrategy::kClusterWindowing;
+  /// Ablation switch: false turns Phase 1 off entirely, so the Validator
+  /// traverses the lattice from ∅ alone (TANE-like candidate growth with
+  /// direct validation). bench_ablation quantifies what sampling buys.
+  bool enable_sampling = true;
+  /// FDTree memory budget for the Guardian; 0 disables pruning.
+  size_t memory_limit_bytes = 0;
+  /// > 1 parallelizes the Validator's refinement checks (paper §10.4).
+  int num_threads = 1;
+  /// If set, the run charges its data structures here (Table 3 accounting).
+  MemoryTracker* memory_tracker = nullptr;
+};
+
+/// Counters and timings of a completed run.
+struct HyFdStats {
+  /// Switches from Phase 2 (validation) back into Phase 1 (sampling). The
+  /// paper observes three to eight on typical data (§3) — Figure 8 measures
+  /// this number against the efficiency threshold.
+  int phase_switches = 0;
+  size_t comparisons = 0;       ///< record pairs matched by the Sampler
+  size_t non_fds = 0;           ///< distinct agree sets in the negative cover
+  size_t validations = 0;       ///< FD candidates checked by the Validator
+  size_t num_fds = 0;           ///< minimal FDs in the result
+  int levels_validated = 0;
+  double preprocess_seconds = 0;
+  double sampling_seconds = 0;  ///< includes induction
+  double validation_seconds = 0;
+  /// -1 = complete result; otherwise the Guardian capped LHS size here.
+  int pruned_lhs_cap = -1;
+};
+
+/// The hybrid FD discovery algorithm (the paper's primary contribution).
+///
+/// Usage:
+///   HyFd algo;                          // default = paper configuration
+///   FDSet fds = algo.Discover(relation);
+///   const HyFdStats& stats = algo.stats();
+///
+/// Discover() returns all minimal, non-trivial functional dependencies of
+/// the relation (unless a memory cap forced pruning; see stats()).
+class HyFd {
+ public:
+  explicit HyFd(HyFdConfig config = {}) : config_(config) {}
+
+  FDSet Discover(const Relation& relation);
+
+  const HyFdStats& stats() const { return stats_; }
+  const HyFdConfig& config() const { return config_; }
+
+ private:
+  HyFdConfig config_;
+  HyFdStats stats_;
+};
+
+/// One-shot convenience wrapper.
+FDSet DiscoverFds(const Relation& relation, HyFdConfig config = {});
+
+}  // namespace hyfd
+
+#endif  // HYFD_CORE_HYFD_H_

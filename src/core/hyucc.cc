@@ -1,0 +1,160 @@
+#include "core/hyucc.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/preprocessor.h"
+#include "fd/fd_tree.h"
+#include "pli/pli.h"
+
+namespace hyfd {
+namespace {
+
+/// Candidate UCCs live in an FDTree with the fixed pseudo-RHS 0: a stored
+/// "LHS -> 0" means "LHS is a candidate minimal UCC". All of the tree's
+/// generalization machinery carries over unchanged.
+constexpr int kUccMarker = 0;
+
+/// Specializes the candidate tree with one non-unique set (an agree set):
+/// every candidate contained in it is not unique; extend minimally.
+void SpecializeUcc(FDTree* tree, const AttributeSet& agree) {
+  const int m = tree->num_attributes();
+  std::vector<AttributeSet> invalid = tree->GetFdAndGeneralizations(agree, kUccMarker);
+  for (const AttributeSet& candidate : invalid) {
+    tree->RemoveFd(candidate, kUccMarker);
+    for (int attr = 0; attr < m; ++attr) {
+      if (agree.Test(attr)) continue;  // still inside the agreeing pair
+      AttributeSet extended = candidate.With(attr);
+      if (tree->ContainsFdOrGeneralization(extended, kUccMarker)) continue;
+      tree->AddFd(extended, kUccMarker);
+    }
+  }
+}
+
+/// Checks whether `lhs` is unique on the data; on violation returns one
+/// offending record pair through `violation`.
+bool IsUnique(const PreprocessedData& data, const AttributeSet& lhs,
+              std::pair<RecordId, RecordId>* violation) {
+  if (lhs.Empty()) {
+    if (data.num_records < 2) return true;
+    *violation = {0, 1};
+    return false;
+  }
+  // Pivot on the attribute with the most (smallest) clusters.
+  int pivot = -1;
+  for (int attr = lhs.First(); attr != AttributeSet::kNpos;
+       attr = lhs.NextAfter(attr)) {
+    if (pivot == -1 || data.rank[static_cast<size_t>(attr)] <
+                           data.rank[static_cast<size_t>(pivot)]) {
+      pivot = attr;
+    }
+  }
+  std::vector<int> other;
+  for (int attr = lhs.First(); attr != AttributeSet::kNpos;
+       attr = lhs.NextAfter(attr)) {
+    if (attr != pivot) other.push_back(attr);
+  }
+  std::unordered_map<std::vector<ClusterId>, RecordId, ClusterVectorHash> seen;
+  std::vector<ClusterId> key(other.size());
+  for (const auto& cluster : data.plis[static_cast<size_t>(pivot)].clusters()) {
+    seen.clear();
+    for (RecordId r : cluster) {
+      const ClusterId* rec = data.records.Record(r);
+      bool unique = false;
+      for (size_t i = 0; i < other.size(); ++i) {
+        ClusterId c = rec[other[i]];
+        if (c == kUniqueCluster) {
+          unique = true;
+          break;
+        }
+        key[i] = c;
+      }
+      if (unique) continue;
+      auto [it, inserted] = seen.emplace(key, r);
+      if (!inserted) {
+        *violation = {it->second, r};
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<AttributeSet> HyUcc::Discover(const Relation& relation) {
+  stats_ = HyUccStats{};
+  PreprocessedData data = Preprocess(relation, config_.null_semantics);
+  const int m = data.num_attributes;
+
+  FDTree tree(m);
+  tree.AddFd(AttributeSet(m), kUccMarker);  // start from "∅ is unique"
+  Sampler sampler(&data, config_.efficiency_threshold, config_.sampling_strategy);
+
+  std::vector<std::pair<RecordId, RecordId>> suggestions;
+  int current_level = 0;
+  while (true) {
+    // ---- Phase 1: sample violations, specialize the candidate tree. ------
+    auto new_agree_sets = sampler.Run(suggestions);
+    suggestions.clear();
+    std::sort(new_agree_sets.begin(), new_agree_sets.end(),
+              [](const AttributeSet& a, const AttributeSet& b) {
+                return a.Count() > b.Count();
+              });
+    for (const AttributeSet& agree : new_agree_sets) {
+      SpecializeUcc(&tree, agree);
+    }
+
+    // ---- Phase 2: validate level-wise until done or inefficient. ---------
+    bool done = false;
+    while (true) {
+      auto level = tree.GetLevel(current_level);
+      if (level.empty()) {
+        done = true;
+        break;
+      }
+      size_t num_valid = 0;
+      std::vector<AttributeSet> invalid;
+      for (auto& entry : level) {
+        if (!entry.node->fds.Test(kUccMarker)) continue;
+        ++stats_.validations;
+        std::pair<RecordId, RecordId> violation;
+        if (IsUnique(data, entry.lhs, &violation)) {
+          ++num_valid;
+          continue;
+        }
+        entry.node->fds.Reset(kUccMarker);
+        invalid.push_back(entry.lhs);
+        suggestions.push_back(violation);
+      }
+      for (const AttributeSet& lhs : invalid) {
+        for (int attr = 0; attr < m; ++attr) {
+          if (lhs.Test(attr)) continue;
+          AttributeSet extended = lhs.With(attr);
+          if (tree.ContainsFdOrGeneralization(extended, kUccMarker)) continue;
+          tree.AddFd(extended, kUccMarker);
+        }
+      }
+      ++current_level;
+      if (static_cast<double>(invalid.size()) >
+          config_.efficiency_threshold * static_cast<double>(num_valid)) {
+        break;  // inefficient: go sample the violating pairs
+      }
+    }
+    if (done) break;
+    ++stats_.phase_switches;
+  }
+
+  stats_.comparisons = sampler.total_comparisons();
+  std::vector<AttributeSet> uccs;
+  for (const FD& fd : tree.ToFdSet()) uccs.push_back(fd.lhs);
+  std::sort(uccs.begin(), uccs.end(), [](const AttributeSet& a, const AttributeSet& b) {
+    int ca = a.Count(), cb = b.Count();
+    if (ca != cb) return ca < cb;
+    return a < b;
+  });
+  stats_.num_uccs = uccs.size();
+  return uccs;
+}
+
+}  // namespace hyfd

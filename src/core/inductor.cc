@@ -1,0 +1,46 @@
+#include "core/inductor.h"
+
+#include <algorithm>
+
+namespace hyfd {
+
+Inductor::Inductor(FDTree* tree) : tree_(tree) {}
+
+void Inductor::Update(std::vector<AttributeSet> new_non_fds) {
+  if (!initialized_) {
+    tree_->AddMostGeneralFds();
+    initialized_ = true;
+  }
+  // Longest agree sets first: their specializations prune the most
+  // generalization lookups for the shorter ones (Algorithm 3 line 1).
+  std::sort(new_non_fds.begin(), new_non_fds.end(),
+            [](const AttributeSet& a, const AttributeSet& b) {
+              return a.Count() > b.Count();
+            });
+  for (const AttributeSet& lhs : new_non_fds) {
+    // Every zero bit is the RHS of a violated FD lhs -> rhs.
+    AttributeSet rhss = lhs.Complement();
+    ForEachBit(rhss, [&](int rhs) { Specialize(lhs, rhs); });
+  }
+}
+
+void Inductor::Specialize(const AttributeSet& non_fd_lhs, int rhs) {
+  // All stored FDs X -> rhs with X ⊆ non_fd_lhs are invalid.
+  std::vector<AttributeSet> invalid_lhss =
+      tree_->GetFdAndGeneralizations(non_fd_lhs, rhs);
+  for (const AttributeSet& invalid_lhs : invalid_lhss) {
+    tree_->RemoveFd(invalid_lhs, rhs);
+    // Extend by any attribute outside the non-FD's agree set (an attribute
+    // inside it would leave the FD violated by the same record pair) and
+    // different from the RHS.
+    const int m = tree_->num_attributes();
+    for (int attr = 0; attr < m; ++attr) {
+      if (non_fd_lhs.Test(attr) || attr == rhs) continue;
+      AttributeSet new_lhs = invalid_lhs.With(attr);
+      if (tree_->ContainsFdOrGeneralization(new_lhs, rhs)) continue;
+      tree_->AddFd(new_lhs, rhs);
+    }
+  }
+}
+
+}  // namespace hyfd

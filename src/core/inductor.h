@@ -1,0 +1,38 @@
+#ifndef HYFD_CORE_INDUCTOR_H_
+#define HYFD_CORE_INDUCTOR_H_
+
+#include <vector>
+
+#include "fd/fd_tree.h"
+#include "util/attribute_set.h"
+
+namespace hyfd {
+
+/// HyFD's Inductor component (paper §7, Algorithm 3).
+///
+/// Converts non-FD agree sets from the Sampler into the candidate FDTree by
+/// successive specialization (FDEP-style): every FD in the tree that the
+/// non-FD invalidates is removed and replaced by all minimal, non-trivial,
+/// still-plausible specializations. The tree persists across calls, so each
+/// sampling round only folds in the *new* non-FDs.
+class Inductor {
+ public:
+  /// `tree` must outlive the Inductor; on first use it should be empty —
+  /// Update() initializes it with the most general FDs ∅ → A.
+  explicit Inductor(FDTree* tree);
+
+  /// Folds `new_non_fds` into the candidate tree. Sorting by descending
+  /// cardinality (longest agree sets first) keeps the tree small during
+  /// specialization (paper §7).
+  void Update(std::vector<AttributeSet> new_non_fds);
+
+ private:
+  void Specialize(const AttributeSet& non_fd_lhs, int rhs);
+
+  FDTree* tree_;
+  bool initialized_ = false;
+};
+
+}  // namespace hyfd
+
+#endif  // HYFD_CORE_INDUCTOR_H_

@@ -1,0 +1,34 @@
+#include "core/preprocessor.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace hyfd {
+
+size_t PreprocessedData::MemoryBytes() const {
+  size_t bytes = records.MemoryBytes();
+  for (const Pli& pli : plis) bytes += pli.MemoryBytes();
+  return bytes;
+}
+
+PreprocessedData Preprocess(const Relation& relation, NullSemantics nulls) {
+  PreprocessedData data;
+  data.num_records = relation.num_rows();
+  data.num_attributes = relation.num_columns();
+  data.plis = BuildAllColumnPlis(relation, nulls);
+  data.records = CompressedRecords(data.plis, data.num_records);
+
+  data.by_rank.resize(static_cast<size_t>(data.num_attributes));
+  std::iota(data.by_rank.begin(), data.by_rank.end(), 0);
+  std::stable_sort(data.by_rank.begin(), data.by_rank.end(), [&](int a, int b) {
+    return data.plis[static_cast<size_t>(a)].NumClusters() >
+           data.plis[static_cast<size_t>(b)].NumClusters();
+  });
+  data.rank.resize(static_cast<size_t>(data.num_attributes));
+  for (int pos = 0; pos < data.num_attributes; ++pos) {
+    data.rank[static_cast<size_t>(data.by_rank[static_cast<size_t>(pos)])] = pos;
+  }
+  return data;
+}
+
+}  // namespace hyfd

@@ -1,0 +1,44 @@
+#ifndef HYFD_CORE_PREPROCESSOR_H_
+#define HYFD_CORE_PREPROCESSOR_H_
+
+#include <vector>
+
+#include "data/relation.h"
+#include "pli/compressed_records.h"
+#include "pli/pli.h"
+#include "pli/pli_builder.h"
+
+namespace hyfd {
+
+/// Output of HyFD's Preprocessor component (paper §5): single-column PLIs,
+/// the PLI-compressed records, and the cluster-count ordering that drives
+/// both the Sampler's sort keys and the Validator's pivot choice.
+struct PreprocessedData {
+  /// π_A per attribute, in *schema* order.
+  std::vector<Pli> plis;
+  /// Dictionary-compressed records (row-major cluster ids).
+  CompressedRecords records;
+  /// Attributes sorted by descending NumClusters() — by_rank[0] is the
+  /// attribute whose PLI has the most (hence smallest) clusters.
+  std::vector<int> by_rank;
+  /// Inverse of by_rank: rank[attr] = position of attr in by_rank.
+  std::vector<int> rank;
+
+  size_t num_records = 0;
+  int num_attributes = 0;
+
+  /// Bytes held by PLIs + compressed records (Table 3 accounting).
+  size_t MemoryBytes() const;
+};
+
+/// Builds PLIs and compressed records for `relation`.
+///
+/// The paper sorts the PLI array itself; we keep PLIs in schema order and
+/// expose the sorted view through `by_rank`/`rank`, which spares the final
+/// result from attribute-index remapping.
+PreprocessedData Preprocess(const Relation& relation,
+                            NullSemantics nulls = NullSemantics::kNullEqualsNull);
+
+}  // namespace hyfd
+
+#endif  // HYFD_CORE_PREPROCESSOR_H_

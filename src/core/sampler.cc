@@ -1,0 +1,137 @@
+#include "core/sampler.h"
+
+#include <algorithm>
+
+namespace hyfd {
+
+Sampler::Sampler(const PreprocessedData* data, double efficiency_threshold,
+                 SamplingStrategy strategy)
+    : data_(data), strategy_(strategy), threshold_(efficiency_threshold) {}
+
+void Sampler::MatchPair(RecordId a, RecordId b,
+                        std::vector<AttributeSet>* new_non_fds) {
+  ++total_comparisons_;
+  AttributeSet agree = data_->records.Match(a, b);
+  auto [it, inserted] = non_fds_.insert(std::move(agree));
+  if (inserted) new_non_fds->push_back(*it);
+}
+
+void Sampler::InitializeClusterSortings() {
+  const int m = data_->num_attributes;
+  sorted_clusters_.resize(static_cast<size_t>(m));
+  efficiencies_.clear();
+  for (int attr = 0; attr < m; ++attr) {
+    // Sort each cluster of π_attr by the cluster ids of the neighbors in the
+    // cluster-count ranking: the left neighbor has more (smaller) clusters —
+    // a promising key — the right one breaks ties (paper Figure 3.1). Using
+    // different neighbors per attribute gives each record a different
+    // neighborhood in every sorting.
+    int p = data_->rank[static_cast<size_t>(attr)];
+    int left = data_->by_rank[static_cast<size_t>((p + m - 1) % m)];
+    int right = data_->by_rank[static_cast<size_t>((p + 1) % m)];
+    auto clusters = data_->plis[static_cast<size_t>(attr)].clusters();
+    for (auto& cluster : clusters) {
+      std::sort(cluster.begin(), cluster.end(), [&](RecordId a, RecordId b) {
+        ClusterId la = data_->records.Cluster(a, left);
+        ClusterId lb = data_->records.Cluster(b, left);
+        if (la != lb) return la < lb;
+        ClusterId ra = data_->records.Cluster(a, right);
+        ClusterId rb = data_->records.Cluster(b, right);
+        if (ra != rb) return ra < rb;
+        return a < b;
+      });
+    }
+    sorted_clusters_[static_cast<size_t>(attr)] = std::move(clusters);
+  }
+}
+
+void Sampler::RunWindow(Efficiency* eff, std::vector<AttributeSet>* new_non_fds) {
+  size_t new_results_before = new_non_fds->size();
+  size_t comps_before = total_comparisons_;
+  const auto& clusters = sorted_clusters_[static_cast<size_t>(eff->attribute)];
+  const size_t w = eff->window;
+  for (const auto& cluster : clusters) {
+    if (cluster.size() < w) continue;
+    for (size_t i = 0; i + w - 1 < cluster.size(); ++i) {
+      MatchPair(cluster[i], cluster[i + w - 1], new_non_fds);
+    }
+  }
+  size_t comps = total_comparisons_ - comps_before;
+  eff->comps += comps;
+  eff->results += new_non_fds->size() - new_results_before;
+  if (comps == 0) eff->exhausted = true;  // window outgrew all clusters
+}
+
+void Sampler::RunProgressive(std::vector<AttributeSet>* new_non_fds) {
+  while (true) {
+    Efficiency* best = nullptr;
+    for (auto& eff : efficiencies_) {
+      if (eff.exhausted) continue;
+      if (best == nullptr || eff.Eval() > best->Eval()) best = &eff;
+    }
+    if (best == nullptr || best->Eval() < threshold_) break;
+    ++best->window;
+    RunWindow(best, new_non_fds);
+  }
+}
+
+void Sampler::RunRandom(std::vector<AttributeSet>* new_non_fds) {
+  const size_t n = data_->num_records;
+  if (n < 2) return;
+  constexpr size_t kBatch = 1000;
+  std::uniform_int_distribution<RecordId> pick(0, static_cast<RecordId>(n - 1));
+  while (true) {
+    size_t new_before = new_non_fds->size();
+    for (size_t i = 0; i < kBatch; ++i) {
+      RecordId a = pick(rng_);
+      RecordId b = pick(rng_);
+      if (a == b) continue;
+      MatchPair(a, b, new_non_fds);
+    }
+    double efficiency =
+        static_cast<double>(new_non_fds->size() - new_before) / kBatch;
+    if (efficiency < threshold_) break;
+  }
+}
+
+std::vector<AttributeSet> Sampler::Run(
+    const std::vector<std::pair<RecordId, RecordId>>& suggestions) {
+  std::vector<AttributeSet> new_non_fds;
+  if (!initialized_) {
+    initialized_ = true;
+    if (strategy_ == SamplingStrategy::kClusterWindowing) {
+      InitializeClusterSortings();
+      // Initial efficiency measurement: window 2 over every attribute.
+      const int m = data_->num_attributes;
+      efficiencies_.resize(static_cast<size_t>(m));
+      for (int attr = 0; attr < m; ++attr) {
+        auto& eff = efficiencies_[static_cast<size_t>(attr)];
+        eff.attribute = attr;
+        eff.window = 2;
+        RunWindow(&eff, &new_non_fds);
+      }
+    }
+  } else {
+    // Re-entry from the validation phase: relax the efficiency bar
+    // (Algorithm 2 line 17) and replay the suggested violating pairs.
+    threshold_ /= 2.0;
+  }
+  for (const auto& [a, b] : suggestions) MatchPair(a, b, &new_non_fds);
+
+  if (strategy_ == SamplingStrategy::kClusterWindowing) {
+    RunProgressive(&new_non_fds);
+  } else {
+    RunRandom(&new_non_fds);
+  }
+  return new_non_fds;
+}
+
+size_t Sampler::NegativeCoverBytes() const {
+  size_t bytes = 0;
+  for (const auto& s : non_fds_) bytes += sizeof(AttributeSet) + s.MemoryBytes();
+  // Rough accounting of the hash-set buckets.
+  bytes += non_fds_.bucket_count() * sizeof(void*);
+  return bytes;
+}
+
+}  // namespace hyfd

@@ -1,0 +1,92 @@
+#ifndef HYFD_CORE_SAMPLER_H_
+#define HYFD_CORE_SAMPLER_H_
+
+#include <cstdint>
+#include <random>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/preprocessor.h"
+#include "util/attribute_set.h"
+
+namespace hyfd {
+
+/// Pair-selection strategy of the Sampler. The paper's technique is cluster
+/// windowing; random pair sampling is kept as an ablation baseline
+/// (bench_ablation compares the two).
+enum class SamplingStrategy {
+  kClusterWindowing,
+  kRandomPairs,
+};
+
+/// HyFD's Sampler component (paper §6, Algorithm 2).
+///
+/// Compares carefully chosen record pairs on the compressed records and
+/// collects their agree sets as non-FDs. Pairs are drawn per attribute by
+/// sliding ever larger windows over that attribute's PLI clusters (sorted by
+/// neighboring attributes' cluster ids), governed by a progressive
+/// efficiency ranking. Each call to Run() is one sampling phase; the
+/// efficiency threshold halves on every re-entry.
+class Sampler {
+ public:
+  Sampler(const PreprocessedData* data, double efficiency_threshold,
+          SamplingStrategy strategy = SamplingStrategy::kClusterWindowing);
+
+  /// Runs one sampling phase. `suggestions` are record pairs the Validator
+  /// saw violating a candidate (paper: comparisonSuggestions); they are
+  /// matched first. Returns the non-FD agree sets newly discovered in this
+  /// phase.
+  std::vector<AttributeSet> Run(
+      const std::vector<std::pair<RecordId, RecordId>>& suggestions);
+
+  size_t total_comparisons() const { return total_comparisons_; }
+  size_t num_non_fds() const { return non_fds_.size(); }
+  double current_threshold() const { return threshold_; }
+
+  /// Bytes held by the negative cover (Table 3 accounting).
+  size_t NegativeCoverBytes() const;
+
+ private:
+  struct Efficiency {
+    int attribute = 0;
+    size_t window = 2;
+    size_t comps = 0;
+    size_t results = 0;
+    bool exhausted = false;  ///< window outgrew every cluster
+
+    double Eval() const {
+      if (exhausted) return 0.0;
+      if (comps == 0) return 0.0;
+      return static_cast<double>(results) / static_cast<double>(comps);
+    }
+  };
+
+  /// Compares records `a`,`b`; records a new non-FD if the agree set is new.
+  void MatchPair(RecordId a, RecordId b, std::vector<AttributeSet>* new_non_fds);
+
+  /// Slides the current window of `eff` over its attribute's sorted clusters
+  /// (Algorithm 2, runWindow).
+  void RunWindow(Efficiency* eff, std::vector<AttributeSet>* new_non_fds);
+
+  void InitializeClusterSortings();
+  void RunProgressive(std::vector<AttributeSet>* new_non_fds);
+  void RunRandom(std::vector<AttributeSet>* new_non_fds);
+
+  const PreprocessedData* data_;
+  SamplingStrategy strategy_;
+  double threshold_;
+  bool initialized_ = false;
+
+  std::unordered_set<AttributeSet> non_fds_;
+  /// Per attribute: that PLI's clusters with records sorted by the
+  /// neighbor-attribute keys (paper Figure 3.1).
+  std::vector<std::vector<std::vector<RecordId>>> sorted_clusters_;
+  std::vector<Efficiency> efficiencies_;
+  size_t total_comparisons_ = 0;
+  std::mt19937_64 rng_{0x5eed5eedULL};
+};
+
+}  // namespace hyfd
+
+#endif  // HYFD_CORE_SAMPLER_H_

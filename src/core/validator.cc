@@ -1,0 +1,220 @@
+#include "core/validator.h"
+
+#include <unordered_map>
+
+namespace hyfd {
+
+Validator::Validator(const PreprocessedData* data, FDTree* tree,
+                     double efficiency_threshold, ThreadPool* pool)
+    : data_(data), tree_(tree), threshold_(efficiency_threshold), pool_(pool) {}
+
+Validator::RefineOutcome Validator::Refines(const AttributeSet& lhs,
+                                            const AttributeSet& rhss) const {
+  RefineOutcome out;
+  out.valid_rhss = AttributeSet(data_->num_attributes);
+
+  if (lhs.Empty()) {
+    // ∅ → A holds iff column A is constant.
+    ForEachBit(rhss, [&](int rhs) {
+      if (data_->plis[static_cast<size_t>(rhs)].IsConstant()) {
+        out.valid_rhss.Set(rhs);
+      }
+    });
+    return out;
+  }
+
+  // Pivot: the LHS attribute whose PLI has the most (smallest) clusters —
+  // minimizes the records we group (the paper's "first" attribute after the
+  // Preprocessor's sort).
+  int pivot = -1;
+  for (int attr = lhs.First(); attr != AttributeSet::kNpos;
+       attr = lhs.NextAfter(attr)) {
+    if (pivot == -1 || data_->rank[static_cast<size_t>(attr)] <
+                           data_->rank[static_cast<size_t>(pivot)]) {
+      pivot = attr;
+    }
+  }
+  std::vector<int> other_lhs;
+  for (int attr = lhs.First(); attr != AttributeSet::kNpos;
+       attr = lhs.NextAfter(attr)) {
+    if (attr != pivot) other_lhs.push_back(attr);
+  }
+  const std::vector<int> rhs_attrs = rhss.ToIndexes();
+  const size_t num_rhs = rhs_attrs.size();
+
+  // alive[j]: rhs_attrs[j] not yet invalidated.
+  std::vector<uint8_t> alive(num_rhs, 1);
+  size_t num_alive = num_rhs;
+  if (num_alive == 0) return out;
+
+  struct GroupInfo {
+    RecordId representative;
+    uint32_t rhs_offset;  ///< index into rhs_storage
+  };
+  // RHS cluster ids of all groups, stored contiguously to avoid per-group
+  // allocations (this function runs once per FDTree node, per level).
+  std::vector<ClusterId> rhs_storage;
+
+  // Compares record `r` against its group (creating the group on first
+  // sight); returns false when every RHS died.
+  auto probe_group = [&](auto& map, const auto& map_key, RecordId r,
+                         const ClusterId* rec) {
+    auto [it, inserted] = map.try_emplace(map_key);
+    GroupInfo& group = it->second;
+    if (inserted) {
+      group.representative = r;
+      group.rhs_offset = static_cast<uint32_t>(rhs_storage.size());
+      for (size_t j = 0; j < num_rhs; ++j) {
+        rhs_storage.push_back(rec[rhs_attrs[j]]);
+      }
+      return true;
+    }
+    // A second record with the same LHS clusters: every still-alive RHS
+    // must agree on a non-unique cluster, else the FD is violated.
+    const ClusterId* stored = &rhs_storage[group.rhs_offset];
+    for (size_t j = 0; j < num_rhs; ++j) {
+      if (!alive[j]) continue;
+      ClusterId current = rec[rhs_attrs[j]];
+      if (stored[j] == kUniqueCluster || stored[j] != current) {
+        alive[j] = 0;
+        --num_alive;
+        out.suggestions.emplace_back(group.representative, r);
+      }
+    }
+    return num_alive != 0;
+  };
+
+  const auto& pivot_clusters = data_->plis[static_cast<size_t>(pivot)].clusters();
+
+  if (other_lhs.empty()) {
+    // Single-attribute LHS: each pivot cluster IS the group; compare every
+    // record against the cluster's first (no hashing at all).
+    for (const auto& cluster : pivot_clusters) {
+      const ClusterId* first = data_->records.Record(cluster[0]);
+      for (size_t i = 1; i < cluster.size(); ++i) {
+        const ClusterId* rec = data_->records.Record(cluster[i]);
+        for (size_t j = 0; j < num_rhs; ++j) {
+          if (!alive[j]) continue;
+          ClusterId stored = first[rhs_attrs[j]];
+          if (stored == kUniqueCluster || stored != rec[rhs_attrs[j]]) {
+            alive[j] = 0;
+            --num_alive;
+            out.suggestions.emplace_back(cluster[0], cluster[i]);
+          }
+        }
+        if (num_alive == 0) return out;
+      }
+    }
+  } else if (other_lhs.size() == 1) {
+    // Two-attribute LHS: group by a single cluster id (cheap integer map).
+    const int other = other_lhs[0];
+    std::unordered_map<ClusterId, GroupInfo> groups;
+    for (const auto& cluster : pivot_clusters) {
+      groups.clear();
+      rhs_storage.clear();
+      for (RecordId r : cluster) {
+        const ClusterId* rec = data_->records.Record(r);
+        ClusterId c = rec[other];
+        if (c == kUniqueCluster) continue;  // unique in LHS: cannot violate
+        if (!probe_group(groups, c, r, rec)) return out;
+      }
+    }
+  } else {
+    // General case: group by the vector of remaining LHS cluster ids.
+    std::unordered_map<std::vector<ClusterId>, GroupInfo, ClusterVectorHash>
+        groups;
+    std::vector<ClusterId> key(other_lhs.size());
+    for (const auto& cluster : pivot_clusters) {
+      groups.clear();
+      rhs_storage.clear();
+      for (RecordId r : cluster) {
+        const ClusterId* rec = data_->records.Record(r);
+        bool unique = false;
+        for (size_t i = 0; i < other_lhs.size(); ++i) {
+          ClusterId c = rec[other_lhs[i]];
+          if (c == kUniqueCluster) {
+            unique = true;  // unique in some LHS attribute: cannot violate
+            break;
+          }
+          key[i] = c;
+        }
+        if (unique) continue;
+        if (!probe_group(groups, key, r, rec)) return out;
+      }
+    }
+  }
+
+  for (size_t j = 0; j < num_rhs; ++j) {
+    if (alive[j]) out.valid_rhss.Set(rhs_attrs[j]);
+  }
+  return out;
+}
+
+ValidatorResult Validator::Run() {
+  ValidatorResult result;
+  const int m = data_->num_attributes;
+
+  while (true) {
+    std::vector<FDTree::LevelEntry> level = tree_->GetLevel(current_level_number_);
+    if (level.empty()) {
+      result.done = true;
+      return result;
+    }
+
+    // --- Validate all candidates on this level (possibly in parallel). ----
+    std::vector<RefineOutcome> outcomes(level.size());
+    auto validate_one = [&](size_t i) {
+      const auto& entry = level[i];
+      if (entry.node->fds.Empty()) return;
+      outcomes[i] = Refines(entry.lhs, entry.node->fds);
+    };
+    if (pool_ != nullptr && level.size() > 1) {
+      pool_->ParallelFor(level.size(), validate_one);
+    } else {
+      for (size_t i = 0; i < level.size(); ++i) validate_one(i);
+    }
+
+    // --- Merge: update nodes, collect invalid FDs and suggestions. --------
+    size_t num_valid = 0;
+    std::vector<FD> invalid_fds;
+    for (size_t i = 0; i < level.size(); ++i) {
+      auto& entry = level[i];
+      if (entry.node->fds.Empty()) continue;
+      total_validations_ += static_cast<size_t>(entry.node->fds.Count());
+      AttributeSet invalid_rhss = entry.node->fds;
+      invalid_rhss.AndNot(outcomes[i].valid_rhss);
+      num_valid += static_cast<size_t>(outcomes[i].valid_rhss.Count());
+      entry.node->fds = outcomes[i].valid_rhss;
+      ForEachBit(invalid_rhss,
+                 [&](int rhs) { invalid_fds.emplace_back(entry.lhs, rhs); });
+      for (auto& suggestion : outcomes[i].suggestions) {
+        result.comparison_suggestions.push_back(suggestion);
+      }
+    }
+
+    // --- Specialize the invalid FDs (Algorithm 4, lines 21-33). -----------
+    for (const FD& fd : invalid_fds) {
+      for (int attr = 0; attr < m; ++attr) {
+        if (fd.lhs.Test(attr) || attr == fd.rhs) continue;
+        // Minimality 1: if lhs → attr is (already validated as) valid, the
+        // closure of lhs ∪ {attr} equals the closure of lhs, so the
+        // specialization would be invalid too.
+        if (tree_->ContainsFdOrGeneralization(fd.lhs, attr)) continue;
+        AttributeSet new_lhs = fd.lhs.With(attr);
+        // Minimality 2: skip if a generalization (or the FD itself) exists.
+        if (tree_->ContainsFdOrGeneralization(new_lhs, fd.rhs)) continue;
+        tree_->AddFd(new_lhs, fd.rhs);
+      }
+    }
+
+    ++current_level_number_;
+
+    // --- Phase-switch test (Algorithm 4, line 36). -------------------------
+    if (static_cast<double>(invalid_fds.size()) >
+        threshold_ * static_cast<double>(num_valid)) {
+      return result;  // validation inefficient: back to sampling
+    }
+  }
+}
+
+}  // namespace hyfd

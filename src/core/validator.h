@@ -1,0 +1,65 @@
+#ifndef HYFD_CORE_VALIDATOR_H_
+#define HYFD_CORE_VALIDATOR_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/preprocessor.h"
+#include "fd/fd_tree.h"
+#include "util/attribute_set.h"
+#include "util/thread_pool.h"
+
+namespace hyfd {
+
+/// Outcome of one validation phase.
+struct ValidatorResult {
+  /// True iff every candidate in the tree has been validated — the whole
+  /// HyFD run is finished.
+  bool done = false;
+  /// Record pairs that violated some candidate; the Sampler matches them
+  /// first in the next sampling phase (paper: comparisonSuggestions).
+  std::vector<std::pair<RecordId, RecordId>> comparison_suggestions;
+};
+
+/// HyFD's Validator component (paper §8, Algorithm 4).
+///
+/// Traverses the candidate FDTree level-wise bottom-up, validating each
+/// node's FDs against the full dataset with *direct* refinement checks on
+/// the single-column PLIs and compressed records — no hierarchical PLI
+/// intersections (paper Figure 5). Invalid FDs are replaced by their
+/// minimal, non-trivial specializations. If a level produces more than
+/// `efficiency_threshold` × (valid FDs) invalid FDs, the Validator pauses
+/// and hands control back to the sampling phase.
+class Validator {
+ public:
+  /// `data` and `tree` must outlive the Validator. A non-null `pool`
+  /// parallelizes the per-node refinement checks (paper §10.4).
+  Validator(const PreprocessedData* data, FDTree* tree,
+            double efficiency_threshold, ThreadPool* pool = nullptr);
+
+  /// Continues the level-wise traversal from where it last stopped.
+  ValidatorResult Run();
+
+  size_t total_validations() const { return total_validations_; }
+  int current_level() const { return current_level_number_; }
+
+ private:
+  struct RefineOutcome {
+    AttributeSet valid_rhss;
+    std::vector<std::pair<RecordId, RecordId>> suggestions;
+  };
+
+  /// Simultaneously checks lhs → rhs for every rhs in `rhss` (Figure 5).
+  RefineOutcome Refines(const AttributeSet& lhs, const AttributeSet& rhss) const;
+
+  const PreprocessedData* data_;
+  FDTree* tree_;
+  double threshold_;
+  ThreadPool* pool_;
+  int current_level_number_ = 0;
+  size_t total_validations_ = 0;
+};
+
+}  // namespace hyfd
+
+#endif  // HYFD_CORE_VALIDATOR_H_

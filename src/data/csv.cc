@@ -1,0 +1,193 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace hyfd {
+namespace {
+
+struct RawField {
+  std::string text;
+  bool quoted = false;
+};
+
+/// Splits `text` into records of fields, honoring quotes.
+std::vector<std::vector<RawField>> Tokenize(const std::string& text,
+                                            const CsvOptions& opt) {
+  std::vector<std::vector<RawField>> records;
+  std::vector<RawField> record;
+  RawField field;
+  bool in_quotes = false;
+  bool any_char_in_record = false;
+
+  size_t i = 0;
+  const size_t n = text.size();
+  auto end_field = [&] {
+    record.push_back(std::move(field));
+    field = RawField{};
+  };
+  auto end_record = [&] {
+    end_field();
+    records.push_back(std::move(record));
+    record.clear();
+    any_char_in_record = false;
+  };
+
+  while (i < n) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == opt.quote) {
+        if (i + 1 < n && text[i + 1] == opt.quote) {  // escaped quote
+          field.text += opt.quote;
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      field.text += c;
+      ++i;
+      continue;
+    }
+    if (c == opt.quote && field.text.empty() && !field.quoted) {
+      in_quotes = true;
+      field.quoted = true;
+      any_char_in_record = true;
+      ++i;
+      continue;
+    }
+    if (c == opt.delimiter) {
+      end_field();
+      any_char_in_record = true;
+      ++i;
+      continue;
+    }
+    if (c == '\r') {  // swallow; \r\n handled by \n branch
+      ++i;
+      any_char_in_record = true;
+      continue;
+    }
+    if (c == '\n') {
+      if (!record.empty() || any_char_in_record || !field.text.empty() ||
+          field.quoted) {
+        end_record();
+      }
+      ++i;
+      continue;
+    }
+    field.text += c;
+    any_char_in_record = true;
+    ++i;
+  }
+  if (in_quotes) throw std::runtime_error("csv: unterminated quoted field");
+  if (!record.empty() || !field.text.empty() || field.quoted ||
+      any_char_in_record) {
+    end_record();
+  }
+  return records;
+}
+
+}  // namespace
+
+Relation ReadCsvString(const std::string& text, const CsvOptions& opt) {
+  auto records = Tokenize(text, opt);
+  if (records.empty()) return Relation{};
+
+  size_t first_data = 0;
+  Schema schema;
+  if (opt.has_header) {
+    std::vector<std::string> names;
+    names.reserve(records[0].size());
+    for (auto& f : records[0]) names.push_back(std::move(f.text));
+    schema = Schema(std::move(names));
+    first_data = 1;
+  } else {
+    schema = Schema::Generic(static_cast<int>(records[0].size()));
+  }
+
+  Relation relation(schema);
+  std::vector<std::optional<std::string>> row;
+  for (size_t r = first_data; r < records.size(); ++r) {
+    if (static_cast<int>(records[r].size()) != schema.num_columns()) {
+      throw std::runtime_error("csv: row " + std::to_string(r) + " has " +
+                               std::to_string(records[r].size()) +
+                               " fields, expected " +
+                               std::to_string(schema.num_columns()));
+    }
+    row.clear();
+    for (auto& f : records[r]) {
+      if (!f.quoted && f.text == opt.null_token) {
+        row.emplace_back(std::nullopt);
+      } else {
+        row.emplace_back(std::move(f.text));
+      }
+    }
+    relation.AppendRow(row);
+  }
+  return relation;
+}
+
+Relation ReadCsvFile(const std::string& path, const CsvOptions& opt) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("csv: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ReadCsvString(buf.str(), opt);
+}
+
+namespace {
+
+void WriteField(std::ostream& os, const std::string& value, const CsvOptions& opt) {
+  bool needs_quotes = value.find(opt.delimiter) != std::string::npos ||
+                      value.find(opt.quote) != std::string::npos ||
+                      value.find('\n') != std::string::npos ||
+                      value.find('\r') != std::string::npos ||
+                      (!opt.null_token.empty() && value == opt.null_token) ||
+                      (opt.null_token.empty() && value.empty());
+  if (!needs_quotes) {
+    os << value;
+    return;
+  }
+  os << opt.quote;
+  for (char c : value) {
+    if (c == opt.quote) os << opt.quote;
+    os << c;
+  }
+  os << opt.quote;
+}
+
+}  // namespace
+
+std::string WriteCsvString(const Relation& relation, const CsvOptions& opt) {
+  std::ostringstream os;
+  for (int c = 0; c < relation.num_columns(); ++c) {
+    if (c > 0) os << opt.delimiter;
+    WriteField(os, relation.schema().name(c), opt);
+  }
+  os << '\n';
+  for (size_t r = 0; r < relation.num_rows(); ++r) {
+    for (int c = 0; c < relation.num_columns(); ++c) {
+      if (c > 0) os << opt.delimiter;
+      if (relation.IsNull(r, c)) {
+        os << opt.null_token;
+      } else {
+        WriteField(os, relation.Value(r, c), opt);
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void WriteCsvFile(const Relation& relation, const std::string& path,
+                  const CsvOptions& opt) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("csv: cannot write " + path);
+  out << WriteCsvString(relation, opt);
+}
+
+}  // namespace hyfd

@@ -1,0 +1,43 @@
+#ifndef HYFD_DATA_CSV_H_
+#define HYFD_DATA_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "data/relation.h"
+
+namespace hyfd {
+
+/// Options for the CSV reader/writer.
+///
+/// The reader implements the RFC-4180 dialect (double-quoted fields, doubled
+/// quotes as escapes, embedded delimiters/newlines inside quotes) plus the
+/// configuration knobs data-profiling inputs commonly need.
+struct CsvOptions {
+  char delimiter = ',';
+  char quote = '"';
+  /// If true, the first record provides the column names; otherwise generic
+  /// names A, B, C, ... are assigned.
+  bool has_header = true;
+  /// Unquoted fields equal to this token are parsed as NULL. The empty string
+  /// (default) means empty unquoted fields are NULL.
+  std::string null_token;
+};
+
+/// Parses a CSV document from a string. Throws std::runtime_error on
+/// structurally invalid input (unterminated quote, ragged rows).
+Relation ReadCsvString(const std::string& text, const CsvOptions& options = {});
+
+/// Parses a CSV file from disk. Throws std::runtime_error if unreadable.
+Relation ReadCsvFile(const std::string& path, const CsvOptions& options = {});
+
+/// Serializes `relation` as CSV (with header). NULLs become the null token.
+std::string WriteCsvString(const Relation& relation, const CsvOptions& options = {});
+
+/// Writes `relation` to `path`.
+void WriteCsvFile(const Relation& relation, const std::string& path,
+                  const CsvOptions& options = {});
+
+}  // namespace hyfd
+
+#endif  // HYFD_DATA_CSV_H_

@@ -1,0 +1,170 @@
+#include "data/datasets.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "data/generators.h"
+
+namespace hyfd {
+namespace {
+
+/// Column-mix family a dataset stand-in is generated from.
+enum class Family {
+  kUciCategorical,  ///< few columns, small categorical domains (iris, chess, ...)
+  kMixed,           ///< keys + categorical + correlated columns (adult, ncvoter)
+  kWideSparse,      ///< many low-cardinality columns with NULLs (plista, uniprot)
+  kRandom,          ///< uniform random cells (fd-reduced)
+};
+
+struct Entry {
+  DatasetSpec spec;
+  Family family;
+  uint64_t seed;
+};
+
+const std::vector<Entry>& Registry() {
+  static const auto* entries = new std::vector<Entry>{
+      // ---- Table 1 datasets ------------------------------------------------
+      {{"iris", 5, 150, 150, 4}, Family::kUciCategorical, 101},
+      {{"balance-scale", 5, 625, 625, 1}, Family::kUciCategorical, 102},
+      {{"chess", 7, 28056, 28056, 1}, Family::kUciCategorical, 103},
+      {{"abalone", 9, 4177, 4177, 137}, Family::kUciCategorical, 104},
+      {{"nursery", 9, 12960, 12960, 1}, Family::kUciCategorical, 105},
+      {{"breast-cancer", 11, 699, 699, 46}, Family::kUciCategorical, 106},
+      {{"bridges", 13, 108, 108, 142}, Family::kUciCategorical, 107},
+      {{"echocardiogram", 13, 132, 132, 527}, Family::kUciCategorical, 108},
+      {{"adult", 14, 48842, 48842, 78}, Family::kMixed, 109},
+      {{"letter", 17, 20000, 20000, 61}, Family::kUciCategorical, 110},
+      {{"ncvoter", 19, 1000, 1000, 758}, Family::kMixed, 111},
+      {{"hepatitis", 20, 155, 155, 8250}, Family::kUciCategorical, 112},
+      {{"horse", 27, 368, 368, 128727}, Family::kWideSparse, 113},
+      {{"fd-reduced-30", 30, 250000, 30000, 89571}, Family::kRandom, 114},
+      {{"plista", 63, 1000, 1000, 178152}, Family::kWideSparse, 115},
+      {{"flight", 109, 1000, 1000, 982631}, Family::kWideSparse, 116},
+      {{"uniprot", 223, 1000, 1000, 0}, Family::kWideSparse, 117},
+      // ---- Table 2 (large) datasets ---------------------------------------
+      {{"lineitem", 16, 6000000, 60000, 4000}, Family::kMixed, 118},
+      {{"poly-seq", 13, 17000000, 80000, 68}, Family::kMixed, 119},
+      {{"atom-site", 31, 27000000, 8000, 10000}, Family::kMixed, 120},
+      {{"zbc00dt", 35, 3000000, 5000, 211}, Family::kMixed, 121},
+      {{"iloa", 48, 45000000, 5000, 16000}, Family::kMixed, 122},
+      {{"ce4hi01", 65, 2000000, 10000, 2000}, Family::kWideSparse, 123},
+      {{"ncvoter-statewide", 71, 1000000, 10000, 5000000}, Family::kMixed, 124},
+      {{"cd", 107, 10000, 2000, 36000}, Family::kWideSparse, 125},
+  };
+  return *entries;
+}
+
+ColumnSpec ProfileColumn(Family family, int c, size_t rows) {
+  auto low = [&](uint64_t k) { return ColumnSpec{.cardinality = k}; };
+  switch (family) {
+    case Family::kUciCategorical: {
+      // Small categorical domains plus one correlated column per cycle.
+      switch (c % 5) {
+        case 0:
+          return low(2 + static_cast<uint64_t>(c) % 4);
+        case 1:
+          return low(5 + static_cast<uint64_t>(c) % 7);
+        case 2:
+          return ColumnSpec{.cardinality = 12,
+                            .distribution = Distribution::kZipf};
+        case 3:
+          return low(std::max<uint64_t>(3, rows / 40));
+        default:
+          return ColumnSpec{.cardinality = 6, .sources = {c - 2}};
+      }
+    }
+    case Family::kMixed: {
+      switch (c % 6) {
+        case 0:
+          // First column is identifier-like but collides occasionally
+          // (voter ids repeat across snapshots); later cycle-0 columns are
+          // mid-cardinality attributes.
+          return c == 0 ? ColumnSpec{.cardinality =
+                                         4 * std::max<uint64_t>(rows, 1),
+                                     .null_rate = 0.01}
+                        : low(std::max<uint64_t>(8, rows / 50));
+        case 1:
+          return ColumnSpec{.cardinality = 200,
+                            .distribution = Distribution::kZipf};
+        case 2:
+          return ColumnSpec{.cardinality = 150, .sources = {c - 1}};
+        case 3:
+          return low(40 + static_cast<uint64_t>(c) % 60);
+        case 4:
+          return low(std::max<uint64_t>(10, rows / 20));
+        default:
+          return ColumnSpec{.cardinality = 100000, .sources = {c - 3, c - 1}};
+      }
+    }
+    case Family::kWideSparse: {
+      // Wide real-world data (uniprot, plista, flight) is dominated by
+      // high-cardinality, NULL-heavy columns; keeping generated domains
+      // large keeps the minimal-FD border low in the lattice, like the
+      // originals.
+      switch (c % 6) {
+        case 0:
+          // Identifier-like: almost unique, but rare collisions and NULLs
+          // keep it from being a pure key (pure keys would hand the lattice
+          // algorithms their strongest pruning, which real uniprot/plista
+          // data does not).
+          return ColumnSpec{.cardinality = 4 * std::max<uint64_t>(rows, 1),
+                            .null_rate = 0.02};
+        case 1:
+          return ColumnSpec{.cardinality = std::max<uint64_t>(30, rows / 2),
+                            .null_rate = 0.05};
+        case 2:
+          return ColumnSpec{.cardinality = 200,
+                            .distribution = Distribution::kZipf,
+                            .null_rate = 0.05};
+        case 3:
+          return ColumnSpec{.cardinality = 5000, .sources = {c - 2}};
+        case 4:
+          return ColumnSpec{.cardinality = std::max<uint64_t>(50, rows),
+                            .null_rate = 0.1};
+        default:
+          return ColumnSpec{.cardinality = 25, .null_rate = 0.3};
+      }
+    }
+    case Family::kRandom:
+      return ColumnSpec{.cardinality = 1000};
+  }
+  return ColumnSpec{.cardinality = 10};
+}
+
+}  // namespace
+
+const std::vector<DatasetSpec>& PaperDatasets() {
+  static const auto* specs = [] {
+    auto* v = new std::vector<DatasetSpec>();
+    for (const auto& e : Registry()) v->push_back(e.spec);
+    return v;
+  }();
+  return *specs;
+}
+
+const DatasetSpec& FindDataset(const std::string& name) {
+  for (const auto& e : Registry()) {
+    if (e.spec.name == name) return e.spec;
+  }
+  throw std::out_of_range("unknown dataset: " + name);
+}
+
+Relation MakeDataset(const std::string& name, size_t rows, int columns) {
+  for (const auto& e : Registry()) {
+    if (e.spec.name != name) continue;
+    if (rows == 0) rows = e.spec.default_rows;
+    if (columns == 0) columns = e.spec.columns;
+    GeneratorConfig config;
+    config.rows = rows;
+    config.seed = e.seed;
+    config.columns.reserve(static_cast<size_t>(columns));
+    for (int c = 0; c < columns; ++c) {
+      config.columns.push_back(ProfileColumn(e.family, c, rows));
+    }
+    return Generate(config);
+  }
+  throw std::out_of_range("unknown dataset: " + name);
+}
+
+}  // namespace hyfd

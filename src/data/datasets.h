@@ -1,0 +1,41 @@
+#ifndef HYFD_DATA_DATASETS_H_
+#define HYFD_DATA_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/relation.h"
+
+namespace hyfd {
+
+/// A named stand-in for one of the paper's evaluation datasets.
+///
+/// The paper evaluates on real-world data (UCI sets, ncvoter, uniprot,
+/// plista, ...) that is not shipped here. Each registry entry records the
+/// original shape (columns, rows) and a deterministic generator recipe that
+/// mimics the dataset's *profile*: mix of key-like / high- / low-cardinality
+/// columns, correlated (FD-planting) columns, and NULL rate. See DESIGN.md §3
+/// for why this preserves the benchmark's behaviour.
+struct DatasetSpec {
+  std::string name;
+  int columns = 0;
+  size_t paper_rows = 0;   ///< Row count the paper used.
+  size_t default_rows = 0; ///< Scaled row count we run by default.
+  size_t paper_fds = 0;    ///< FD count the paper reports (0 = not reported).
+};
+
+/// All Table 1 dataset stand-ins, in the paper's order.
+const std::vector<DatasetSpec>& PaperDatasets();
+
+/// Looks up a spec by name; throws std::out_of_range for unknown names.
+const DatasetSpec& FindDataset(const std::string& name);
+
+/// Materializes a dataset stand-in. `rows == 0` uses spec.default_rows;
+/// `columns == 0` uses spec.columns. Larger values than the spec's are
+/// allowed for scaling experiments (extra columns repeat the profile).
+Relation MakeDataset(const std::string& name, size_t rows = 0, int columns = 0);
+
+}  // namespace hyfd
+
+#endif  // HYFD_DATA_DATASETS_H_

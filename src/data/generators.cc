@@ -1,0 +1,152 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <random>
+#include <stdexcept>
+#include <string>
+
+namespace hyfd {
+namespace {
+
+uint64_t Mix(uint64_t x) {
+  // splitmix64 finalizer: turns source-value tuples into derived values.
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Sampler for Zipf(s) over {0, ..., n-1} via inverse-CDF on a precomputed
+/// cumulative table. n is at most a few thousand in our configs.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double s) : cdf_(n) {
+    double sum = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = sum;
+    }
+    for (auto& c : cdf_) c /= sum;
+  }
+
+  uint64_t Sample(std::mt19937_64& rng) const {
+    double u = std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<uint64_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+std::string ValueName(int col, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "c%d_%llu", col,
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+Relation Generate(const GeneratorConfig& config) {
+  const int num_cols = static_cast<int>(config.columns.size());
+  Relation relation{Schema::Generic(num_cols)};
+  relation.Resize(config.rows);
+
+  // Numeric codes per column; derived columns read their sources' codes.
+  std::vector<std::vector<uint64_t>> codes(
+      static_cast<size_t>(num_cols), std::vector<uint64_t>(config.rows, 0));
+
+  for (int c = 0; c < num_cols; ++c) {
+    const ColumnSpec& spec = config.columns[static_cast<size_t>(c)];
+    std::mt19937_64 rng(config.seed * 0x9e3779b9u + static_cast<uint64_t>(c));
+    std::unique_ptr<ZipfSampler> zipf;
+    if (spec.sources.empty() && spec.distribution == Distribution::kZipf &&
+        spec.cardinality > 0) {
+      zipf = std::make_unique<ZipfSampler>(spec.cardinality, 1.1);
+    }
+    std::uniform_real_distribution<double> null_draw(0.0, 1.0);
+    for (size_t r = 0; r < config.rows; ++r) {
+      uint64_t v;
+      if (!spec.sources.empty()) {
+        uint64_t h = 0x51ed270b0a1c6d3full + static_cast<uint64_t>(c);
+        for (int s : spec.sources) {
+          if (s < 0 || s >= c) {
+            throw std::invalid_argument("generator: bad derived source column");
+          }
+          h = Mix(h ^ codes[static_cast<size_t>(s)][r]);
+        }
+        v = spec.cardinality > 0 ? h % spec.cardinality : h;
+      } else if (spec.cardinality == 0) {
+        v = r;  // key column: unique value per row
+      } else if (zipf) {
+        v = zipf->Sample(rng);
+      } else {
+        v = std::uniform_int_distribution<uint64_t>(0, spec.cardinality - 1)(rng);
+      }
+      codes[static_cast<size_t>(c)][r] = v;
+      if (spec.null_rate > 0.0 && null_draw(rng) < spec.null_rate) {
+        relation.SetNull(r, c);
+      } else {
+        relation.SetValue(r, c, ValueName(c, v));
+      }
+    }
+  }
+  return relation;
+}
+
+Relation GenerateFdReduced(size_t rows, int cols, uint64_t domain, uint64_t seed) {
+  GeneratorConfig config;
+  config.rows = rows;
+  config.seed = seed;
+  config.columns.assign(static_cast<size_t>(cols),
+                        ColumnSpec{.cardinality = domain});
+  return Generate(config);
+}
+
+Relation MakeAddressDataset(size_t rows, uint64_t seed) {
+  // firstname(200) -> gender(derived/2), zipcode(500) -> city(derived/300),
+  // birthdate(4000) -> age(derived/80); plus a person id key and a free
+  // "street" column.
+  GeneratorConfig config;
+  config.rows = rows;
+  config.seed = seed;
+  config.columns = {
+      ColumnSpec{.cardinality = 0},                                   // id
+      ColumnSpec{.cardinality = 200},                                 // firstname
+      ColumnSpec{.cardinality = 2, .sources = {1}},                   // gender
+      ColumnSpec{.cardinality = 500, .distribution = Distribution::kZipf},  // zip
+      ColumnSpec{.cardinality = 300, .sources = {3}},                 // city
+      ColumnSpec{.cardinality = 4000},                                // birthdate
+      ColumnSpec{.cardinality = 80, .sources = {5}},                  // age
+      ColumnSpec{.cardinality = 1000},                                // street
+  };
+  Relation r = Generate(config);
+  Relation named{Schema({"id", "firstname", "gender", "zipcode", "city",
+                         "birthdate", "age", "street"})};
+  named.Resize(r.num_rows());
+  for (size_t row = 0; row < r.num_rows(); ++row) {
+    for (int c = 0; c < r.num_columns(); ++c) {
+      if (r.IsNull(row, c)) {
+        named.SetNull(row, c);
+      } else {
+        named.SetValue(row, c, r.Value(row, c));
+      }
+    }
+  }
+  return named;
+}
+
+Relation MakeClassExample() {
+  return Relation::FromStringRows(Schema({"Teacher", "Subject"}),
+                                  {{"Brown", "Math"},
+                                   {"Walker", "Math"},
+                                   {"Brown", "English"},
+                                   {"Miller", "English"},
+                                   {"Brown", "Math"}});
+}
+
+}  // namespace hyfd

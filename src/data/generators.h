@@ -1,0 +1,59 @@
+#ifndef HYFD_DATA_GENERATORS_H_
+#define HYFD_DATA_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/relation.h"
+
+namespace hyfd {
+
+/// Value distribution of a generated column.
+enum class Distribution {
+  kUniform,
+  kZipf,  ///< Zipf(s = 1.1) — few very frequent values, long tail.
+};
+
+/// Recipe for one generated column.
+///
+/// A column is either *base* (values drawn i.i.d. from a domain of
+/// `cardinality` values) or *derived* (`sources` non-empty: the value is a
+/// deterministic function of the source columns' values, folded into
+/// `cardinality` buckets). Derived columns plant the FD `sources -> column`;
+/// small cardinalities additionally create accidental FDs, which is exactly
+/// the structure real data exhibits.
+struct ColumnSpec {
+  /// Number of distinct values; 0 means "unique per row" (a key column).
+  uint64_t cardinality = 0;
+  Distribution distribution = Distribution::kUniform;
+  /// Fraction of cells replaced by NULL.
+  double null_rate = 0.0;
+  /// Indexes of source columns for a derived column (must be < this column).
+  std::vector<int> sources;
+};
+
+/// Full recipe for a synthetic relation.
+struct GeneratorConfig {
+  size_t rows = 0;
+  std::vector<ColumnSpec> columns;
+  uint64_t seed = 42;
+};
+
+/// Materializes a relation from `config`. Deterministic in the seed.
+Relation Generate(const GeneratorConfig& config);
+
+/// The `fd-reduced` generator (paper §10.4): every cell uniform random in
+/// `[0, domain)`. With domain ≈ 1000 all minimal FDs sit around lattice
+/// level three, the regime where bottom-up algorithms shine.
+Relation GenerateFdReduced(size_t rows, int cols, uint64_t domain, uint64_t seed);
+
+/// The paper's introductory address example: firstname -> gender,
+/// zipcode -> city, birthdate -> age all hold by construction.
+Relation MakeAddressDataset(size_t rows, uint64_t seed);
+
+/// The Class(Teacher, Subject) example of paper §5 (5 fixed tuples).
+Relation MakeClassExample();
+
+}  // namespace hyfd
+
+#endif  // HYFD_DATA_GENERATORS_H_

@@ -1,0 +1,89 @@
+#include "data/relation.h"
+
+#include <cassert>
+#include <unordered_set>
+
+namespace hyfd {
+
+Relation Relation::FromRows(
+    Schema schema,
+    const std::vector<std::vector<std::optional<std::string>>>& rows) {
+  Relation r(std::move(schema));
+  for (const auto& row : rows) r.AppendRow(row);
+  return r;
+}
+
+Relation Relation::FromStringRows(
+    Schema schema, const std::vector<std::vector<std::string>>& rows) {
+  Relation r(std::move(schema));
+  std::vector<std::optional<std::string>> tmp;
+  for (const auto& row : rows) {
+    tmp.assign(row.begin(), row.end());
+    r.AppendRow(tmp);
+  }
+  return r;
+}
+
+void Relation::AppendRow(const std::vector<std::optional<std::string>>& row) {
+  assert(static_cast<int>(row.size()) == num_columns());
+  for (size_t c = 0; c < row.size(); ++c) {
+    if (row[c].has_value()) {
+      columns_[c].push_back(*row[c]);
+      nulls_[c].push_back(0);
+    } else {
+      columns_[c].emplace_back();
+      nulls_[c].push_back(1);
+    }
+  }
+}
+
+void Relation::SetValue(size_t row, int col, std::string value) {
+  columns_[static_cast<size_t>(col)][row] = std::move(value);
+  nulls_[static_cast<size_t>(col)][row] = 0;
+}
+
+void Relation::SetNull(size_t row, int col) {
+  columns_[static_cast<size_t>(col)][row].clear();
+  nulls_[static_cast<size_t>(col)][row] = 1;
+}
+
+void Relation::Resize(size_t n) {
+  for (int c = 0; c < num_columns(); ++c) {
+    columns_[static_cast<size_t>(c)].resize(n);
+    nulls_[static_cast<size_t>(c)].resize(n, 1);
+  }
+}
+
+Relation Relation::HeadRows(size_t n) const {
+  Relation r(schema_);
+  size_t keep = std::min(n, num_rows());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    r.columns_[c].assign(columns_[c].begin(), columns_[c].begin() + keep);
+    r.nulls_[c].assign(nulls_[c].begin(), nulls_[c].begin() + keep);
+  }
+  return r;
+}
+
+Relation Relation::HeadColumns(int k) const {
+  k = std::min(k, num_columns());
+  std::vector<std::string> names(schema_.names().begin(),
+                                 schema_.names().begin() + k);
+  Relation r{Schema(std::move(names))};
+  for (int c = 0; c < k; ++c) {
+    r.columns_[static_cast<size_t>(c)] = columns_[static_cast<size_t>(c)];
+    r.nulls_[static_cast<size_t>(c)] = nulls_[static_cast<size_t>(c)];
+  }
+  return r;
+}
+
+size_t Relation::DistinctCount(int col) const {
+  std::unordered_set<std::string> seen;
+  const auto& values = columns_[static_cast<size_t>(col)];
+  const auto& nulls = nulls_[static_cast<size_t>(col)];
+  for (size_t r = 0; r < values.size(); ++r) {
+    if (!nulls[r]) seen.insert(values[r]);
+  }
+  return seen.size();
+}
+
+}  // namespace hyfd

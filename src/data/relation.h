@@ -1,0 +1,73 @@
+#ifndef HYFD_DATA_RELATION_H_
+#define HYFD_DATA_RELATION_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/schema.h"
+
+namespace hyfd {
+
+/// A relational instance: a column-major table of string values with NULLs.
+///
+/// The Relation is the sole input to every discovery algorithm in this
+/// library. Values are opaque strings — FD discovery only needs value
+/// *identity* per column (paper §4: "The values itself, however, must not be
+/// known"), which the Preprocessor turns into position list indexes.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema)
+      : schema_(std::move(schema)),
+        columns_(static_cast<size_t>(schema_.num_columns())),
+        nulls_(static_cast<size_t>(schema_.num_columns())) {}
+
+  /// Builds a relation row-wise; `std::nullopt` cells become NULL.
+  static Relation FromRows(
+      Schema schema,
+      const std::vector<std::vector<std::optional<std::string>>>& rows);
+
+  /// Convenience builder for tests: all cells non-NULL.
+  static Relation FromStringRows(Schema schema,
+                                 const std::vector<std::vector<std::string>>& rows);
+
+  const Schema& schema() const { return schema_; }
+  int num_columns() const { return schema_.num_columns(); }
+  size_t num_rows() const { return columns_.empty() ? 0 : columns_[0].size(); }
+
+  const std::string& Value(size_t row, int col) const {
+    return columns_[static_cast<size_t>(col)][row];
+  }
+  bool IsNull(size_t row, int col) const {
+    return nulls_[static_cast<size_t>(col)][row] != 0;
+  }
+
+  /// Appends one row; the row size must match the schema.
+  void AppendRow(const std::vector<std::optional<std::string>>& row);
+
+  /// Direct cell write used by the generators (rows must exist already).
+  void SetValue(size_t row, int col, std::string value);
+  void SetNull(size_t row, int col);
+
+  /// Appends `n` empty (all-NULL) rows.
+  void Resize(size_t n);
+
+  /// Returns a copy restricted to the first `n` rows.
+  Relation HeadRows(size_t n) const;
+  /// Returns a copy restricted to the first `k` columns.
+  Relation HeadColumns(int k) const;
+
+  /// Number of distinct non-NULL values in column `col` (for stats/tests).
+  size_t DistinctCount(int col) const;
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<std::string>> columns_;
+  std::vector<std::vector<uint8_t>> nulls_;
+};
+
+}  // namespace hyfd
+
+#endif  // HYFD_DATA_RELATION_H_

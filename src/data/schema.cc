@@ -1,0 +1,23 @@
+#include "data/schema.h"
+
+namespace hyfd {
+
+Schema Schema::Generic(int n) {
+  std::vector<std::string> names;
+  names.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    std::string name(1, static_cast<char>('A' + i % 26));
+    if (i >= 26) name += std::to_string(i / 26);
+    names.push_back(std::move(name));
+  }
+  return Schema(std::move(names));
+}
+
+int Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace hyfd

@@ -1,0 +1,37 @@
+#ifndef HYFD_DATA_SCHEMA_H_
+#define HYFD_DATA_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+namespace hyfd {
+
+/// Ordered list of attribute (column) names of a relation.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<std::string> names) : names_(std::move(names)) {}
+
+  /// Creates a schema "A", "B", ..., "Z", "A1", ... for `n` columns.
+  static Schema Generic(int n);
+
+  int num_columns() const { return static_cast<int>(names_.size()); }
+  const std::string& name(int i) const { return names_[static_cast<size_t>(i)]; }
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Index of the column called `name`, or -1 if absent.
+  int IndexOf(const std::string& name) const;
+
+  void AddColumn(std::string name) { names_.push_back(std::move(name)); }
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.names_ == b.names_;
+  }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+}  // namespace hyfd
+
+#endif  // HYFD_DATA_SCHEMA_H_

@@ -1,0 +1,124 @@
+#include "fd/approximate.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "pli/compressed_records.h"
+
+namespace hyfd {
+namespace {
+
+/// Records kept when enforcing lhs -> rhs: per LHS group, the size of the
+/// largest single-RHS-value subgroup (unique RHS values count 1 each).
+size_t KeptRecords(const CompressedRecords& records, const AttributeSet& lhs,
+                   int rhs) {
+  const size_t n = records.num_records();
+  std::vector<int> lhs_attrs = lhs.ToIndexes();
+
+  struct GroupStats {
+    std::unordered_map<ClusterId, size_t> rhs_counts;
+    bool has_unique_rhs = false;
+  };
+  std::unordered_map<std::vector<ClusterId>, GroupStats, ClusterVectorHash> groups;
+  std::vector<ClusterId> key(lhs_attrs.size());
+  size_t kept = 0;
+
+  for (RecordId r = 0; r < n; ++r) {
+    const ClusterId* rec = records.Record(r);
+    bool unique_lhs = false;
+    for (size_t i = 0; i < lhs_attrs.size(); ++i) {
+      ClusterId c = rec[lhs_attrs[i]];
+      if (c == kUniqueCluster) {
+        unique_lhs = true;
+        break;
+      }
+      key[i] = c;
+    }
+    if (unique_lhs) {
+      ++kept;  // singleton LHS group: the record always survives
+      continue;
+    }
+    GroupStats& group = groups[key];
+    ClusterId rhs_cluster = rec[rhs];
+    if (rhs_cluster == kUniqueCluster) {
+      group.has_unique_rhs = true;  // contributes a subgroup of size 1
+    } else {
+      ++group.rhs_counts[rhs_cluster];
+    }
+  }
+  for (const auto& [_, group] : groups) {
+    size_t best = group.has_unique_rhs ? 1 : 0;
+    for (const auto& [_, count] : group.rhs_counts) {
+      best = std::max(best, count);
+    }
+    kept += best;
+  }
+  return kept;
+}
+
+}  // namespace
+
+double ComputeG3Error(const Relation& relation, const AttributeSet& lhs, int rhs,
+                      NullSemantics nulls) {
+  const size_t n = relation.num_rows();
+  if (n == 0) return 0.0;
+  auto plis = BuildAllColumnPlis(relation, nulls);
+  CompressedRecords records(plis, n);
+  return 1.0 - static_cast<double>(KeptRecords(records, lhs, rhs)) /
+                   static_cast<double>(n);
+}
+
+FDSet DiscoverApproximateFds(const Relation& relation, double max_error,
+                             NullSemantics nulls) {
+  const int m = relation.num_columns();
+  const size_t n = relation.num_rows();
+  auto plis = BuildAllColumnPlis(relation, nulls);
+  CompressedRecords records(plis, n);
+
+  auto holds = [&](const AttributeSet& lhs, int rhs) {
+    if (n == 0) return true;
+    double g3 = 1.0 - static_cast<double>(KeptRecords(records, lhs, rhs)) /
+                          static_cast<double>(n);
+    return g3 <= max_error;
+  };
+
+  // Level-wise search identical to the exact brute-force oracle; valid
+  // because g3 never increases when the LHS grows (finer groups keep at
+  // least as many records).
+  FDSet result;
+  for (int rhs = 0; rhs < m; ++rhs) {
+    std::vector<AttributeSet> found;
+    std::vector<AttributeSet> level{AttributeSet(m)};
+    while (!level.empty()) {
+      std::vector<AttributeSet> next;
+      for (const AttributeSet& lhs : level) {
+        bool covered = false;
+        for (const AttributeSet& g : found) {
+          if (g.IsSubsetOf(lhs)) {
+            covered = true;
+            break;
+          }
+        }
+        if (covered) continue;
+        if (holds(lhs, rhs)) {
+          found.push_back(lhs);
+          continue;
+        }
+        int max_bit = -1;
+        for (int a = lhs.First(); a != AttributeSet::kNpos; a = lhs.NextAfter(a)) {
+          max_bit = a;
+        }
+        for (int a = max_bit + 1; a < m; ++a) {
+          if (a == rhs) continue;
+          next.push_back(lhs.With(a));
+        }
+      }
+      level = std::move(next);
+    }
+    for (const AttributeSet& lhs : found) result.Add(lhs, rhs);
+  }
+  result.Canonicalize();
+  return result;
+}
+
+}  // namespace hyfd

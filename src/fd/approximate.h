@@ -1,0 +1,38 @@
+#ifndef HYFD_FD_APPROXIMATE_H_
+#define HYFD_FD_APPROXIMATE_H_
+
+#include "data/relation.h"
+#include "fd/fd_set.h"
+#include "pli/pli_builder.h"
+
+namespace hyfd {
+
+/// Approximate functional dependencies (extension).
+///
+/// The paper treats approximate-FD discovery (Huhtala et al.'s TANE paper)
+/// as orthogonal related work (§2); this module supplies it on top of the
+/// same PLI substrate. An FD X → A holds approximately with error g3 if
+/// removing a g3-fraction of the records makes it exact:
+///
+///   g3(X → A) = 1 - (Σ over clusters c of π_X : max overlap of c with one
+///                    cluster of π_A) / |r|
+///
+/// g3 = 0 iff the FD holds exactly.
+double ComputeG3Error(const Relation& relation, const AttributeSet& lhs, int rhs,
+                      NullSemantics nulls = NullSemantics::kNullEqualsNull);
+
+/// Discovers all minimal X → A with g3(X → A) <= max_error, level-wise.
+///
+/// "Minimal" means no proper LHS subset also satisfies the error bound
+/// (generalizations of approximate FDs can have higher error, unlike exact
+/// FDs — but g3 is monotonically non-increasing under LHS extension, so the
+/// level-wise search with generalization pruning is exact).
+///
+/// Exponential in the column count; intended for the same input sizes as the
+/// brute-force oracle plus moderate schemas (≤ ~20 columns).
+FDSet DiscoverApproximateFds(const Relation& relation, double max_error,
+                             NullSemantics nulls = NullSemantics::kNullEqualsNull);
+
+}  // namespace hyfd
+
+#endif  // HYFD_FD_APPROXIMATE_H_

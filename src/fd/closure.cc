@@ -1,0 +1,143 @@
+#include "fd/closure.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace hyfd {
+
+AttributeSet Closure(const AttributeSet& attrs, const FDSet& fds) {
+  AttributeSet closure = attrs;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const FD& fd : fds) {
+      if (!closure.Test(fd.rhs) && fd.lhs.IsSubsetOf(closure)) {
+        closure.Set(fd.rhs);
+        changed = true;
+      }
+    }
+  }
+  return closure;
+}
+
+bool Implies(const FDSet& fds, const FD& fd) {
+  return Closure(fd.lhs, fds).Test(fd.rhs);
+}
+
+bool Equivalent(const FDSet& a, const FDSet& b, int /*num_attributes*/) {
+  for (const FD& fd : a) {
+    if (!Implies(b, fd)) return false;
+  }
+  for (const FD& fd : b) {
+    if (!Implies(a, fd)) return false;
+  }
+  return true;
+}
+
+FDSet MinimalCover(const FDSet& fds, int /*num_attributes*/) {
+  // 1. Left-reduce: drop extraneous LHS attributes.
+  std::vector<FD> reduced;
+  reduced.reserve(fds.size());
+  for (const FD& fd : fds) {
+    FD current = fd;
+    bool shrunk = true;
+    while (shrunk) {
+      shrunk = false;
+      for (int attr = current.lhs.First(); attr != AttributeSet::kNpos;
+           attr = current.lhs.NextAfter(attr)) {
+        FD candidate(current.lhs.Without(attr), current.rhs);
+        if (Implies(fds, candidate)) {
+          current = candidate;
+          shrunk = true;
+          break;
+        }
+      }
+    }
+    reduced.push_back(std::move(current));
+  }
+  FDSet left_reduced(std::move(reduced));
+
+  // 2. Drop redundant FDs (implied by the remainder).
+  std::vector<FD> kept(left_reduced.begin(), left_reduced.end());
+  for (size_t i = 0; i < kept.size();) {
+    std::vector<FD> rest;
+    rest.reserve(kept.size() - 1);
+    for (size_t j = 0; j < kept.size(); ++j) {
+      if (j != i) rest.push_back(kept[j]);
+    }
+    if (Implies(FDSet(rest), kept[i])) {
+      kept.erase(kept.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  return FDSet(std::move(kept));
+}
+
+bool IsSuperKey(const AttributeSet& attrs, const FDSet& fds, int num_attributes) {
+  return Closure(attrs, fds).Count() == num_attributes;
+}
+
+std::vector<AttributeSet> CandidateKeys(const FDSet& fds, int num_attributes,
+                                        size_t max_results) {
+  return CandidateKeysWithin(fds, AttributeSet::Full(num_attributes), max_results);
+}
+
+std::vector<AttributeSet> CandidateKeysWithin(const FDSet& fds,
+                                              const AttributeSet& universe,
+                                              size_t max_results) {
+  // Lucchesi–Osborn style: start from one key, derive new key candidates by
+  // swapping in FD left-hand sides.
+  std::vector<AttributeSet> keys;
+  std::deque<AttributeSet> queue;
+
+  auto is_key = [&](const AttributeSet& attrs) {
+    return universe.IsSubsetOf(Closure(attrs, fds));
+  };
+
+  // Minimize the full universe into a first key.
+  auto minimize = [&](AttributeSet key) {
+    bool shrunk = true;
+    while (shrunk) {
+      shrunk = false;
+      for (int attr = key.First(); attr != AttributeSet::kNpos;
+           attr = key.NextAfter(attr)) {
+        AttributeSet candidate = key.Without(attr);
+        if (is_key(candidate)) {
+          key = candidate;
+          shrunk = true;
+          break;
+        }
+      }
+    }
+    return key;
+  };
+
+  queue.push_back(minimize(universe));
+  while (!queue.empty()) {
+    AttributeSet key = queue.front();
+    queue.pop_front();
+    if (std::find(keys.begin(), keys.end(), key) != keys.end()) continue;
+    keys.push_back(key);
+    if (max_results != 0 && keys.size() >= max_results) break;
+    for (const FD& fd : fds) {
+      if (!key.Test(fd.rhs) || fd.lhs.IsSubsetOf(key)) continue;
+      // S = lhs ∪ (key \ {rhs}) is a superkey; minimize it. Restrict the
+      // seed to the universe so sub-schema keys stay inside it.
+      AttributeSet super = (fd.lhs | key.Without(fd.rhs)) & universe;
+      if (!is_key(super)) continue;
+      AttributeSet candidate = minimize(super);
+      if (std::find(keys.begin(), keys.end(), candidate) == keys.end()) {
+        queue.push_back(candidate);
+      }
+    }
+  }
+  std::sort(keys.begin(), keys.end(), [](const AttributeSet& a, const AttributeSet& b) {
+    int ca = a.Count(), cb = b.Count();
+    if (ca != cb) return ca < cb;
+    return a < b;
+  });
+  return keys;
+}
+
+}  // namespace hyfd

@@ -1,0 +1,13 @@
+#include "fd/fd.h"
+
+namespace hyfd {
+
+std::string FD::ToString() const {
+  return lhs.ToString() + " -> " + std::to_string(rhs);
+}
+
+std::string FD::ToString(const std::vector<std::string>& names) const {
+  return lhs.ToString(names) + " -> " + names[static_cast<size_t>(rhs)];
+}
+
+}  // namespace hyfd

@@ -1,0 +1,55 @@
+#ifndef HYFD_FD_FD_H_
+#define HYFD_FD_FD_H_
+
+#include <string>
+#include <vector>
+
+#include "util/attribute_set.h"
+
+namespace hyfd {
+
+/// A functional dependency X → A with LHS bitset `lhs` and RHS attribute
+/// index `rhs` (paper §3). FDs with multi-attribute RHS are represented as
+/// one FD per RHS attribute throughout the library.
+struct FD {
+  AttributeSet lhs;
+  int rhs = 0;
+
+  FD() = default;
+  FD(AttributeSet lhs_set, int rhs_attr) : lhs(std::move(lhs_set)), rhs(rhs_attr) {}
+
+  bool IsTrivial() const { return lhs.Test(rhs); }
+
+  /// True iff *this is a (proper or improper) generalization of `other`:
+  /// same RHS and lhs ⊆ other.lhs.
+  bool Generalizes(const FD& other) const {
+    return rhs == other.rhs && lhs.IsSubsetOf(other.lhs);
+  }
+
+  std::string ToString() const;
+  std::string ToString(const std::vector<std::string>& names) const;
+
+  friend bool operator==(const FD& a, const FD& b) {
+    return a.rhs == b.rhs && a.lhs == b.lhs;
+  }
+  /// Canonical order: by RHS, then LHS size, then LHS bits.
+  friend bool operator<(const FD& a, const FD& b) {
+    if (a.rhs != b.rhs) return a.rhs < b.rhs;
+    int ca = a.lhs.Count(), cb = b.lhs.Count();
+    if (ca != cb) return ca < cb;
+    return a.lhs < b.lhs;
+  }
+};
+
+}  // namespace hyfd
+
+namespace std {
+template <>
+struct hash<hyfd::FD> {
+  size_t operator()(const hyfd::FD& fd) const {
+    return fd.lhs.Hash() * 31 + static_cast<size_t>(fd.rhs);
+  }
+};
+}  // namespace std
+
+#endif  // HYFD_FD_FD_H_

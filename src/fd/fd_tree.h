@@ -1,0 +1,110 @@
+#ifndef HYFD_FD_FD_TREE_H_
+#define HYFD_FD_FD_TREE_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "fd/fd_set.h"
+#include "util/attribute_set.h"
+
+namespace hyfd {
+
+/// Prefix tree over FD left-hand sides (paper §7, after Flach & Savnik).
+///
+/// A path root → n1 → n2 (edges labeled with ascending attribute indexes)
+/// spells an LHS; the node's `fds` bitset marks the RHS attributes A for
+/// which LHS → A is stored. Every node additionally keeps `rhs_attrs`, a
+/// superset of all RHS attributes stored in its subtree, which prunes
+/// generalization lookups — the operation the Inductor and Validator hammer.
+///
+/// The tree enforces an optional maximum LHS size (set by the Memory
+/// Guardian, paper §9): FDs with longer LHSs are rejected on add and pruned
+/// retroactively when the cap shrinks.
+class FDTree {
+ public:
+  struct Node {
+    explicit Node(int num_attributes)
+        : fds(num_attributes), rhs_attrs(num_attributes) {}
+
+    /// RHS attributes whose FD ends at this node.
+    AttributeSet fds;
+    /// Superset of RHS attributes stored anywhere in this subtree.
+    AttributeSet rhs_attrs;
+    /// Children indexed by attribute; allocated lazily.
+    std::vector<std::unique_ptr<Node>> children;
+
+    Node* Child(int attr) const {
+      if (children.empty()) return nullptr;
+      return children[static_cast<size_t>(attr)].get();
+    }
+  };
+
+  /// A node paired with the LHS its path spells — what GetLevel() hands to
+  /// the Validator.
+  struct LevelEntry {
+    Node* node;
+    AttributeSet lhs;
+  };
+
+  explicit FDTree(int num_attributes);
+
+  int num_attributes() const { return num_attributes_; }
+  Node* root() { return root_.get(); }
+  const Node* root() const { return root_.get(); }
+
+  /// Adds the most general FDs ∅ → A for every attribute A (Inductor init).
+  void AddMostGeneralFds();
+
+  /// Adds LHS → rhs. Returns false if it was already present or exceeds the
+  /// LHS size cap. Does not check minimality.
+  bool AddFd(const AttributeSet& lhs, int rhs);
+
+  /// Adds LHS → rhs and reports whether a *new tree node* was created for it
+  /// (the Validator must enqueue new nodes into the next level). Output
+  /// `added` says whether the FD itself was new.
+  Node* AddFdAndGetIfNewNode(const AttributeSet& lhs, int rhs, bool* added);
+
+  /// Removes LHS → rhs if present (exact match).
+  void RemoveFd(const AttributeSet& lhs, int rhs);
+
+  bool ContainsFd(const AttributeSet& lhs, int rhs) const;
+
+  /// True iff the tree stores LHS → rhs or any generalization X → rhs with
+  /// X ⊆ LHS. This is the minimality check of Inductor and Validator.
+  bool ContainsFdOrGeneralization(const AttributeSet& lhs, int rhs) const;
+
+  /// Collects the LHSs of LHS' → rhs for all stored generalizations
+  /// LHS' ⊆ LHS (including LHS itself) — the Inductor's specialize() input.
+  std::vector<AttributeSet> GetFdAndGeneralizations(const AttributeSet& lhs,
+                                                    int rhs) const;
+
+  /// All nodes whose depth (LHS size) equals `level`, with their LHS.
+  std::vector<LevelEntry> GetLevel(int level);
+
+  /// All stored FDs, canonicalized.
+  FDSet ToFdSet() const;
+
+  size_t CountFds() const;
+  size_t CountNodes() const;
+  /// Depth of the deepest node (longest stored LHS).
+  int Depth() const;
+  /// Approximate heap footprint (guardian / Table 3 accounting).
+  size_t MemoryBytes() const;
+
+  int max_lhs_size() const { return max_lhs_size_; }
+  /// Caps the LHS size: prunes all FDs with |LHS| > k and rejects longer
+  /// adds from now on. k < 0 means unlimited.
+  void SetMaxLhsSize(int k);
+
+ private:
+  Node* GetOrCreateChild(Node* node, int attr);
+
+  int num_attributes_;
+  int max_lhs_size_ = -1;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace hyfd
+
+#endif  // HYFD_FD_FD_TREE_H_

@@ -1,0 +1,69 @@
+#include "fd/io.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace hyfd {
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  size_t end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+int ColumnIndexOrThrow(const Schema& schema, const std::string& name) {
+  int index = schema.IndexOf(name);
+  if (index < 0) throw std::runtime_error("fd parse: unknown column " + name);
+  return index;
+}
+
+}  // namespace
+
+std::string SerializeFds(const FDSet& fds, const Schema& schema) {
+  std::ostringstream os;
+  for (const FD& fd : fds) {
+    if (fd.lhs.Empty()) {
+      os << "{}";
+    } else {
+      bool first = true;
+      ForEachBit(fd.lhs, [&](int a) {
+        if (!first) os << ',';
+        os << schema.name(a);
+        first = false;
+      });
+    }
+    os << " -> " << schema.name(fd.rhs) << '\n';
+  }
+  return os.str();
+}
+
+FDSet ParseFds(const std::string& text, const Schema& schema) {
+  FDSet fds;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    line = Trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    size_t arrow = line.find("->");
+    if (arrow == std::string::npos) {
+      throw std::runtime_error("fd parse: missing '->' in: " + line);
+    }
+    std::string lhs_text = Trim(line.substr(0, arrow));
+    std::string rhs_text = Trim(line.substr(arrow + 2));
+    AttributeSet lhs(schema.num_columns());
+    if (lhs_text != "{}" && !lhs_text.empty()) {
+      std::istringstream lhs_in(lhs_text);
+      std::string attr;
+      while (std::getline(lhs_in, attr, ',')) {
+        lhs.Set(ColumnIndexOrThrow(schema, Trim(attr)));
+      }
+    }
+    fds.Add(std::move(lhs), ColumnIndexOrThrow(schema, rhs_text));
+  }
+  fds.Canonicalize();
+  return fds;
+}
+
+}  // namespace hyfd

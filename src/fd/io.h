@@ -1,0 +1,24 @@
+#ifndef HYFD_FD_IO_H_
+#define HYFD_FD_IO_H_
+
+#include <string>
+
+#include "data/schema.h"
+#include "fd/fd_set.h"
+
+namespace hyfd {
+
+/// Plain-text FD serialization for pipelines and result diffing.
+///
+/// Format: one FD per line, `lhs1,lhs2 -> rhs` with column names from the
+/// schema; an empty LHS is written as `{}`. Lines starting with '#' and
+/// blank lines are ignored on parse.
+std::string SerializeFds(const FDSet& fds, const Schema& schema);
+
+/// Inverse of SerializeFds. Throws std::runtime_error on unknown column
+/// names or malformed lines.
+FDSet ParseFds(const std::string& text, const Schema& schema);
+
+}  // namespace hyfd
+
+#endif  // HYFD_FD_IO_H_

@@ -1,0 +1,119 @@
+#include "fd/normalizer.h"
+
+#include <deque>
+#include <sstream>
+
+#include "fd/closure.h"
+
+namespace hyfd {
+
+bool Normalizer::IsBcnf() const { return BcnfViolations().empty(); }
+
+FDSet Normalizer::BcnfViolations() const {
+  FDSet violations;
+  for (const FD& fd : fds_) {
+    if (fd.IsTrivial()) continue;
+    if (!IsSuperKey(fd.lhs, fds_, num_attributes_)) violations.Add(fd);
+  }
+  violations.Canonicalize();
+  return violations;
+}
+
+FDSet Normalizer::Project(const AttributeSet& attrs,
+                          int max_projection_attrs) const {
+  std::vector<int> attr_list = attrs.ToIndexes();
+  const int k = static_cast<int>(attr_list.size());
+  FDSet projected;
+  if (k <= max_projection_attrs && k < 63) {
+    // Exact closure-based projection: for every subset X of attrs, every
+    // A ∈ (X+ ∩ attrs) \ X yields X → A. MinimalCover trims the redundancy.
+    for (uint64_t mask = 0; mask < (uint64_t{1} << k); ++mask) {
+      AttributeSet x(num_attributes_);
+      for (int i = 0; i < k; ++i) {
+        if (mask & (uint64_t{1} << i)) x.Set(attr_list[static_cast<size_t>(i)]);
+      }
+      AttributeSet closure = Closure(x, fds_);
+      closure &= attrs;
+      closure.AndNot(x);
+      ForEachBit(closure, [&](int rhs) { projected.Add(x, rhs); });
+    }
+  } else {
+    // Wide sub-relation: keep only FDs already fully contained in attrs.
+    // This under-approximates the projection but never fabricates FDs.
+    for (const FD& fd : fds_) {
+      if (attrs.Test(fd.rhs) && fd.lhs.IsSubsetOf(attrs)) projected.Add(fd);
+    }
+  }
+  projected.Canonicalize();
+  return MinimalCover(projected, num_attributes_);
+}
+
+Decomposition Normalizer::BcnfDecompose(int max_projection_attrs) const {
+  Decomposition result;
+  std::deque<AttributeSet> worklist;
+  worklist.push_back(AttributeSet::Full(num_attributes_));
+
+  while (!worklist.empty()) {
+    AttributeSet attrs = worklist.front();
+    worklist.pop_front();
+    FDSet local = Project(attrs, max_projection_attrs);
+    const int width = attrs.Count();
+
+    // Find a BCNF violation within this sub-relation.
+    const FD* violation = nullptr;
+    for (const FD& fd : local) {
+      if (fd.IsTrivial()) continue;
+      AttributeSet closure = Closure(fd.lhs, local) & attrs;
+      if (closure.Count() != width) {
+        violation = &fd;
+        break;
+      }
+    }
+    if (violation == nullptr) {
+      SubRelation sub;
+      sub.attributes = attrs;
+      sub.fds = local;
+      sub.keys = CandidateKeysWithin(local, attrs, 64);
+      result.relations.push_back(std::move(sub));
+      continue;
+    }
+
+    // Split on the violation: R1 = X+ ∩ R, R2 = X ∪ (R \ X+). Lossless join
+    // because R1 ∩ R2 = X determines R1.
+    AttributeSet closure = Closure(violation->lhs, local) & attrs;
+    AttributeSet r1 = closure;
+    AttributeSet r2 = violation->lhs | (attrs ^ closure);
+    worklist.push_back(r1);
+    worklist.push_back(r2);
+  }
+
+  // FDs lost by the decomposition: input FDs not implied by the union of the
+  // sub-relations' FDs.
+  FDSet preserved;
+  for (const auto& sub : result.relations) {
+    for (const FD& fd : sub.fds) preserved.Add(fd);
+  }
+  preserved.Canonicalize();
+  for (const FD& fd : fds_) {
+    if (!Implies(preserved, fd)) result.lost_fds.Add(fd);
+  }
+  result.lost_fds.Canonicalize();
+  return result;
+}
+
+std::string DescribeDecomposition(const Decomposition& d, const Schema& schema) {
+  std::ostringstream os;
+  for (size_t i = 0; i < d.relations.size(); ++i) {
+    const auto& sub = d.relations[i];
+    os << "R" << (i + 1) << sub.attributes.ToString(schema.names()) << "\n";
+    os << "  keys:";
+    for (const auto& key : sub.keys) os << ' ' << key.ToString(schema.names());
+    os << "\n  fds: " << sub.fds.size() << "\n";
+  }
+  if (!d.lost_fds.empty()) {
+    os << "lost FDs: " << d.lost_fds.size() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hyfd

@@ -1,0 +1,62 @@
+#ifndef HYFD_FD_NORMALIZER_H_
+#define HYFD_FD_NORMALIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "data/schema.h"
+#include "fd/fd_set.h"
+#include "util/attribute_set.h"
+
+namespace hyfd {
+
+/// One relation of a decomposition result.
+struct SubRelation {
+  AttributeSet attributes;           ///< subset of the original schema
+  FDSet fds;                         ///< FDs projected onto `attributes`
+  std::vector<AttributeSet> keys;    ///< candidate keys of the sub-relation
+};
+
+/// Result of a BCNF decomposition.
+struct Decomposition {
+  std::vector<SubRelation> relations;
+  /// FDs of the input that no sub-relation preserves (BCNF may lose some).
+  FDSet lost_fds;
+};
+
+/// Schema normalization on top of discovered FDs — the paper's headline use
+/// case (§1, §10.6).
+///
+/// BcnfDecompose() repeatedly splits off a violating FD X → A (X not a
+/// superkey) until every sub-relation is in BCNF. Projection of FDs onto a
+/// sub-relation is closure-based and exponential in the sub-relation width;
+/// `max_projection_attrs` guards against blowing up on wide schemas.
+class Normalizer {
+ public:
+  Normalizer(int num_attributes, FDSet fds)
+      : num_attributes_(num_attributes), fds_(std::move(fds)) {}
+
+  /// True iff the schema is in Boyce–Codd normal form under the FDs.
+  bool IsBcnf() const;
+
+  /// Violating FDs: non-trivial X → A where X is not a superkey.
+  FDSet BcnfViolations() const;
+
+  /// Lossless-join BCNF decomposition.
+  Decomposition BcnfDecompose(int max_projection_attrs = 20) const;
+
+  /// Projects `fds_` onto the attribute subset `attrs` and returns a minimal
+  /// cover of the projection.
+  FDSet Project(const AttributeSet& attrs, int max_projection_attrs = 20) const;
+
+ private:
+  int num_attributes_;
+  FDSet fds_;
+};
+
+/// Renders a decomposition using column names, for the examples.
+std::string DescribeDecomposition(const Decomposition& d, const Schema& schema);
+
+}  // namespace hyfd
+
+#endif  // HYFD_FD_NORMALIZER_H_

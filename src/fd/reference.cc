@@ -1,0 +1,98 @@
+#include "fd/reference.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "pli/compressed_records.h"
+
+namespace hyfd {
+namespace {
+
+/// Validity check of lhs → rhs on compressed records: group non-unique LHS
+/// tuples (exact keys, no hashing shortcuts — this is the test oracle) and
+/// require a single, non-unique RHS cluster per group.
+bool HoldsOnRecords(const CompressedRecords& records, const AttributeSet& lhs,
+                    int rhs) {
+  const size_t n = records.num_records();
+  std::vector<int> lhs_attrs = lhs.ToIndexes();
+  std::unordered_map<std::vector<ClusterId>, ClusterId, ClusterVectorHash> groups;
+  std::vector<ClusterId> key(lhs_attrs.size());
+  for (RecordId r = 0; r < n; ++r) {
+    const ClusterId* rec = records.Record(r);
+    bool unique = false;
+    for (size_t i = 0; i < lhs_attrs.size(); ++i) {
+      ClusterId c = rec[lhs_attrs[i]];
+      if (c == kUniqueCluster) {
+        unique = true;
+        break;
+      }
+      key[i] = c;
+    }
+    if (unique) continue;  // record is unique in LHS, cannot violate
+    ClusterId rhs_cluster = rec[rhs];
+    auto [it, inserted] = groups.emplace(key, rhs_cluster);
+    if (inserted) continue;
+    // Second record with the same LHS tuple: both must share one non-unique
+    // RHS cluster (two "unique" RHS values are distinct by definition).
+    if (rhs_cluster == kUniqueCluster || rhs_cluster != it->second) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool FdHolds(const Relation& relation, const AttributeSet& lhs, int rhs,
+             NullSemantics nulls) {
+  auto plis = BuildAllColumnPlis(relation, nulls);
+  CompressedRecords records(plis, relation.num_rows());
+  return HoldsOnRecords(records, lhs, rhs);
+}
+
+FDSet DiscoverFdsBruteForce(const Relation& relation, NullSemantics nulls) {
+  const int m = relation.num_columns();
+  auto plis = BuildAllColumnPlis(relation, nulls);
+  CompressedRecords records(plis, relation.num_rows());
+
+  FDSet result;
+  // Per RHS, enumerate LHS candidates level-wise; skip any candidate with a
+  // known valid generalization (those would be non-minimal).
+  for (int rhs = 0; rhs < m; ++rhs) {
+    std::vector<AttributeSet> found;  // minimal valid LHSs for this rhs
+    std::vector<AttributeSet> level{AttributeSet(m)};  // start at ∅
+    while (!level.empty()) {
+      std::vector<AttributeSet> next;
+      for (const AttributeSet& lhs : level) {
+        bool covered = false;
+        for (const AttributeSet& g : found) {
+          if (g.IsSubsetOf(lhs)) {
+            covered = true;
+            break;
+          }
+        }
+        if (covered) continue;
+        if (HoldsOnRecords(records, lhs, rhs)) {
+          found.push_back(lhs);
+          continue;
+        }
+        // Expand canonically: append only attributes greater than the highest
+        // set bit so each candidate is generated exactly once.
+        int max_bit = -1;
+        for (int a = lhs.First(); a != AttributeSet::kNpos; a = lhs.NextAfter(a)) {
+          max_bit = a;
+        }
+        for (int a = max_bit + 1; a < m; ++a) {
+          if (a == rhs) continue;
+          next.push_back(lhs.With(a));
+        }
+      }
+      level = std::move(next);
+    }
+    for (const AttributeSet& lhs : found) result.Add(lhs, rhs);
+  }
+  result.Canonicalize();
+  return result;
+}
+
+}  // namespace hyfd

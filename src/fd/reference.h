@@ -1,0 +1,26 @@
+#ifndef HYFD_FD_REFERENCE_H_
+#define HYFD_FD_REFERENCE_H_
+
+#include "data/relation.h"
+#include "fd/fd_set.h"
+#include "pli/pli_builder.h"
+
+namespace hyfd {
+
+/// Brute-force discovery of all minimal, non-trivial FDs by exhaustive
+/// level-wise candidate enumeration with direct validity checks.
+///
+/// This is the test oracle: O(2^m) candidates, intended for relations with at
+/// most ~12 attributes. Every production algorithm in the library is verified
+/// against it on randomized inputs.
+FDSet DiscoverFdsBruteForce(const Relation& relation,
+                            NullSemantics nulls = NullSemantics::kNullEqualsNull);
+
+/// Directly checks whether `lhs` → `rhs` holds on `relation` by grouping
+/// records on their LHS cluster ids (independent of any discovery machinery).
+bool FdHolds(const Relation& relation, const AttributeSet& lhs, int rhs,
+             NullSemantics nulls = NullSemantics::kNullEqualsNull);
+
+}  // namespace hyfd
+
+#endif  // HYFD_FD_REFERENCE_H_

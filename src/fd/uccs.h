@@ -1,0 +1,26 @@
+#ifndef HYFD_FD_UCCS_H_
+#define HYFD_FD_UCCS_H_
+
+#include <vector>
+
+#include "data/relation.h"
+#include "pli/pli_builder.h"
+#include "util/attribute_set.h"
+
+namespace hyfd {
+
+/// Unique column combination (UCC / candidate key) discovery (extension).
+///
+/// A UCC is an attribute set X whose values identify every record uniquely —
+/// i.e., π_X has no cluster of size ≥ 2. Minimal UCCs are exactly the
+/// relation's candidate keys; the Papenbrock/Naumann line of work treats UCC
+/// discovery as the sibling problem of FD discovery (HyUCC shares HyFD's
+/// architecture). This implementation searches the lattice level-wise over
+/// PLIs with subset pruning; the test suite cross-checks it against
+/// CandidateKeysWithin() applied to the discovered FDs.
+std::vector<AttributeSet> DiscoverUccs(
+    const Relation& relation, NullSemantics nulls = NullSemantics::kNullEqualsNull);
+
+}  // namespace hyfd
+
+#endif  // HYFD_FD_UCCS_H_

@@ -1,0 +1,31 @@
+#include "pli/compressed_records.h"
+
+namespace hyfd {
+
+CompressedRecords::CompressedRecords(const std::vector<Pli>& plis,
+                                     size_t num_records)
+    : values_(num_records * plis.size(), kUniqueCluster),
+      num_records_(num_records),
+      num_attributes_(static_cast<int>(plis.size())) {
+  for (int attr = 0; attr < num_attributes_; ++attr) {
+    const auto& clusters = plis[static_cast<size_t>(attr)].clusters();
+    for (size_t c = 0; c < clusters.size(); ++c) {
+      for (RecordId r : clusters[c]) {
+        values_[static_cast<size_t>(r) * num_attributes_ + attr] =
+            static_cast<ClusterId>(c);
+      }
+    }
+  }
+}
+
+AttributeSet CompressedRecords::Match(RecordId a, RecordId b) const {
+  AttributeSet agree(num_attributes_);
+  const ClusterId* ra = Record(a);
+  const ClusterId* rb = Record(b);
+  for (int i = 0; i < num_attributes_; ++i) {
+    if (ra[i] != kUniqueCluster && ra[i] == rb[i]) agree.Set(i);
+  }
+  return agree;
+}
+
+}  // namespace hyfd

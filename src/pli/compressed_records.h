@@ -1,0 +1,53 @@
+#ifndef HYFD_PLI_COMPRESSED_RECORDS_H_
+#define HYFD_PLI_COMPRESSED_RECORDS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "pli/pli.h"
+#include "util/attribute_set.h"
+
+namespace hyfd {
+
+/// The paper's `pliRecords`: every record dictionary-compressed to the array
+/// of its cluster ids, one per attribute (paper §5). Records that are unique
+/// in an attribute carry kUniqueCluster there; two kUniqueCluster entries
+/// never match (they are distinct values by definition).
+///
+/// Rows are stored contiguously (row-major) so the Sampler's match() touches
+/// one cache line per record for narrow schemas.
+class CompressedRecords {
+ public:
+  CompressedRecords() = default;
+
+  /// Builds from per-attribute PLIs (in *schema* order).
+  CompressedRecords(const std::vector<Pli>& plis, size_t num_records);
+
+  size_t num_records() const { return num_records_; }
+  int num_attributes() const { return num_attributes_; }
+
+  /// Pointer to the `num_attributes()` cluster ids of record `r`.
+  const ClusterId* Record(RecordId r) const {
+    return &values_[static_cast<size_t>(r) * num_attributes_];
+  }
+
+  ClusterId Cluster(RecordId r, int attr) const {
+    return values_[static_cast<size_t>(r) * num_attributes_ + attr];
+  }
+
+  /// The paper's match(): the agree set of two records — a bitset with a 1
+  /// for every attribute where both records carry the same non-unique
+  /// cluster id.
+  AttributeSet Match(RecordId a, RecordId b) const;
+
+  size_t MemoryBytes() const { return values_.capacity() * sizeof(ClusterId); }
+
+ private:
+  std::vector<ClusterId> values_;
+  size_t num_records_ = 0;
+  int num_attributes_ = 0;
+};
+
+}  // namespace hyfd
+
+#endif  // HYFD_PLI_COMPRESSED_RECORDS_H_

@@ -1,0 +1,67 @@
+#include "pli/pli.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace hyfd {
+
+Pli::Pli(std::vector<std::vector<RecordId>> clusters, size_t num_records)
+    : clusters_(std::move(clusters)), num_records_(num_records) {
+  // Drop singleton clusters defensively; callers normally pre-strip.
+  clusters_.erase(std::remove_if(clusters_.begin(), clusters_.end(),
+                                 [](const auto& c) { return c.size() < 2; }),
+                  clusters_.end());
+  size_ = 0;
+  for (const auto& c : clusters_) size_ += c.size();
+  num_clusters_total_ = clusters_.size() + (num_records_ - size_);
+}
+
+std::vector<ClusterId> Pli::BuildProbingTable() const {
+  std::vector<ClusterId> table(num_records_, kUniqueCluster);
+  for (size_t c = 0; c < clusters_.size(); ++c) {
+    for (RecordId r : clusters_[c]) table[r] = static_cast<ClusterId>(c);
+  }
+  return table;
+}
+
+Pli Pli::Intersect(const std::vector<ClusterId>& other_probing_table) const {
+  std::vector<std::vector<RecordId>> result;
+  // Partition each of our clusters by the other side's cluster id. Records
+  // unique on the other side stay unique in the intersection.
+  std::unordered_map<ClusterId, std::vector<RecordId>> partition;
+  for (const auto& cluster : clusters_) {
+    partition.clear();
+    for (RecordId r : cluster) {
+      ClusterId other = other_probing_table[r];
+      if (other == kUniqueCluster) continue;
+      partition[other].push_back(r);
+    }
+    for (auto& [_, records] : partition) {
+      if (records.size() >= 2) result.push_back(std::move(records));
+    }
+  }
+  return Pli(std::move(result), num_records_);
+}
+
+Pli Pli::Intersect(const Pli& other) const {
+  return Intersect(other.BuildProbingTable());
+}
+
+bool Pli::Refines(const std::vector<ClusterId>& other_probing_table) const {
+  for (const auto& cluster : clusters_) {
+    ClusterId expected = other_probing_table[cluster[0]];
+    if (expected == kUniqueCluster) return false;  // two records, unique RHS
+    for (size_t i = 1; i < cluster.size(); ++i) {
+      if (other_probing_table[cluster[i]] != expected) return false;
+    }
+  }
+  return true;
+}
+
+size_t Pli::MemoryBytes() const {
+  size_t bytes = clusters_.capacity() * sizeof(std::vector<RecordId>);
+  for (const auto& c : clusters_) bytes += c.capacity() * sizeof(RecordId);
+  return bytes;
+}
+
+}  // namespace hyfd

@@ -1,0 +1,95 @@
+#ifndef HYFD_PLI_PLI_H_
+#define HYFD_PLI_PLI_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hyfd {
+
+using RecordId = uint32_t;
+using ClusterId = int32_t;
+
+/// Cluster id of records that are unique in the indexed attribute set
+/// (stripped from the PLI).
+inline constexpr ClusterId kUniqueCluster = -1;
+
+/// FNV-1a hash over a vector of cluster ids; keys the LHS-tuple maps of the
+/// Validator's refines() and of the brute-force oracle.
+struct ClusterVectorHash {
+  size_t operator()(const std::vector<ClusterId>& v) const {
+    size_t h = 1469598103934665603ull;
+    for (ClusterId c : v) {
+      h ^= static_cast<size_t>(static_cast<uint32_t>(c));
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+/// A position list index (stripped partition) π_X over an attribute set X.
+///
+/// Records with equal values in X form equivalence classes ("clusters");
+/// clusters of size one are stripped (paper §5). A PLI supports the two
+/// operations the discovery algorithms need:
+///   * Refines(other): does every cluster of π_X fit inside one cluster of
+///     π_A? — the FD check X→A.
+///   * Intersect(other, n): π_{X∪Y} from π_X and π_Y — TANE-style lattice
+///     traversal.
+class Pli {
+ public:
+  Pli() = default;
+  explicit Pli(std::vector<std::vector<RecordId>> clusters, size_t num_records);
+
+  const std::vector<std::vector<RecordId>>& clusters() const { return clusters_; }
+  size_t num_records() const { return num_records_; }
+
+  /// Number of stripped (size ≥ 2) clusters.
+  size_t NumStrippedClusters() const { return clusters_.size(); }
+
+  /// Number of equivalence classes including implicit singletons; equals the
+  /// number of distinct values of X in the relation.
+  size_t NumClusters() const { return num_clusters_total_; }
+
+  /// Records covered by stripped clusters.
+  size_t NumNonUniqueRecords() const { return size_; }
+
+  /// True iff every record is unique in X (X is a key).
+  bool IsUnique() const { return clusters_.empty(); }
+
+  /// True iff all records fall into one cluster (X is constant). Degenerate
+  /// relations with < 2 records are constant as well.
+  bool IsConstant() const {
+    return num_records_ < 2 ||
+           (clusters_.size() == 1 && clusters_[0].size() == num_records_);
+  }
+
+  /// TANE's partition error e(X): (non-unique records − stripped clusters).
+  /// e(X) == e(X∪A) is equivalent to X→A (Huhtala et al., 1999).
+  size_t Error() const { return size_ - clusters_.size(); }
+
+  /// Builds the probing table: record → cluster id, kUniqueCluster for
+  /// singletons.
+  std::vector<ClusterId> BuildProbingTable() const;
+
+  /// Returns π over X∪Y by refining *this with `other`'s probing table.
+  Pli Intersect(const std::vector<ClusterId>& other_probing_table) const;
+  Pli Intersect(const Pli& other) const;
+
+  /// True iff every cluster of *this is contained in one cluster of `other`
+  /// (given as probing table): the direct FD check "this refines other".
+  bool Refines(const std::vector<ClusterId>& other_probing_table) const;
+
+  /// Approximate heap footprint (Table 3 accounting).
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<std::vector<RecordId>> clusters_;
+  size_t num_records_ = 0;
+  size_t size_ = 0;                ///< records in stripped clusters
+  size_t num_clusters_total_ = 0;  ///< incl. singletons
+};
+
+}  // namespace hyfd
+
+#endif  // HYFD_PLI_PLI_H_

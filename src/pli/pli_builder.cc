@@ -1,0 +1,40 @@
+#include "pli/pli_builder.h"
+
+#include <string>
+#include <unordered_map>
+
+namespace hyfd {
+
+Pli BuildColumnPli(const Relation& relation, int col, NullSemantics nulls) {
+  std::unordered_map<std::string, std::vector<RecordId>> groups;
+  std::vector<RecordId> null_group;
+  const size_t n = relation.num_rows();
+  for (size_t r = 0; r < n; ++r) {
+    if (relation.IsNull(r, col)) {
+      if (nulls == NullSemantics::kNullEqualsNull) {
+        null_group.push_back(static_cast<RecordId>(r));
+      }
+      // kNullUnequal: NULL rows stay singletons (stripped).
+      continue;
+    }
+    groups[relation.Value(r, col)].push_back(static_cast<RecordId>(r));
+  }
+  std::vector<std::vector<RecordId>> clusters;
+  clusters.reserve(groups.size() + 1);
+  for (auto& [_, records] : groups) {
+    if (records.size() >= 2) clusters.push_back(std::move(records));
+  }
+  if (null_group.size() >= 2) clusters.push_back(std::move(null_group));
+  return Pli(std::move(clusters), n);
+}
+
+std::vector<Pli> BuildAllColumnPlis(const Relation& relation, NullSemantics nulls) {
+  std::vector<Pli> plis;
+  plis.reserve(static_cast<size_t>(relation.num_columns()));
+  for (int c = 0; c < relation.num_columns(); ++c) {
+    plis.push_back(BuildColumnPli(relation, c, nulls));
+  }
+  return plis;
+}
+
+}  // namespace hyfd

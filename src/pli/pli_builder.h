@@ -1,0 +1,30 @@
+#ifndef HYFD_PLI_PLI_BUILDER_H_
+#define HYFD_PLI_PLI_BUILDER_H_
+
+#include <vector>
+
+#include "data/relation.h"
+#include "pli/pli.h"
+
+namespace hyfd {
+
+/// NULL comparison semantics (paper §10.1). Under kNullEqualsNull all NULLs
+/// of a column form one equivalence class; under kNullUnequal every NULL is
+/// its own singleton (stripped), so NULL rows can never violate an FD via
+/// that column on the LHS but always differ on the RHS.
+enum class NullSemantics {
+  kNullEqualsNull,
+  kNullUnequal,
+};
+
+/// Builds the single-column PLI π_A for column `col` of `relation`.
+Pli BuildColumnPli(const Relation& relation, int col,
+                   NullSemantics nulls = NullSemantics::kNullEqualsNull);
+
+/// Builds all single-column PLIs, in schema order.
+std::vector<Pli> BuildAllColumnPlis(
+    const Relation& relation, NullSemantics nulls = NullSemantics::kNullEqualsNull);
+
+}  // namespace hyfd
+
+#endif  // HYFD_PLI_PLI_BUILDER_H_

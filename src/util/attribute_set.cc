@@ -1,0 +1,151 @@
+#include "util/attribute_set.h"
+
+#include <bit>
+#include <sstream>
+
+namespace hyfd {
+
+AttributeSet AttributeSet::Full(int num_attributes) {
+  AttributeSet s(num_attributes);
+  s.SetAll();
+  return s;
+}
+
+void AttributeSet::SetAll() {
+  for (auto& w : words_) w = ~uint64_t{0};
+  // Clear the bits above num_bits_ in the last word.
+  int tail = num_bits_ & 63;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (uint64_t{1} << tail) - 1;
+  }
+}
+
+void AttributeSet::Clear() {
+  for (auto& w : words_) w = 0;
+}
+
+int AttributeSet::Count() const {
+  int c = 0;
+  for (uint64_t w : words_) c += std::popcount(w);
+  return c;
+}
+
+bool AttributeSet::Empty() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+int AttributeSet::First() const {
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] != 0) {
+      return static_cast<int>(i * 64 + std::countr_zero(words_[i]));
+    }
+  }
+  return kNpos;
+}
+
+int AttributeSet::NextAfter(int i) const {
+  ++i;
+  if (i >= num_bits_) return kNpos;
+  size_t w = static_cast<size_t>(i) >> 6;
+  uint64_t word = words_[w] >> (i & 63);
+  if (word != 0) return i + std::countr_zero(word);
+  for (++w; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      return static_cast<int>(w * 64 + std::countr_zero(words_[w]));
+    }
+  }
+  return kNpos;
+}
+
+bool AttributeSet::IsSubsetOf(const AttributeSet& other) const {
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool AttributeSet::IsProperSubsetOf(const AttributeSet& other) const {
+  return IsSubsetOf(other) && words_ != other.words_;
+}
+
+bool AttributeSet::Intersects(const AttributeSet& other) const {
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+AttributeSet& AttributeSet::operator&=(const AttributeSet& other) {
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+AttributeSet& AttributeSet::operator|=(const AttributeSet& other) {
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+AttributeSet& AttributeSet::operator^=(const AttributeSet& other) {
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  return *this;
+}
+
+AttributeSet& AttributeSet::AndNot(const AttributeSet& other) {
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+AttributeSet AttributeSet::Complement() const {
+  AttributeSet r(num_bits_);
+  r.SetAll();
+  r.AndNot(*this);
+  return r;
+}
+
+std::vector<int> AttributeSet::ToIndexes() const {
+  std::vector<int> out;
+  out.reserve(Count());
+  ForEachBit(*this, [&](int i) { out.push_back(i); });
+  return out;
+}
+
+size_t AttributeSet::Hash() const {
+  // FNV-1a over the words; cheap and good enough for the non-FD hash set.
+  size_t h = 1469598103934665603ull;
+  for (uint64_t w : words_) {
+    h ^= w;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string AttributeSet::ToString() const {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  ForEachBit(*this, [&](int i) {
+    if (!first) os << ',';
+    os << i;
+    first = false;
+  });
+  os << '}';
+  return os.str();
+}
+
+std::string AttributeSet::ToString(const std::vector<std::string>& names) const {
+  std::ostringstream os;
+  os << '[';
+  bool first = true;
+  ForEachBit(*this, [&](int i) {
+    if (!first) os << ", ";
+    os << names[static_cast<size_t>(i)];
+    first = false;
+  });
+  os << ']';
+  return os.str();
+}
+
+}  // namespace hyfd

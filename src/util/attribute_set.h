@@ -1,0 +1,161 @@
+#ifndef HYFD_UTIL_ATTRIBUTE_SET_H_
+#define HYFD_UTIL_ATTRIBUTE_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace hyfd {
+
+/// A dynamic bitset over attribute indexes `[0, size())`.
+///
+/// AttributeSets represent left-hand sides of functional dependencies, agree
+/// sets of record pairs (the paper's non-FD bitsets), and RHS candidate sets.
+/// All lattice reasoning in the library (generalization / specialization
+/// checks, cover computation, FDTree paths) operates on this type.
+///
+/// The set is backed by a small vector of 64-bit words; all bit operations
+/// are word-parallel. Two AttributeSets may only be combined if they were
+/// created with the same size().
+class AttributeSet {
+ public:
+  static constexpr int kNpos = -1;
+
+  AttributeSet() = default;
+
+  /// Creates an empty set over `num_attributes` attributes.
+  explicit AttributeSet(int num_attributes)
+      : num_bits_(num_attributes), words_((num_attributes + 63) / 64, 0) {}
+
+  /// Creates a set over `num_attributes` attributes with `bits` set.
+  AttributeSet(int num_attributes, std::initializer_list<int> bits)
+      : AttributeSet(num_attributes) {
+    for (int b : bits) Set(b);
+  }
+
+  /// Returns a set over `num_attributes` attributes with all bits set.
+  static AttributeSet Full(int num_attributes);
+
+  /// Number of attributes this set ranges over (not the number of set bits).
+  int size() const { return num_bits_; }
+
+  bool Test(int i) const {
+    return (words_[static_cast<size_t>(i) >> 6] >> (i & 63)) & 1u;
+  }
+  void Set(int i) { words_[static_cast<size_t>(i) >> 6] |= uint64_t{1} << (i & 63); }
+  void Reset(int i) {
+    words_[static_cast<size_t>(i) >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+  void Flip(int i) { words_[static_cast<size_t>(i) >> 6] ^= uint64_t{1} << (i & 63); }
+
+  /// Sets every bit in `[0, size())`.
+  void SetAll();
+  /// Clears every bit.
+  void Clear();
+
+  /// Number of set bits.
+  int Count() const;
+  bool Empty() const;
+
+  /// Index of the lowest set bit, or kNpos if empty.
+  int First() const;
+  /// Index of the lowest set bit strictly greater than `i`, or kNpos.
+  int NextAfter(int i) const;
+
+  /// True iff every bit of *this is also set in `other`.
+  bool IsSubsetOf(const AttributeSet& other) const;
+  /// True iff *this is a subset of `other` and differs from it.
+  bool IsProperSubsetOf(const AttributeSet& other) const;
+  /// True iff the two sets share at least one bit.
+  bool Intersects(const AttributeSet& other) const;
+
+  AttributeSet& operator&=(const AttributeSet& other);
+  AttributeSet& operator|=(const AttributeSet& other);
+  AttributeSet& operator^=(const AttributeSet& other);
+  /// Removes all bits of `other` from *this.
+  AttributeSet& AndNot(const AttributeSet& other);
+
+  friend AttributeSet operator&(AttributeSet a, const AttributeSet& b) {
+    a &= b;
+    return a;
+  }
+  friend AttributeSet operator|(AttributeSet a, const AttributeSet& b) {
+    a |= b;
+    return a;
+  }
+  friend AttributeSet operator^(AttributeSet a, const AttributeSet& b) {
+    a ^= b;
+    return a;
+  }
+
+  /// Returns a copy with bit `i` set.
+  AttributeSet With(int i) const {
+    AttributeSet r = *this;
+    r.Set(i);
+    return r;
+  }
+  /// Returns a copy with bit `i` cleared.
+  AttributeSet Without(int i) const {
+    AttributeSet r = *this;
+    r.Reset(i);
+    return r;
+  }
+  /// Returns the complement within `[0, size())`.
+  AttributeSet Complement() const;
+
+  /// Returns the indexes of all set bits in ascending order.
+  std::vector<int> ToIndexes() const;
+
+  friend bool operator==(const AttributeSet& a, const AttributeSet& b) {
+    return a.num_bits_ == b.num_bits_ && a.words_ == b.words_;
+  }
+  friend bool operator!=(const AttributeSet& a, const AttributeSet& b) {
+    return !(a == b);
+  }
+  /// Lexicographic order on the underlying words; used for canonical sorting.
+  friend bool operator<(const AttributeSet& a, const AttributeSet& b) {
+    if (a.num_bits_ != b.num_bits_) return a.num_bits_ < b.num_bits_;
+    for (size_t w = a.words_.size(); w-- > 0;) {
+      if (a.words_[w] != b.words_[w]) return a.words_[w] < b.words_[w];
+    }
+    return false;
+  }
+
+  size_t Hash() const;
+
+  /// Renders like "{0,2,5}" (attribute indexes) for debugging.
+  std::string ToString() const;
+  /// Renders using column names, e.g. "[city, zip]".
+  std::string ToString(const std::vector<std::string>& names) const;
+
+  /// Approximate heap footprint in bytes (for the memory guardian / Table 3).
+  size_t MemoryBytes() const { return words_.capacity() * sizeof(uint64_t); }
+
+ private:
+  int num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+/// Iterates the set bits of `s`, invoking `fn(int index)` for each.
+template <typename Fn>
+void ForEachBit(const AttributeSet& s, Fn&& fn) {
+  for (int i = s.First(); i != AttributeSet::kNpos; i = s.NextAfter(i)) fn(i);
+}
+
+struct AttributeSetHash {
+  size_t operator()(const AttributeSet& s) const { return s.Hash(); }
+};
+
+}  // namespace hyfd
+
+namespace std {
+template <>
+struct hash<hyfd::AttributeSet> {
+  size_t operator()(const hyfd::AttributeSet& s) const { return s.Hash(); }
+};
+}  // namespace std
+
+#endif  // HYFD_UTIL_ATTRIBUTE_SET_H_

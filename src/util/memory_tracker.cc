@@ -1,0 +1,42 @@
+#include "util/memory_tracker.h"
+
+namespace hyfd {
+
+void MemoryTracker::Add(size_t bytes) {
+  current_.fetch_add(bytes, std::memory_order_relaxed);
+  BumpPeak();
+}
+
+void MemoryTracker::Sub(size_t bytes) {
+  current_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void MemoryTracker::SetComponent(int component, size_t bytes) {
+  size_t old = components_[component].exchange(bytes, std::memory_order_relaxed);
+  if (bytes >= old) {
+    Add(bytes - old);
+  } else {
+    Sub(old - bytes);
+  }
+}
+
+void MemoryTracker::Reset() {
+  current_.store(0, std::memory_order_relaxed);
+  peak_.store(0, std::memory_order_relaxed);
+  for (auto& c : components_) c.store(0, std::memory_order_relaxed);
+}
+
+void MemoryTracker::BumpPeak() {
+  size_t cur = current_.load(std::memory_order_relaxed);
+  size_t peak = peak_.load(std::memory_order_relaxed);
+  while (cur > peak &&
+         !peak_.compare_exchange_weak(peak, cur, std::memory_order_relaxed)) {
+  }
+}
+
+MemoryTracker& GlobalMemoryTracker() {
+  static MemoryTracker* tracker = new MemoryTracker();
+  return *tracker;
+}
+
+}  // namespace hyfd

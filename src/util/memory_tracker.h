@@ -1,0 +1,59 @@
+#ifndef HYFD_UTIL_MEMORY_TRACKER_H_
+#define HYFD_UTIL_MEMORY_TRACKER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace hyfd {
+
+/// Byte-accounting for the dominant data structures of an FD discovery run.
+///
+/// The paper's Table 3 compares the peak memory of TANE, DFD, FDEP, and HyFD.
+/// Instead of limiting a JVM heap, we let each algorithm report the bytes it
+/// holds in PLIs, candidate stores, negative covers, and FD trees through this
+/// tracker; `peak_bytes()` then reproduces the footprint comparison.
+///
+/// The tracker is also what the MemoryGuardian polls to decide when to prune
+/// the FDTree (paper §9).
+class MemoryTracker {
+ public:
+  /// Accounts `bytes` as allocated; updates the peak watermark.
+  void Add(size_t bytes);
+  /// Accounts `bytes` as released.
+  void Sub(size_t bytes);
+  /// Replaces the current charge of a named component (idempotent updates).
+  void SetComponent(int component, size_t bytes);
+
+  size_t current_bytes() const { return current_.load(std::memory_order_relaxed); }
+  size_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
+
+  void Reset();
+
+  /// Component slots used by SetComponent. Each algorithm charges the
+  /// structures it actually keeps alive.
+  enum Component : int {
+    kPlis = 0,
+    kCompressedRecords,
+    kNegativeCover,
+    kFdTree,
+    kCandidates,
+    kAgreeSets,
+    kOther,
+    kNumComponents,
+  };
+
+ private:
+  void BumpPeak();
+
+  std::atomic<size_t> current_{0};
+  std::atomic<size_t> peak_{0};
+  std::atomic<size_t> components_[kNumComponents] = {};
+};
+
+/// Process-wide tracker; algorithms use this unless given their own.
+MemoryTracker& GlobalMemoryTracker();
+
+}  // namespace hyfd
+
+#endif  // HYFD_UTIL_MEMORY_TRACKER_H_

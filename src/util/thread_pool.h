@@ -1,0 +1,54 @@
+#ifndef HYFD_UTIL_THREAD_POOL_H_
+#define HYFD_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace hyfd {
+
+/// A minimal fixed-size thread pool.
+///
+/// HyFD's two embarrassingly parallel spots — window runs in the Sampler and
+/// per-node refinement checks in the Validator (paper §10.4) — submit batches
+/// of tasks here and wait for the batch with WaitIdle().
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void WaitIdle();
+
+  /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
+  /// Work is chunked to limit queueing overhead.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace hyfd
+
+#endif  // HYFD_UTIL_THREAD_POOL_H_

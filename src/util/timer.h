@@ -1,0 +1,28 @@
+#ifndef HYFD_UTIL_TIMER_H_
+#define HYFD_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace hyfd {
+
+/// Simple monotonic wall-clock stopwatch used by the bench harnesses and the
+/// per-phase statistics of the HyFD driver.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hyfd
+
+#endif  // HYFD_UTIL_TIMER_H_

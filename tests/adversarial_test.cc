@@ -1,0 +1,170 @@
+// Adversarial and failure-injection coverage: degenerate value
+// distributions, pathological schemas, and inputs crafted against specific
+// pruning rules.
+
+#include <string>
+#include <vector>
+
+#include "baselines/registry.h"
+#include "core/hyfd.h"
+#include "data/csv.h"
+#include "fd/reference.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace hyfd {
+namespace {
+
+void CheckAll(const Relation& r, const std::string& context) {
+  FDSet expected = DiscoverFdsBruteForce(r);
+  for (const AlgoInfo& algo : AllAlgorithms()) {
+    testing::ExpectSameFds(expected, algo.run(r, AlgoOptions{}),
+                           context + "/" + algo.name);
+  }
+}
+
+TEST(AdversarialTest, AllColumnsIdentical) {
+  // Every column carries the same values: each column determines every
+  // other with a singleton LHS.
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 12; ++i) {
+    std::string v = "v" + std::to_string(i % 4);
+    rows.push_back({v, v, v, v});
+  }
+  Relation r = Relation::FromStringRows(Schema::Generic(4), rows);
+  FDSet fds = DiscoverFds(r);
+  EXPECT_EQ(fds.size(), 12u);  // 4 * 3 singleton FDs
+  CheckAll(r, "identical columns");
+}
+
+TEST(AdversarialTest, AllColumnsConstant) {
+  Relation r = Relation::FromStringRows(
+      Schema::Generic(3), {{"c", "c", "c"}, {"c", "c", "c"}, {"c", "c", "c"}});
+  FDSet fds = DiscoverFds(r);
+  EXPECT_EQ(fds.size(), 3u);
+  for (const FD& fd : fds) EXPECT_TRUE(fd.lhs.Empty());
+  CheckAll(r, "constant columns");
+}
+
+TEST(AdversarialTest, AllNullColumn) {
+  Relation r{Schema::Generic(2)};
+  for (int i = 0; i < 6; ++i) {
+    r.AppendRow({std::nullopt, "v" + std::to_string(i)});
+  }
+  // null = null: column A constant; null != null: column A unique key.
+  FDSet eq = DiscoverFdsBruteForce(r, NullSemantics::kNullEqualsNull);
+  EXPECT_TRUE(eq.Contains(FD(AttributeSet(2), 0)));
+  FDSet ne = DiscoverFdsBruteForce(r, NullSemantics::kNullUnequal);
+  EXPECT_TRUE(ne.Contains(FD(AttributeSet(2, {0}), 1)));
+  CheckAll(r, "all-null column");
+}
+
+TEST(AdversarialTest, AntiChainBorder) {
+  // XOR-style data pushes the minimal FDs to the top of the lattice: with
+  // m-1 free binary columns and the last the parity of the others, the only
+  // FD for the parity column needs every other attribute.
+  const int m = 5;
+  Relation r{Schema::Generic(m)};
+  for (uint32_t bits = 0; bits < (1u << (m - 1)); ++bits) {
+    std::vector<std::optional<std::string>> row;
+    int parity = 0;
+    for (int c = 0; c < m - 1; ++c) {
+      int v = (bits >> c) & 1;
+      parity ^= v;
+      row.push_back(std::string(1, static_cast<char>('0' + v)));
+    }
+    row.push_back(std::string(1, static_cast<char>('0' + parity)));
+    r.AppendRow(row);
+  }
+  FDSet fds = DiscoverFds(r);
+  AttributeSet all_but_last = AttributeSet::Full(m).Without(m - 1);
+  EXPECT_TRUE(fds.Contains(FD(all_but_last, m - 1)));
+  CheckAll(r, "xor parity");
+}
+
+TEST(AdversarialTest, LongStringValuesAndUnicode) {
+  std::string big(10000, 'x');
+  Relation r = Relation::FromStringRows(
+      Schema({"a", "b"}),
+      {{big + "1", "käse"}, {big + "1", "käse"}, {big + "2", "smörgås"}});
+  FDSet fds = DiscoverFds(r);
+  EXPECT_TRUE(fds.Contains(FD(AttributeSet(2, {0}), 1)));
+  CheckAll(r, "long values");
+}
+
+TEST(AdversarialTest, ValuesCollidingAcrossColumns) {
+  // The same string in different columns must never be conflated.
+  Relation r = Relation::FromStringRows(
+      Schema({"a", "b"}), {{"x", "x"}, {"x", "y"}, {"y", "x"}, {"y", "y"}});
+  FDSet fds = DiscoverFds(r);
+  EXPECT_TRUE(fds.empty());  // 2x2 grid: no FDs at all
+  CheckAll(r, "cross-column collisions");
+}
+
+TEST(AdversarialTest, SingleGiantCluster) {
+  // One value dominates a column (worst case for cluster windowing).
+  Relation r{Schema::Generic(3)};
+  for (int i = 0; i < 200; ++i) {
+    r.AppendRow({std::string("same"), "v" + std::to_string(i % 3),
+                 "w" + std::to_string(i % 7)});
+  }
+  CheckAll(r, "giant cluster");
+}
+
+TEST(AdversarialTest, WideSchemaTinyData) {
+  // 40 columns, 3 rows: stresses bitset paths across word boundaries and
+  // the wide-lattice handling of HyFD/FDEP (oracle is too slow here, so
+  // compare the two column-efficient algorithms against each other).
+  Relation r{Schema::Generic(40)};
+  for (int row = 0; row < 3; ++row) {
+    std::vector<std::optional<std::string>> values;
+    for (int c = 0; c < 40; ++c) {
+      values.push_back("v" + std::to_string((row + c) % 2));
+    }
+    r.AppendRow(values);
+  }
+  FDSet hyfd = DiscoverFds(r);
+  FDSet fdep = FindAlgorithm("fdep").run(r, AlgoOptions{});
+  testing::ExpectSameFds(fdep, hyfd, "wide tiny");
+  EXPECT_TRUE(hyfd.IsMinimal());
+}
+
+TEST(AdversarialTest, NearDuplicateRecordsOnly) {
+  // Pairs of records differing in exactly one attribute — every comparison
+  // yields a maximal agree set, the worst case for the inductor's
+  // specialization depth.
+  Relation r{Schema::Generic(4)};
+  for (int i = 0; i < 10; ++i) {
+    std::string base = "g" + std::to_string(i);
+    r.AppendRow({base, base, base, "p" + std::to_string(i)});
+    r.AppendRow({base, base, base, "q" + std::to_string(i)});
+  }
+  CheckAll(r, "near duplicates");
+}
+
+TEST(AdversarialTest, CsvWithOnlyHeader) {
+  Relation r = ReadCsvString("a,b,c\n");
+  EXPECT_EQ(r.num_rows(), 0u);
+  EXPECT_EQ(DiscoverFds(r).size(), 3u);  // ∅ determines everything
+}
+
+TEST(AdversarialTest, ExtremeThresholdsOnSkewedData) {
+  // Zipf-like skew plus extreme thresholds: correctness must not depend on
+  // the efficiency parameter (only performance may).
+  Relation r{Schema::Generic(3)};
+  for (int i = 0; i < 300; ++i) {
+    int a = i < 200 ? 0 : i;  // 200 copies of one value, 100 uniques
+    r.AppendRow({"a" + std::to_string(a), "b" + std::to_string(i % 5),
+                 "c" + std::to_string(i % 2)});
+  }
+  FDSet expected = DiscoverFdsBruteForce(r);
+  for (double threshold : {1e-6, 0.5, 100.0}) {
+    HyFdConfig config;
+    config.efficiency_threshold = threshold;
+    testing::ExpectSameFds(expected, DiscoverFds(r, config),
+                           "threshold " + std::to_string(threshold));
+  }
+}
+
+}  // namespace
+}  // namespace hyfd

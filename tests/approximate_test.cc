@@ -1,0 +1,100 @@
+#include "fd/approximate.h"
+
+#include <optional>
+
+#include "fd/reference.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace hyfd {
+namespace {
+
+TEST(G3ErrorTest, ExactFdHasZeroError) {
+  Relation r = Relation::FromStringRows(
+      Schema({"a", "b"}), {{"1", "x"}, {"1", "x"}, {"2", "y"}, {"2", "y"}});
+  EXPECT_DOUBLE_EQ(ComputeG3Error(r, AttributeSet(2, {0}), 1), 0.0);
+}
+
+TEST(G3ErrorTest, CountsMinimalRecordRemovals) {
+  // a -> b violated only by the last record: removing 1 of 5 fixes it.
+  Relation r = Relation::FromStringRows(
+      Schema({"a", "b"}),
+      {{"1", "x"}, {"1", "x"}, {"1", "x"}, {"2", "y"}, {"1", "z"}});
+  EXPECT_DOUBLE_EQ(ComputeG3Error(r, AttributeSet(2, {0}), 1), 0.2);
+}
+
+TEST(G3ErrorTest, EmptyLhsMeasuresMajorityValue) {
+  // ∅ -> a: keep the most frequent value (3 of 5) -> error 0.4.
+  Relation r = Relation::FromStringRows(
+      Schema({"a"}), {{"x"}, {"x"}, {"x"}, {"y"}, {"z"}});
+  EXPECT_DOUBLE_EQ(ComputeG3Error(r, AttributeSet(1), 0), 0.4);
+}
+
+TEST(G3ErrorTest, UniqueRhsValuesCountIndividually) {
+  // All b values distinct within one a cluster: keep exactly one.
+  Relation r = Relation::FromStringRows(
+      Schema({"a", "b"}), {{"1", "p"}, {"1", "q"}, {"1", "s"}});
+  EXPECT_NEAR(ComputeG3Error(r, AttributeSet(2, {0}), 1), 2.0 / 3.0, 1e-12);
+}
+
+TEST(G3ErrorTest, NullSemanticsRespected) {
+  Relation r = Relation::FromRows(
+      Schema({"a", "b"}), {{std::nullopt, "1"}, {std::nullopt, "2"}});
+  EXPECT_DOUBLE_EQ(
+      ComputeG3Error(r, AttributeSet(2, {0}), 1, NullSemantics::kNullEqualsNull),
+      0.5);
+  EXPECT_DOUBLE_EQ(
+      ComputeG3Error(r, AttributeSet(2, {0}), 1, NullSemantics::kNullUnequal),
+      0.0);
+}
+
+TEST(ApproximateDiscoveryTest, ZeroErrorEqualsExactDiscovery) {
+  Relation r = testing::RandomRelation(5, 80, 71, 3, 0.1);
+  testing::ExpectSameFds(DiscoverFdsBruteForce(r),
+                         DiscoverApproximateFds(r, 0.0), "g3 = 0");
+}
+
+TEST(ApproximateDiscoveryTest, LooserBoundFindsGeneralizations) {
+  Relation r = testing::RandomRelation(5, 80, 73, 3);
+  FDSet exact = DiscoverApproximateFds(r, 0.0);
+  FDSet loose = DiscoverApproximateFds(r, 0.2);
+  // Every exact FD must have a generalization among the approximate ones
+  // (the bound only relaxes), and every approximate FD really satisfies it.
+  for (const FD& fd : exact) {
+    EXPECT_TRUE(loose.ContainsGeneralizationOf(fd)) << fd.ToString();
+  }
+  for (const FD& fd : loose) {
+    EXPECT_LE(ComputeG3Error(r, fd.lhs, fd.rhs), 0.2) << fd.ToString();
+    // Minimality: every proper generalization must exceed the bound.
+    ForEachBit(fd.lhs, [&](int attr) {
+      EXPECT_GT(ComputeG3Error(r, fd.lhs.Without(attr), fd.rhs), 0.2)
+          << fd.ToString() << " minus " << attr;
+    });
+  }
+}
+
+TEST(ApproximateDiscoveryTest, FullErrorAcceptsEverything) {
+  Relation r = testing::RandomRelation(4, 40, 77, 3);
+  FDSet fds = DiscoverApproximateFds(r, 1.0);
+  // With error bound 1 the empty LHS determines every attribute.
+  EXPECT_EQ(fds.size(), 4u);
+  for (const FD& fd : fds) EXPECT_TRUE(fd.lhs.Empty());
+}
+
+TEST(ApproximateDiscoveryTest, G3IsMonotoneUnderLhsExtension) {
+  Relation r = testing::RandomRelation(5, 100, 79, 3);
+  std::mt19937_64 rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    AttributeSet lhs(5);
+    lhs.Set(static_cast<int>(rng() % 5));
+    int rhs = static_cast<int>(rng() % 5);
+    lhs.Reset(rhs);
+    int extra = static_cast<int>(rng() % 5);
+    if (extra == rhs) continue;
+    EXPECT_LE(ComputeG3Error(r, lhs.With(extra), rhs) - 1e-12,
+              ComputeG3Error(r, lhs, rhs));
+  }
+}
+
+}  // namespace
+}  // namespace hyfd

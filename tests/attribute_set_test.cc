@@ -1,0 +1,129 @@
+#include "util/attribute_set.h"
+
+#include <unordered_set>
+
+#include "gtest/gtest.h"
+
+namespace hyfd {
+namespace {
+
+TEST(AttributeSetTest, StartsEmpty) {
+  AttributeSet s(10);
+  EXPECT_TRUE(s.Empty());
+  EXPECT_EQ(s.Count(), 0);
+  EXPECT_EQ(s.size(), 10);
+  EXPECT_EQ(s.First(), AttributeSet::kNpos);
+}
+
+TEST(AttributeSetTest, SetTestReset) {
+  AttributeSet s(70);
+  s.Set(0);
+  s.Set(63);
+  s.Set(64);
+  s.Set(69);
+  EXPECT_TRUE(s.Test(0));
+  EXPECT_TRUE(s.Test(63));
+  EXPECT_TRUE(s.Test(64));
+  EXPECT_TRUE(s.Test(69));
+  EXPECT_FALSE(s.Test(1));
+  EXPECT_EQ(s.Count(), 4);
+  s.Reset(63);
+  EXPECT_FALSE(s.Test(63));
+  EXPECT_EQ(s.Count(), 3);
+}
+
+TEST(AttributeSetTest, InitializerList) {
+  AttributeSet s(8, {1, 3, 5});
+  EXPECT_EQ(s.ToIndexes(), (std::vector<int>{1, 3, 5}));
+}
+
+TEST(AttributeSetTest, FullClearsTailBits) {
+  AttributeSet s = AttributeSet::Full(70);
+  EXPECT_EQ(s.Count(), 70);
+  AttributeSet t = AttributeSet::Full(64);
+  EXPECT_EQ(t.Count(), 64);
+}
+
+TEST(AttributeSetTest, IterationAcrossWordBoundary) {
+  AttributeSet s(130, {0, 63, 64, 127, 128, 129});
+  std::vector<int> seen;
+  ForEachBit(s, [&](int i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<int>{0, 63, 64, 127, 128, 129}));
+}
+
+TEST(AttributeSetTest, NextAfter) {
+  AttributeSet s(100, {5, 50, 99});
+  EXPECT_EQ(s.First(), 5);
+  EXPECT_EQ(s.NextAfter(5), 50);
+  EXPECT_EQ(s.NextAfter(50), 99);
+  EXPECT_EQ(s.NextAfter(99), AttributeSet::kNpos);
+  EXPECT_EQ(s.NextAfter(0), 5);
+}
+
+TEST(AttributeSetTest, SubsetChecks) {
+  AttributeSet a(10, {1, 2});
+  AttributeSet b(10, {1, 2, 3});
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_TRUE(a.IsProperSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+  EXPECT_FALSE(a.IsProperSubsetOf(a));
+  AttributeSet empty(10);
+  EXPECT_TRUE(empty.IsSubsetOf(a));
+}
+
+TEST(AttributeSetTest, BitwiseOperations) {
+  AttributeSet a(10, {1, 2, 3});
+  AttributeSet b(10, {3, 4});
+  EXPECT_EQ((a & b).ToIndexes(), (std::vector<int>{3}));
+  EXPECT_EQ((a | b).ToIndexes(), (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ((a ^ b).ToIndexes(), (std::vector<int>{1, 2, 4}));
+  AttributeSet c = a;
+  c.AndNot(b);
+  EXPECT_EQ(c.ToIndexes(), (std::vector<int>{1, 2}));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(c.Intersects(b));
+}
+
+TEST(AttributeSetTest, WithWithoutComplement) {
+  AttributeSet a(5, {1});
+  EXPECT_EQ(a.With(3).ToIndexes(), (std::vector<int>{1, 3}));
+  EXPECT_EQ(a.Without(1).ToIndexes(), (std::vector<int>{}));
+  EXPECT_EQ(a.Complement().ToIndexes(), (std::vector<int>{0, 2, 3, 4}));
+  // The original is unmodified.
+  EXPECT_EQ(a.ToIndexes(), (std::vector<int>{1}));
+}
+
+TEST(AttributeSetTest, EqualityAndOrdering) {
+  AttributeSet a(10, {1, 2});
+  AttributeSet b(10, {1, 2});
+  AttributeSet c(10, {1, 3});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_TRUE(a < c);
+  EXPECT_FALSE(c < a);
+}
+
+TEST(AttributeSetTest, HashableInUnorderedSet) {
+  std::unordered_set<AttributeSet> set;
+  set.insert(AttributeSet(10, {1, 2}));
+  set.insert(AttributeSet(10, {1, 2}));
+  set.insert(AttributeSet(10, {2, 3}));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(AttributeSetTest, ToStringWithNames) {
+  AttributeSet s(3, {0, 2});
+  EXPECT_EQ(s.ToString(), "{0,2}");
+  EXPECT_EQ(s.ToString({"x", "y", "z"}), "[x, z]");
+}
+
+TEST(AttributeSetTest, SetAllOnEmptySet) {
+  AttributeSet s(0);
+  s.SetAll();
+  EXPECT_EQ(s.Count(), 0);
+  EXPECT_TRUE(s.Empty());
+}
+
+}  // namespace
+}  // namespace hyfd

@@ -1,0 +1,194 @@
+#include "baselines/registry.h"
+
+#include "baselines/agree_sets.h"
+#include "baselines/fdep.h"
+#include "data/generators.h"
+#include "fd/reference.h"
+#include "gtest/gtest.h"
+#include "pli/compressed_records.h"
+#include "test_util.h"
+
+namespace hyfd {
+namespace {
+
+TEST(AgreeSetsTest, AllPairsAgreeSets) {
+  // Records: (1,x),(1,y),(2,x). Agree sets: {A} for (0,1), {B} for (0,2),
+  // {} for (1,2).
+  Relation r = Relation::FromStringRows(
+      Schema({"A", "B"}), {{"1", "x"}, {"1", "y"}, {"2", "x"}});
+  auto plis = BuildAllColumnPlis(r);
+  CompressedRecords records(plis, r.num_rows());
+  auto agree = ComputeAgreeSets(records);
+  EXPECT_EQ(agree.size(), 3u);
+  EXPECT_TRUE(agree.contains(AttributeSet(2, {0})));
+  EXPECT_TRUE(agree.contains(AttributeSet(2, {1})));
+  EXPECT_TRUE(agree.contains(AttributeSet(2)));
+}
+
+TEST(AgreeSetsTest, IdenticalRecordsAreSkipped) {
+  Relation r = Relation::FromStringRows(Schema({"A", "B"}),
+                                        {{"1", "x"}, {"1", "x"}});
+  auto plis = BuildAllColumnPlis(r);
+  CompressedRecords records(plis, r.num_rows());
+  EXPECT_TRUE(ComputeAgreeSets(records).empty());
+}
+
+TEST(AgreeSetsTest, MaximizeKeepsOnlyMaximalSets) {
+  std::unordered_set<AttributeSet> sets{
+      AttributeSet(4, {0}), AttributeSet(4, {0, 1}), AttributeSet(4, {2}),
+      AttributeSet(4, {0, 1, 3})};
+  auto maximal = MaximizeSets(sets);
+  EXPECT_EQ(maximal.size(), 2u);
+}
+
+TEST(AgreeSetsTest, DifferenceSetsForRhs) {
+  // Agree sets over 4 attrs: {0,1} and {2}.
+  std::unordered_set<AttributeSet> agree{AttributeSet(4, {0, 1}),
+                                         AttributeSet(4, {2})};
+  // rhs = 3: neither contains 3. Complements minus rhs: {2} and {0,1}.
+  auto diffs = DifferenceSetsForRhs(agree, 3, 4);
+  EXPECT_EQ(diffs.size(), 2u);
+  // rhs = 2: agree set {2} contains it and contributes nothing; from {0,1}
+  // the difference set is {3}.
+  diffs = DifferenceSetsForRhs(agree, 2, 4);
+  ASSERT_EQ(diffs.size(), 1u);
+  EXPECT_EQ(diffs[0], AttributeSet(4, {3}));
+}
+
+TEST(AgreeSetsTest, PerRhsMaximizationKeepsSubsumedConstraints) {
+  // {0} is a subset of {0,3}; for rhs = 3 only {0} counts (the superset
+  // contains 3) and its constraint must survive per-RHS maximization.
+  std::unordered_set<AttributeSet> agree{AttributeSet(4, {0, 3}),
+                                         AttributeSet(4, {0})};
+  auto diffs = DifferenceSetsForRhs(agree, 3, 4);
+  ASSERT_EQ(diffs.size(), 1u);
+  EXPECT_EQ(diffs[0], AttributeSet(4, {1, 2}));
+}
+
+TEST(RegistryTest, ExposesAllEightAlgorithms) {
+  EXPECT_EQ(AllAlgorithms().size(), 8u);
+  EXPECT_NO_THROW(FindAlgorithm("tane"));
+  EXPECT_NO_THROW(FindAlgorithm("hyfd"));
+  EXPECT_THROW(FindAlgorithm("nope"), std::out_of_range);
+}
+
+TEST(RegistryTest, DeadlineExpiryThrows) {
+  Relation r = testing::RandomRelation(7, 2000, 3, 3);
+  AlgoOptions options;
+  options.deadline_seconds = 1e-9;  // expires immediately
+  EXPECT_THROW(DiscoverFdsFdep(r, options), TimeoutError);
+  EXPECT_THROW(FindAlgorithm("tane").run(r, options), TimeoutError);
+}
+
+// --- Cross-checking every algorithm against the brute-force oracle --------
+
+struct CrossCheckParam {
+  std::string algo;
+  int cols;
+  size_t rows;
+  int max_domain;
+  double null_rate;
+  uint64_t seed;
+
+  friend std::ostream& operator<<(std::ostream& os, const CrossCheckParam& p) {
+    return os << p.algo << "_c" << p.cols << "_r" << p.rows << "_d"
+              << p.max_domain << "_s" << p.seed;
+  }
+};
+
+class BaselineCrossCheckTest : public ::testing::TestWithParam<CrossCheckParam> {};
+
+TEST_P(BaselineCrossCheckTest, MatchesBruteForce) {
+  const CrossCheckParam& p = GetParam();
+  Relation r =
+      testing::RandomRelation(p.cols, p.rows, p.seed, p.max_domain, p.null_rate);
+  FDSet expected = DiscoverFdsBruteForce(r);
+  FDSet actual = FindAlgorithm(p.algo).run(r, AlgoOptions{});
+  testing::ExpectSameFds(expected, actual, p.algo);
+  EXPECT_TRUE(actual.IsMinimal());
+}
+
+std::vector<CrossCheckParam> CrossCheckParams() {
+  std::vector<CrossCheckParam> params;
+  uint64_t seed = 5000;
+  for (const char* algo :
+       {"tane", "fun", "fd_mine", "dfd", "depminer", "fastfds", "fdep", "hyfd"}) {
+    for (int cols : {2, 4, 6}) {
+      for (int domain : {2, 4}) {
+        params.push_back({algo, cols, 50, domain, 0.0, seed++});
+        params.push_back({algo, cols, 90, domain, 0.2, seed++});
+      }
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, BaselineCrossCheckTest,
+                         ::testing::ValuesIn(CrossCheckParams()));
+
+// --- All algorithms must agree with each other on richer data -------------
+
+class AlgorithmAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AlgorithmAgreementTest, AllEightAgree) {
+  uint64_t seed = static_cast<uint64_t>(GetParam());
+  Relation r = (seed % 2 == 0)
+                   ? testing::RandomRelation(5, 150, seed, 4, 0.1)
+                   : GenerateFdReduced(120, 6, 5, seed);
+  FDSet reference = FindAlgorithm("hyfd").run(r, AlgoOptions{});
+  for (const AlgoInfo& algo : AllAlgorithms()) {
+    FDSet fds = algo.run(r, AlgoOptions{});
+    testing::ExpectSameFds(reference, fds, algo.name);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlgorithmAgreementTest,
+                         ::testing::Range(9000, 9008));
+
+// --- Null semantics agreement across all algorithms -----------------------
+
+TEST(BaselineNullSemanticsTest, AllAlgorithmsHonorNullUnequal) {
+  Relation r = testing::RandomRelation(4, 60, 404, 3, 0.3);
+  for (auto semantics :
+       {NullSemantics::kNullEqualsNull, NullSemantics::kNullUnequal}) {
+    FDSet expected = DiscoverFdsBruteForce(r, semantics);
+    for (const AlgoInfo& algo : AllAlgorithms()) {
+      AlgoOptions options;
+      options.null_semantics = semantics;
+      testing::ExpectSameFds(expected, algo.run(r, options),
+                             algo.name + (semantics == NullSemantics::kNullUnequal
+                                              ? " null!=null"
+                                              : " null=null"));
+    }
+  }
+}
+
+// --- Degenerate inputs for every algorithm --------------------------------
+
+TEST(BaselineDegenerateTest, EmptySingleRowSingleColumn) {
+  Relation empty{Schema::Generic(3)};
+  Relation single = Relation::FromStringRows(Schema::Generic(3), {{"a", "b", "c"}});
+  Relation one_col = Relation::FromStringRows(Schema({"a"}), {{"x"}, {"y"}});
+  for (const AlgoInfo& algo : AllAlgorithms()) {
+    EXPECT_EQ(algo.run(empty, AlgoOptions{}).size(), 3u) << algo.name;
+    EXPECT_EQ(algo.run(single, AlgoOptions{}).size(), 3u) << algo.name;
+    EXPECT_TRUE(algo.run(one_col, AlgoOptions{}).empty()) << algo.name;
+  }
+}
+
+TEST(BaselineDegenerateTest, DuplicateHeavyData) {
+  // Only two distinct rows repeated many times.
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 20; ++i) {
+    rows.push_back({"1", "x", "p"});
+    rows.push_back({"2", "y", "p"});
+  }
+  Relation r = Relation::FromStringRows(Schema::Generic(3), rows);
+  FDSet expected = DiscoverFdsBruteForce(r);
+  for (const AlgoInfo& algo : AllAlgorithms()) {
+    testing::ExpectSameFds(expected, algo.run(r, AlgoOptions{}), algo.name);
+  }
+}
+
+}  // namespace
+}  // namespace hyfd

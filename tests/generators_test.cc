@@ -1,0 +1,146 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "data/datasets.h"
+#include "fd/reference.h"
+#include "gtest/gtest.h"
+
+namespace hyfd {
+namespace {
+
+TEST(GeneratorsTest, DeterministicInSeed) {
+  GeneratorConfig config;
+  config.rows = 50;
+  config.seed = 7;
+  config.columns = {ColumnSpec{.cardinality = 5}, ColumnSpec{.cardinality = 3}};
+  Relation a = Generate(config);
+  Relation b = Generate(config);
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    for (int c = 0; c < a.num_columns(); ++c) {
+      EXPECT_EQ(a.Value(r, c), b.Value(r, c));
+    }
+  }
+  config.seed = 8;
+  Relation c = Generate(config);
+  bool any_diff = false;
+  for (size_t r = 0; r < a.num_rows() && !any_diff; ++r) {
+    any_diff = a.Value(r, 0) != c.Value(r, 0);
+  }
+  EXPECT_TRUE(any_diff) << "different seeds should give different data";
+}
+
+TEST(GeneratorsTest, KeyColumnIsUnique) {
+  GeneratorConfig config;
+  config.rows = 100;
+  config.columns = {ColumnSpec{.cardinality = 0}};
+  Relation r = Generate(config);
+  EXPECT_EQ(r.DistinctCount(0), 100u);
+}
+
+TEST(GeneratorsTest, CardinalityIsRespected) {
+  GeneratorConfig config;
+  config.rows = 1000;
+  config.columns = {ColumnSpec{.cardinality = 7}};
+  Relation r = Generate(config);
+  EXPECT_LE(r.DistinctCount(0), 7u);
+  EXPECT_GE(r.DistinctCount(0), 5u);  // with 1000 draws all 7 almost surely hit
+}
+
+TEST(GeneratorsTest, DerivedColumnPlantsFd) {
+  GeneratorConfig config;
+  config.rows = 300;
+  config.columns = {ColumnSpec{.cardinality = 20},
+                    ColumnSpec{.cardinality = 50, .sources = {0}}};
+  Relation r = Generate(config);
+  // Planted FD: column 0 -> column 1 must hold.
+  EXPECT_TRUE(FdHolds(r, AttributeSet(2, {0}), 1));
+}
+
+TEST(GeneratorsTest, DerivedFromTwoSources) {
+  GeneratorConfig config;
+  config.rows = 300;
+  config.columns = {ColumnSpec{.cardinality = 10},
+                    ColumnSpec{.cardinality = 10},
+                    ColumnSpec{.cardinality = 1000, .sources = {0, 1}}};
+  Relation r = Generate(config);
+  EXPECT_TRUE(FdHolds(r, AttributeSet(3, {0, 1}), 2));
+}
+
+TEST(GeneratorsTest, NullRateProducesNulls) {
+  GeneratorConfig config;
+  config.rows = 1000;
+  config.columns = {ColumnSpec{.cardinality = 5, .null_rate = 0.3}};
+  Relation r = Generate(config);
+  size_t nulls = 0;
+  for (size_t i = 0; i < r.num_rows(); ++i) {
+    if (r.IsNull(i, 0)) ++nulls;
+  }
+  EXPECT_GT(nulls, 200u);
+  EXPECT_LT(nulls, 400u);
+}
+
+TEST(GeneratorsTest, ZipfIsSkewed) {
+  GeneratorConfig config;
+  config.rows = 2000;
+  config.columns = {
+      ColumnSpec{.cardinality = 100, .distribution = Distribution::kZipf}};
+  Relation r = Generate(config);
+  // The most frequent value should dominate a uniform share (20 per value).
+  std::unordered_map<std::string, int> counts;
+  for (size_t i = 0; i < r.num_rows(); ++i) counts[r.Value(i, 0)]++;
+  int max_count = 0;
+  for (auto& [_, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 100);
+}
+
+TEST(GeneratorsTest, AddressDatasetHoldsIntroFds) {
+  Relation r = MakeAddressDataset(500, 3);
+  const Schema& s = r.schema();
+  int firstname = s.IndexOf("firstname"), gender = s.IndexOf("gender");
+  int zip = s.IndexOf("zipcode"), city = s.IndexOf("city");
+  int birthdate = s.IndexOf("birthdate"), age = s.IndexOf("age");
+  int m = r.num_columns();
+  EXPECT_TRUE(FdHolds(r, AttributeSet(m, {firstname}), gender));
+  EXPECT_TRUE(FdHolds(r, AttributeSet(m, {zip}), city));
+  EXPECT_TRUE(FdHolds(r, AttributeSet(m, {birthdate}), age));
+}
+
+TEST(GeneratorsTest, ClassExampleMatchesPaper) {
+  Relation r = MakeClassExample();
+  EXPECT_EQ(r.num_rows(), 5u);
+  EXPECT_EQ(r.num_columns(), 2);
+  EXPECT_EQ(r.Value(0, 0), "Brown");
+  EXPECT_EQ(r.Value(4, 1), "Math");
+}
+
+TEST(DatasetsTest, RegistryCoversTable1) {
+  const auto& specs = PaperDatasets();
+  ASSERT_GE(specs.size(), 17u);
+  EXPECT_EQ(FindDataset("iris").columns, 5);
+  EXPECT_EQ(FindDataset("uniprot").columns, 223);
+  EXPECT_EQ(FindDataset("fd-reduced-30").paper_rows, 250000u);
+  EXPECT_THROW(FindDataset("no-such-dataset"), std::out_of_range);
+}
+
+TEST(DatasetsTest, MakeDatasetRespectsOverrides) {
+  Relation r = MakeDataset("ncvoter", 200, 10);
+  EXPECT_EQ(r.num_rows(), 200u);
+  EXPECT_EQ(r.num_columns(), 10);
+  Relation d = MakeDataset("iris");
+  EXPECT_EQ(d.num_rows(), 150u);
+  EXPECT_EQ(d.num_columns(), 5);
+}
+
+TEST(DatasetsTest, FdReducedHasRequestedShape) {
+  Relation r = GenerateFdReduced(500, 10, 1000, 1);
+  EXPECT_EQ(r.num_rows(), 500u);
+  EXPECT_EQ(r.num_columns(), 10);
+  // Uniform domain-1000 columns at 500 rows are near-unique.
+  EXPECT_GT(r.DistinctCount(0), 350u);
+}
+
+}  // namespace
+}  // namespace hyfd

@@ -1,0 +1,119 @@
+#include "fd/reference.h"
+
+#include <optional>
+
+#include "data/generators.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace hyfd {
+namespace {
+
+TEST(FdHoldsTest, SimpleCases) {
+  Relation r = Relation::FromStringRows(
+      Schema({"a", "b"}),
+      {{"1", "x"}, {"1", "x"}, {"2", "y"}, {"2", "y"}});
+  EXPECT_TRUE(FdHolds(r, AttributeSet(2, {0}), 1));
+  EXPECT_TRUE(FdHolds(r, AttributeSet(2, {1}), 0));
+  Relation broken = Relation::FromStringRows(
+      Schema({"a", "b"}), {{"1", "x"}, {"1", "y"}});
+  EXPECT_FALSE(FdHolds(broken, AttributeSet(2, {0}), 1));
+}
+
+TEST(FdHoldsTest, EmptyLhsMeansConstantColumn) {
+  Relation r = Relation::FromStringRows(Schema({"a", "b"}),
+                                        {{"c", "1"}, {"c", "2"}});
+  EXPECT_TRUE(FdHolds(r, AttributeSet(2), 0));
+  EXPECT_FALSE(FdHolds(r, AttributeSet(2), 1));
+}
+
+TEST(FdHoldsTest, NullSemanticsFlipValidity) {
+  // Paper §10.1 example: R(A,B) with r1=(⊥,1), r2=(⊥,2).
+  Relation r = Relation::FromRows(
+      Schema({"A", "B"}), {{std::nullopt, "1"}, {std::nullopt, "2"}});
+  // null = null: both records share A, differ in B -> A->B is false.
+  EXPECT_FALSE(
+      FdHolds(r, AttributeSet(2, {0}), 1, NullSemantics::kNullEqualsNull));
+  // null != null: the two A values differ -> A->B is true.
+  EXPECT_TRUE(
+      FdHolds(r, AttributeSet(2, {0}), 1, NullSemantics::kNullUnequal));
+}
+
+TEST(BruteForceTest, KindergartenExample) {
+  // child -> teacher holds; teacher -> child does not.
+  Relation r = Relation::FromStringRows(
+      Schema({"child", "teacher"}),
+      {{"ann", "smith"}, {"bob", "smith"}, {"cara", "jones"}, {"ann", "smith"}});
+  FDSet fds = DiscoverFdsBruteForce(r);
+  EXPECT_TRUE(fds.Contains(FD(AttributeSet(2, {0}), 1)));
+  EXPECT_FALSE(fds.Contains(FD(AttributeSet(2, {1}), 0)));
+}
+
+TEST(BruteForceTest, ResultIsMinimalAndValid) {
+  Relation r = testing::RandomRelation(5, 60, 1234, 3);
+  FDSet fds = DiscoverFdsBruteForce(r);
+  EXPECT_TRUE(fds.IsMinimal());
+  for (const FD& fd : fds) {
+    EXPECT_TRUE(FdHolds(r, fd.lhs, fd.rhs)) << fd.ToString();
+    EXPECT_FALSE(fd.IsTrivial());
+    // Minimality against the data itself: removing any LHS attribute breaks it.
+    ForEachBit(fd.lhs, [&](int attr) {
+      EXPECT_FALSE(FdHolds(r, fd.lhs.Without(attr), fd.rhs))
+          << fd.ToString() << " minus " << attr;
+    });
+  }
+}
+
+TEST(BruteForceTest, ResultIsComplete) {
+  // Every valid FD must have a generalization in the result.
+  Relation r = testing::RandomRelation(4, 40, 77, 3);
+  FDSet fds = DiscoverFdsBruteForce(r);
+  const int m = r.num_columns();
+  for (int rhs = 0; rhs < m; ++rhs) {
+    for (uint32_t mask = 0; mask < (1u << m); ++mask) {
+      if (mask & (1u << rhs)) continue;
+      AttributeSet lhs(m);
+      for (int a = 0; a < m; ++a) {
+        if (mask & (1u << a)) lhs.Set(a);
+      }
+      if (FdHolds(r, lhs, rhs)) {
+        EXPECT_TRUE(fds.ContainsGeneralizationOf(FD(lhs, rhs)))
+            << FD(lhs, rhs).ToString();
+      }
+    }
+  }
+}
+
+TEST(BruteForceTest, DegenerateRelations) {
+  // Single row: everything is determined by the empty set.
+  Relation single = Relation::FromStringRows(Schema::Generic(3), {{"a", "b", "c"}});
+  FDSet fds = DiscoverFdsBruteForce(single);
+  EXPECT_EQ(fds.size(), 3u);
+  for (const FD& fd : fds) EXPECT_TRUE(fd.lhs.Empty());
+
+  // Empty relation behaves the same way.
+  Relation empty{Schema::Generic(2)};
+  FDSet efds = DiscoverFdsBruteForce(empty);
+  EXPECT_EQ(efds.size(), 2u);
+}
+
+TEST(BruteForceTest, DuplicateRowsOnly) {
+  Relation r = Relation::FromStringRows(Schema::Generic(2),
+                                        {{"x", "y"}, {"x", "y"}});
+  FDSet fds = DiscoverFdsBruteForce(r);
+  // Both columns are constant: ∅ -> A and ∅ -> B.
+  EXPECT_EQ(fds.size(), 2u);
+  for (const FD& fd : fds) EXPECT_TRUE(fd.lhs.Empty());
+}
+
+TEST(BruteForceTest, KeyColumnDeterminesEverything) {
+  Relation r = Relation::FromStringRows(
+      Schema({"id", "x", "y"}),
+      {{"1", "a", "p"}, {"2", "a", "q"}, {"3", "b", "p"}});
+  FDSet fds = DiscoverFdsBruteForce(r);
+  EXPECT_TRUE(fds.Contains(FD(AttributeSet(3, {0}), 1)));
+  EXPECT_TRUE(fds.Contains(FD(AttributeSet(3, {0}), 2)));
+}
+
+}  // namespace
+}  // namespace hyfd

@@ -1,0 +1,136 @@
+#include <optional>
+
+#include "data/csv.h"
+#include "data/relation.h"
+#include "gtest/gtest.h"
+
+namespace hyfd {
+namespace {
+
+TEST(SchemaTest, GenericNames) {
+  Schema s = Schema::Generic(28);
+  EXPECT_EQ(s.name(0), "A");
+  EXPECT_EQ(s.name(25), "Z");
+  EXPECT_EQ(s.name(26), "A1");
+  EXPECT_EQ(s.IndexOf("Z"), 25);
+  EXPECT_EQ(s.IndexOf("missing"), -1);
+}
+
+TEST(RelationTest, FromRowsAndAccess) {
+  Relation r = Relation::FromRows(
+      Schema({"a", "b"}),
+      {{"1", "x"}, {std::nullopt, "y"}, {"1", std::nullopt}});
+  EXPECT_EQ(r.num_rows(), 3u);
+  EXPECT_EQ(r.num_columns(), 2);
+  EXPECT_EQ(r.Value(0, 0), "1");
+  EXPECT_TRUE(r.IsNull(1, 0));
+  EXPECT_FALSE(r.IsNull(0, 0));
+  EXPECT_TRUE(r.IsNull(2, 1));
+}
+
+TEST(RelationTest, HeadRowsAndColumns) {
+  Relation r = Relation::FromStringRows(
+      Schema::Generic(3), {{"1", "2", "3"}, {"4", "5", "6"}, {"7", "8", "9"}});
+  Relation head = r.HeadRows(2);
+  EXPECT_EQ(head.num_rows(), 2u);
+  EXPECT_EQ(head.Value(1, 2), "6");
+  Relation narrow = r.HeadColumns(2);
+  EXPECT_EQ(narrow.num_columns(), 2);
+  EXPECT_EQ(narrow.num_rows(), 3u);
+  EXPECT_EQ(narrow.Value(2, 1), "8");
+}
+
+TEST(RelationTest, DistinctCountIgnoresNulls) {
+  Relation r = Relation::FromRows(
+      Schema({"a"}), {{"x"}, {"x"}, {"y"}, {std::nullopt}});
+  EXPECT_EQ(r.DistinctCount(0), 2u);
+}
+
+TEST(CsvTest, BasicParse) {
+  Relation r = ReadCsvString("a,b,c\n1,2,3\n4,5,6\n");
+  EXPECT_EQ(r.num_columns(), 3);
+  EXPECT_EQ(r.num_rows(), 2u);
+  EXPECT_EQ(r.schema().name(1), "b");
+  EXPECT_EQ(r.Value(1, 2), "6");
+}
+
+TEST(CsvTest, QuotedFieldsWithDelimitersAndNewlines) {
+  Relation r = ReadCsvString("a,b\n\"x,y\",\"line1\nline2\"\n");
+  EXPECT_EQ(r.Value(0, 0), "x,y");
+  EXPECT_EQ(r.Value(0, 1), "line1\nline2");
+}
+
+TEST(CsvTest, EscapedQuotes) {
+  Relation r = ReadCsvString("a\n\"he said \"\"hi\"\"\"\n");
+  EXPECT_EQ(r.Value(0, 0), "he said \"hi\"");
+}
+
+TEST(CsvTest, EmptyUnquotedFieldIsNullQuotedIsNot) {
+  Relation r = ReadCsvString("a,b\n,\"\"\n");
+  EXPECT_TRUE(r.IsNull(0, 0));
+  EXPECT_FALSE(r.IsNull(0, 1));
+  EXPECT_EQ(r.Value(0, 1), "");
+}
+
+TEST(CsvTest, CustomNullToken) {
+  CsvOptions opt;
+  opt.null_token = "?";
+  Relation r = ReadCsvString("a,b\n?,x\n", opt);
+  EXPECT_TRUE(r.IsNull(0, 0));
+  EXPECT_EQ(r.Value(0, 1), "x");
+}
+
+TEST(CsvTest, NoHeaderAssignsGenericNames) {
+  CsvOptions opt;
+  opt.has_header = false;
+  Relation r = ReadCsvString("1,2\n3,4\n", opt);
+  EXPECT_EQ(r.num_rows(), 2u);
+  EXPECT_EQ(r.schema().name(0), "A");
+}
+
+TEST(CsvTest, CrLfLineEndings) {
+  Relation r = ReadCsvString("a,b\r\n1,2\r\n3,4\r\n");
+  EXPECT_EQ(r.num_rows(), 2u);
+  EXPECT_EQ(r.Value(1, 1), "4");
+}
+
+TEST(CsvTest, CustomDelimiter) {
+  CsvOptions opt;
+  opt.delimiter = ';';
+  Relation r = ReadCsvString("a;b\n1;2\n", opt);
+  EXPECT_EQ(r.Value(0, 1), "2");
+}
+
+TEST(CsvTest, RaggedRowThrows) {
+  EXPECT_THROW(ReadCsvString("a,b\n1\n"), std::runtime_error);
+}
+
+TEST(CsvTest, UnterminatedQuoteThrows) {
+  EXPECT_THROW(ReadCsvString("a\n\"oops\n"), std::runtime_error);
+}
+
+TEST(CsvTest, RoundTripPreservesValuesAndNulls) {
+  Relation original = Relation::FromRows(
+      Schema({"name", "note"}),
+      {{"alice", "has,comma"}, {std::nullopt, "has\"quote"}, {"bob", ""}});
+  std::string text = WriteCsvString(original);
+  Relation parsed = ReadCsvString(text);
+  ASSERT_EQ(parsed.num_rows(), original.num_rows());
+  for (size_t r = 0; r < original.num_rows(); ++r) {
+    for (int c = 0; c < original.num_columns(); ++c) {
+      EXPECT_EQ(parsed.IsNull(r, c), original.IsNull(r, c)) << r << "," << c;
+      if (!original.IsNull(r, c)) {
+        EXPECT_EQ(parsed.Value(r, c), original.Value(r, c)) << r << "," << c;
+      }
+    }
+  }
+}
+
+TEST(CsvTest, MissingFinalNewlineStillParsesLastRow) {
+  Relation r = ReadCsvString("a,b\n1,2");
+  EXPECT_EQ(r.num_rows(), 1u);
+  EXPECT_EQ(r.Value(0, 1), "2");
+}
+
+}  // namespace
+}  // namespace hyfd

@@ -1,0 +1,60 @@
+#ifndef HYFD_TESTS_TEST_UTIL_H_
+#define HYFD_TESTS_TEST_UTIL_H_
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "data/relation.h"
+#include "fd/fd_set.h"
+#include "gtest/gtest.h"
+
+namespace hyfd::testing {
+
+/// Builds a small random relation: values drawn from per-column domains of
+/// random size in [1, max_domain], optional NULLs. Deterministic in `seed`.
+inline Relation RandomRelation(int cols, size_t rows, uint64_t seed,
+                               int max_domain = 4, double null_rate = 0.0) {
+  std::mt19937_64 rng(seed);
+  Relation r{Schema::Generic(cols)};
+  std::vector<int> domains(static_cast<size_t>(cols));
+  for (auto& d : domains) {
+    d = std::uniform_int_distribution<int>(1, max_domain)(rng);
+  }
+  std::vector<std::optional<std::string>> row(static_cast<size_t>(cols));
+  std::uniform_real_distribution<double> null_draw(0.0, 1.0);
+  for (size_t i = 0; i < rows; ++i) {
+    for (int c = 0; c < cols; ++c) {
+      if (null_rate > 0 && null_draw(rng) < null_rate) {
+        row[static_cast<size_t>(c)] = std::nullopt;
+      } else {
+        int v = std::uniform_int_distribution<int>(
+            0, domains[static_cast<size_t>(c)] - 1)(rng);
+        row[static_cast<size_t>(c)] = "v" + std::to_string(v);
+      }
+    }
+    r.AppendRow(row);
+  }
+  return r;
+}
+
+/// EXPECT-style comparison of two FD sets with a readable diff.
+inline void ExpectSameFds(const FDSet& expected, const FDSet& actual,
+                          const std::string& context) {
+  if (expected == actual) {
+    SUCCEED();
+    return;
+  }
+  std::string message = context + ": FD sets differ.\n";
+  for (const FD& fd : expected) {
+    if (!actual.Contains(fd)) message += "  missing:   " + fd.ToString() + "\n";
+  }
+  for (const FD& fd : actual) {
+    if (!expected.Contains(fd)) message += "  unexpected: " + fd.ToString() + "\n";
+  }
+  ADD_FAILURE() << message;
+}
+
+}  // namespace hyfd::testing
+
+#endif  // HYFD_TESTS_TEST_UTIL_H_

@@ -1,0 +1,138 @@
+#include <atomic>
+#include <vector>
+
+#include "core/guardian.h"
+#include "gtest/gtest.h"
+#include "util/memory_tracker.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace hyfd {
+namespace {
+
+TEST(MemoryTrackerTest, TracksCurrentAndPeak) {
+  MemoryTracker t;
+  t.Add(100);
+  t.Add(50);
+  EXPECT_EQ(t.current_bytes(), 150u);
+  EXPECT_EQ(t.peak_bytes(), 150u);
+  t.Sub(120);
+  EXPECT_EQ(t.current_bytes(), 30u);
+  EXPECT_EQ(t.peak_bytes(), 150u);  // peak is sticky
+  t.Add(10);
+  EXPECT_EQ(t.peak_bytes(), 150u);
+}
+
+TEST(MemoryTrackerTest, SetComponentIsIdempotent) {
+  MemoryTracker t;
+  t.SetComponent(MemoryTracker::kPlis, 1000);
+  t.SetComponent(MemoryTracker::kPlis, 1000);
+  EXPECT_EQ(t.current_bytes(), 1000u);
+  t.SetComponent(MemoryTracker::kPlis, 400);
+  EXPECT_EQ(t.current_bytes(), 400u);
+  t.SetComponent(MemoryTracker::kFdTree, 600);
+  EXPECT_EQ(t.current_bytes(), 1000u);
+  EXPECT_EQ(t.peak_bytes(), 1000u);
+}
+
+TEST(MemoryTrackerTest, ResetClearsEverything) {
+  MemoryTracker t;
+  t.SetComponent(MemoryTracker::kNegativeCover, 123);
+  t.Reset();
+  EXPECT_EQ(t.current_bytes(), 0u);
+  EXPECT_EQ(t.peak_bytes(), 0u);
+}
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEdgeSizes) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(0, [&](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 0);
+  pool.ParallelFor(1, [&](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitIdleWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.WaitIdle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, AtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer t;
+  double first = t.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GE(t.ElapsedSeconds(), first);
+  t.Restart();
+  EXPECT_LT(t.ElapsedSeconds(), 1.0);
+}
+
+TEST(GuardianTest, DisabledGuardianNeverPrunes) {
+  FDTree tree(6);
+  tree.AddFd(AttributeSet(6, {0, 1, 2, 3}), 5);
+  MemoryGuardian guardian(0);  // disabled
+  guardian.Check(&tree, 1 << 30);
+  EXPECT_FALSE(guardian.WasPruned());
+  EXPECT_EQ(tree.Depth(), 4);
+}
+
+TEST(GuardianTest, PrunesUntilUnderBudget) {
+  FDTree tree(6);
+  tree.AddFd(AttributeSet(6, {0}), 5);
+  tree.AddFd(AttributeSet(6, {0, 1}), 5);
+  tree.AddFd(AttributeSet(6, {0, 1, 2}), 5);
+  tree.AddFd(AttributeSet(6, {0, 1, 2, 3}), 5);
+  MemoryGuardian guardian(1);
+  guardian.Check(&tree);
+  EXPECT_TRUE(guardian.WasPruned());
+  EXPECT_EQ(tree.max_lhs_size(), 1);
+  EXPECT_TRUE(tree.ContainsFd(AttributeSet(6, {0}), 5));
+  EXPECT_FALSE(tree.ContainsFd(AttributeSet(6, {0, 1}), 5));
+}
+
+TEST(GuardianTest, NeverPrunesBelowLhsSizeOne) {
+  FDTree tree(6);
+  tree.AddFd(AttributeSet(6, {0}), 5);
+  MemoryGuardian guardian(1);
+  guardian.Check(&tree);
+  // Depth is already 1; the guardian must give up rather than empty the tree.
+  EXPECT_EQ(tree.CountFds(), 1u);
+}
+
+TEST(GuardianTest, GenerousBudgetLeavesTreeAlone) {
+  FDTree tree(6);
+  tree.AddFd(AttributeSet(6, {0, 1, 2}), 5);
+  MemoryGuardian guardian(size_t{1} << 30);
+  guardian.Check(&tree);
+  EXPECT_FALSE(guardian.WasPruned());
+  EXPECT_EQ(tree.Depth(), 3);
+}
+
+}  // namespace
+}  // namespace hyfd
