@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_large.dir/bench_table2_large.cc.o"
+  "CMakeFiles/bench_table2_large.dir/bench_table2_large.cc.o.d"
+  "bench_table2_large"
+  "bench_table2_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyfd_cli.dir/hyfd_cli.cpp.o"
+  "CMakeFiles/hyfd_cli.dir/hyfd_cli.cpp.o.d"
+  "hyfd_cli"
+  "hyfd_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyfd_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

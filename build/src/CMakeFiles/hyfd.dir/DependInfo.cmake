@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/agree_sets.cc" "src/CMakeFiles/hyfd.dir/baselines/agree_sets.cc.o" "gcc" "src/CMakeFiles/hyfd.dir/baselines/agree_sets.cc.o.d"
+  "/root/repo/src/baselines/depminer.cc" "src/CMakeFiles/hyfd.dir/baselines/depminer.cc.o" "gcc" "src/CMakeFiles/hyfd.dir/baselines/depminer.cc.o.d"
+  "/root/repo/src/baselines/dfd.cc" "src/CMakeFiles/hyfd.dir/baselines/dfd.cc.o" "gcc" "src/CMakeFiles/hyfd.dir/baselines/dfd.cc.o.d"
+  "/root/repo/src/baselines/fastfds.cc" "src/CMakeFiles/hyfd.dir/baselines/fastfds.cc.o" "gcc" "src/CMakeFiles/hyfd.dir/baselines/fastfds.cc.o.d"
+  "/root/repo/src/baselines/fdep.cc" "src/CMakeFiles/hyfd.dir/baselines/fdep.cc.o" "gcc" "src/CMakeFiles/hyfd.dir/baselines/fdep.cc.o.d"
+  "/root/repo/src/baselines/fdmine.cc" "src/CMakeFiles/hyfd.dir/baselines/fdmine.cc.o" "gcc" "src/CMakeFiles/hyfd.dir/baselines/fdmine.cc.o.d"
+  "/root/repo/src/baselines/fun.cc" "src/CMakeFiles/hyfd.dir/baselines/fun.cc.o" "gcc" "src/CMakeFiles/hyfd.dir/baselines/fun.cc.o.d"
+  "/root/repo/src/baselines/registry.cc" "src/CMakeFiles/hyfd.dir/baselines/registry.cc.o" "gcc" "src/CMakeFiles/hyfd.dir/baselines/registry.cc.o.d"
+  "/root/repo/src/baselines/tane.cc" "src/CMakeFiles/hyfd.dir/baselines/tane.cc.o" "gcc" "src/CMakeFiles/hyfd.dir/baselines/tane.cc.o.d"
+  "/root/repo/src/core/guardian.cc" "src/CMakeFiles/hyfd.dir/core/guardian.cc.o" "gcc" "src/CMakeFiles/hyfd.dir/core/guardian.cc.o.d"
+  "/root/repo/src/core/hyfd.cc" "src/CMakeFiles/hyfd.dir/core/hyfd.cc.o" "gcc" "src/CMakeFiles/hyfd.dir/core/hyfd.cc.o.d"
+  "/root/repo/src/core/hyucc.cc" "src/CMakeFiles/hyfd.dir/core/hyucc.cc.o" "gcc" "src/CMakeFiles/hyfd.dir/core/hyucc.cc.o.d"
+  "/root/repo/src/core/inductor.cc" "src/CMakeFiles/hyfd.dir/core/inductor.cc.o" "gcc" "src/CMakeFiles/hyfd.dir/core/inductor.cc.o.d"
+  "/root/repo/src/core/preprocessor.cc" "src/CMakeFiles/hyfd.dir/core/preprocessor.cc.o" "gcc" "src/CMakeFiles/hyfd.dir/core/preprocessor.cc.o.d"
+  "/root/repo/src/core/sampler.cc" "src/CMakeFiles/hyfd.dir/core/sampler.cc.o" "gcc" "src/CMakeFiles/hyfd.dir/core/sampler.cc.o.d"
+  "/root/repo/src/core/validator.cc" "src/CMakeFiles/hyfd.dir/core/validator.cc.o" "gcc" "src/CMakeFiles/hyfd.dir/core/validator.cc.o.d"
+  "/root/repo/src/data/csv.cc" "src/CMakeFiles/hyfd.dir/data/csv.cc.o" "gcc" "src/CMakeFiles/hyfd.dir/data/csv.cc.o.d"
+  "/root/repo/src/data/datasets.cc" "src/CMakeFiles/hyfd.dir/data/datasets.cc.o" "gcc" "src/CMakeFiles/hyfd.dir/data/datasets.cc.o.d"
+  "/root/repo/src/data/generators.cc" "src/CMakeFiles/hyfd.dir/data/generators.cc.o" "gcc" "src/CMakeFiles/hyfd.dir/data/generators.cc.o.d"
+  "/root/repo/src/data/relation.cc" "src/CMakeFiles/hyfd.dir/data/relation.cc.o" "gcc" "src/CMakeFiles/hyfd.dir/data/relation.cc.o.d"
+  "/root/repo/src/data/schema.cc" "src/CMakeFiles/hyfd.dir/data/schema.cc.o" "gcc" "src/CMakeFiles/hyfd.dir/data/schema.cc.o.d"
+  "/root/repo/src/fd/approximate.cc" "src/CMakeFiles/hyfd.dir/fd/approximate.cc.o" "gcc" "src/CMakeFiles/hyfd.dir/fd/approximate.cc.o.d"
+  "/root/repo/src/fd/closure.cc" "src/CMakeFiles/hyfd.dir/fd/closure.cc.o" "gcc" "src/CMakeFiles/hyfd.dir/fd/closure.cc.o.d"
+  "/root/repo/src/fd/fd.cc" "src/CMakeFiles/hyfd.dir/fd/fd.cc.o" "gcc" "src/CMakeFiles/hyfd.dir/fd/fd.cc.o.d"
+  "/root/repo/src/fd/fd_set.cc" "src/CMakeFiles/hyfd.dir/fd/fd_set.cc.o" "gcc" "src/CMakeFiles/hyfd.dir/fd/fd_set.cc.o.d"
+  "/root/repo/src/fd/fd_tree.cc" "src/CMakeFiles/hyfd.dir/fd/fd_tree.cc.o" "gcc" "src/CMakeFiles/hyfd.dir/fd/fd_tree.cc.o.d"
+  "/root/repo/src/fd/io.cc" "src/CMakeFiles/hyfd.dir/fd/io.cc.o" "gcc" "src/CMakeFiles/hyfd.dir/fd/io.cc.o.d"
+  "/root/repo/src/fd/normalizer.cc" "src/CMakeFiles/hyfd.dir/fd/normalizer.cc.o" "gcc" "src/CMakeFiles/hyfd.dir/fd/normalizer.cc.o.d"
+  "/root/repo/src/fd/reference.cc" "src/CMakeFiles/hyfd.dir/fd/reference.cc.o" "gcc" "src/CMakeFiles/hyfd.dir/fd/reference.cc.o.d"
+  "/root/repo/src/fd/uccs.cc" "src/CMakeFiles/hyfd.dir/fd/uccs.cc.o" "gcc" "src/CMakeFiles/hyfd.dir/fd/uccs.cc.o.d"
+  "/root/repo/src/pli/compressed_records.cc" "src/CMakeFiles/hyfd.dir/pli/compressed_records.cc.o" "gcc" "src/CMakeFiles/hyfd.dir/pli/compressed_records.cc.o.d"
+  "/root/repo/src/pli/pli.cc" "src/CMakeFiles/hyfd.dir/pli/pli.cc.o" "gcc" "src/CMakeFiles/hyfd.dir/pli/pli.cc.o.d"
+  "/root/repo/src/pli/pli_builder.cc" "src/CMakeFiles/hyfd.dir/pli/pli_builder.cc.o" "gcc" "src/CMakeFiles/hyfd.dir/pli/pli_builder.cc.o.d"
+  "/root/repo/src/util/attribute_set.cc" "src/CMakeFiles/hyfd.dir/util/attribute_set.cc.o" "gcc" "src/CMakeFiles/hyfd.dir/util/attribute_set.cc.o.d"
+  "/root/repo/src/util/memory_tracker.cc" "src/CMakeFiles/hyfd.dir/util/memory_tracker.cc.o" "gcc" "src/CMakeFiles/hyfd.dir/util/memory_tracker.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/hyfd.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/hyfd.dir/util/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

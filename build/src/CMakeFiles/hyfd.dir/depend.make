@@ -1,0 +1,2 @@
+# Empty dependencies file for hyfd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyucc_test.dir/hyucc_test.cc.o"
+  "CMakeFiles/hyucc_test.dir/hyucc_test.cc.o.d"
+  "hyucc_test"
+  "hyucc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyucc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

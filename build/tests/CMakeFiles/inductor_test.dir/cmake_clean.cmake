@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inductor_test.dir/inductor_test.cc.o"
+  "CMakeFiles/inductor_test.dir/inductor_test.cc.o.d"
+  "inductor_test"
+  "inductor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inductor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pli_test.dir/pli_test.cc.o"
+  "CMakeFiles/pli_test.dir/pli_test.cc.o.d"
+  "pli_test"
+  "pli_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pli_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

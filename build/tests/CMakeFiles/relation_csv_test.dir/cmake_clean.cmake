@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relation_csv_test.dir/relation_csv_test.cc.o"
+  "CMakeFiles/relation_csv_test.dir/relation_csv_test.cc.o.d"
+  "relation_csv_test"
+  "relation_csv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relation_csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
