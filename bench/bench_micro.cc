@@ -11,6 +11,8 @@
 #include "data/generators.h"
 #include "fd/fd_tree.h"
 #include "pli/pli_builder.h"
+#include "pli/pli_cache.h"
+#include "util/attribute_set.h"
 
 namespace hyfd {
 namespace {
@@ -66,6 +68,84 @@ void BM_RecordMatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * cols);
 }
 BENCHMARK(BM_RecordMatch)->Arg(8)->Arg(32)->Arg(128);
+
+/// Random ≤3-attribute sets over a fixed schema, shared by the cache
+/// benchmarks so cold and warm runs request the same partitions.
+std::vector<AttributeSet> CacheWorkload(int cols, size_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<AttributeSet> sets;
+  sets.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    AttributeSet attrs(cols);
+    int bits = 2 + static_cast<int>(rng() % 2);
+    for (int b = 0; b < bits; ++b) attrs.Set(static_cast<int>(rng() % cols));
+    sets.push_back(attrs);
+  }
+  return sets;
+}
+
+void ExportCacheCounters(benchmark::State& state, const PliCache& cache) {
+  auto c = cache.counters();
+  state.counters["hits"] = static_cast<double>(c.hits);
+  state.counters["misses"] = static_cast<double>(c.misses);
+  state.counters["evictions"] = static_cast<double>(c.evictions);
+  state.counters["derivations"] = static_cast<double>(c.derivations);
+  state.counters["cache_bytes"] = static_cast<double>(c.bytes);
+}
+
+/// Cold path: every Get() derives via subset intersection (Clear() between
+/// iterations); the per-item cost is the intersection work the cache saves.
+void BM_PliCacheColdGet(benchmark::State& state) {
+  Relation r = BenchRelation(static_cast<size_t>(state.range(0)), 6, 50);
+  PliCache cache = PliCache::FromRelation(r);
+  auto workload = CacheWorkload(r.num_columns(), 64, /*seed=*/17);
+  for (auto _ : state) {
+    cache.Clear();
+    for (const AttributeSet& attrs : workload) {
+      benchmark::DoNotOptimize(cache.Get(attrs));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(workload.size()));
+  ExportCacheCounters(state, cache);
+}
+BENCHMARK(BM_PliCacheColdGet)->Arg(10000)->Arg(100000);
+
+/// Warm path: the same workload served entirely from cache hits.
+void BM_PliCacheWarmGet(benchmark::State& state) {
+  Relation r = BenchRelation(static_cast<size_t>(state.range(0)), 6, 50);
+  PliCache cache = PliCache::FromRelation(r);
+  auto workload = CacheWorkload(r.num_columns(), 64, /*seed=*/17);
+  for (const AttributeSet& attrs : workload) cache.Get(attrs);  // prefill
+  for (auto _ : state) {
+    for (const AttributeSet& attrs : workload) {
+      benchmark::DoNotOptimize(cache.Get(attrs));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(workload.size()));
+  ExportCacheCounters(state, cache);
+}
+BENCHMARK(BM_PliCacheWarmGet)->Arg(10000)->Arg(100000);
+
+/// Budget pressure: a budget far below the workload's footprint keeps the
+/// LRU churning — measures eviction + rederivation overhead.
+void BM_PliCacheEvictionChurn(benchmark::State& state) {
+  Relation r = BenchRelation(50000, 6, 50);
+  PliCache::Config config;
+  config.budget_bytes = static_cast<size_t>(state.range(0));
+  PliCache cache = PliCache::FromRelation(r, config);
+  auto workload = CacheWorkload(r.num_columns(), 64, /*seed=*/17);
+  for (auto _ : state) {
+    for (const AttributeSet& attrs : workload) {
+      benchmark::DoNotOptimize(cache.Get(attrs));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(workload.size()));
+  ExportCacheCounters(state, cache);
+}
+BENCHMARK(BM_PliCacheEvictionChurn)->Arg(64 << 10)->Arg(1 << 20);
 
 void BM_FdTreeAddAndLookup(benchmark::State& state) {
   const int m = 32;

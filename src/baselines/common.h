@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "pli/pli_builder.h"
+#include "pli/pli_cache.h"
 #include "util/memory_tracker.h"
 
 namespace hyfd {
@@ -53,7 +54,33 @@ struct AlgoOptions {
   uint64_t seed = 1;
   /// If set, the run charges its dominant data structures here.
   MemoryTracker* memory_tracker = nullptr;
+  /// Shared PLI cache reused across algorithm runs on the *same* relation
+  /// (must match it in attribute count, record count, and null semantics;
+  /// mismatches throw std::invalid_argument). nullptr = each lattice
+  /// algorithm builds a private cache sized by `pli_cache_budget_bytes`.
+  PliCache* pli_cache = nullptr;
+  /// Byte budget for a privately built cache; 0 = unbounded.
+  size_t pli_cache_budget_bytes = PliCache::kDefaultBudgetBytes;
+  /// Ablation switch: false disables PLI caching. TANE/FUN/FD_Mine fall back
+  /// to their direct per-level intersections; DFD derives every partition
+  /// from the single-column PLIs without a store.
+  bool use_pli_cache = true;
 };
+
+/// Verifies a shared cache actually describes `relation` under `options`'s
+/// null semantics; throws std::invalid_argument otherwise. Returns the cache.
+inline PliCache* CheckSharedPliCache(PliCache* cache, const Relation& relation,
+                                     const AlgoOptions& options) {
+  if (cache == nullptr) return nullptr;
+  if (cache->num_attributes() != relation.num_columns() ||
+      cache->num_records() != relation.num_rows() ||
+      cache->null_semantics() != options.null_semantics ||
+      !cache->has_singles()) {
+    throw std::invalid_argument(
+        "shared PliCache does not match the relation / null semantics");
+  }
+  return cache;
+}
 
 }  // namespace hyfd
 

@@ -1,70 +1,26 @@
 #include "baselines/dfd.h"
 
 #include <algorithm>
+#include <memory>
 #include <random>
 #include <unordered_map>
 #include <vector>
 
 #include "pli/pli.h"
 #include "pli/pli_builder.h"
+#include "pli/pli_cache.h"
 
 namespace hyfd {
 namespace {
 
-/// Lazily built, size-capped store of intersected PLIs (the DFD paper's
-/// partition store). Partitions are derived from the largest cached subset.
-class PliStore {
- public:
-  PliStore(std::vector<Pli> single_plis, size_t num_records, size_t capacity)
-      : singles_(std::move(single_plis)),
-        num_records_(num_records),
-        capacity_(capacity) {
-    probing_.reserve(singles_.size());
-    for (const Pli& pli : singles_) probing_.push_back(pli.BuildProbingTable());
-  }
-
-  const std::vector<ClusterId>& probing(int attr) const {
-    return probing_[static_cast<size_t>(attr)];
-  }
-
-  const Pli& Get(const AttributeSet& attrs) {
-    int count = attrs.Count();
-    if (count == 1) return singles_[static_cast<size_t>(attrs.First())];
-    auto it = cache_.find(attrs);
-    if (it != cache_.end()) return it->second;
-    // Derive from a cached immediate subset if one exists, else recurse.
-    for (int a = attrs.First(); a != AttributeSet::kNpos; a = attrs.NextAfter(a)) {
-      AttributeSet sub = attrs.Without(a);
-      auto sit = count == 2 ? cache_.end() : cache_.find(sub);
-      if (count == 2 || sit != cache_.end()) {
-        const Pli& base = count == 2
-                              ? singles_[static_cast<size_t>(sub.First())]
-                              : sit->second;
-        return Insert(attrs, base.Intersect(probing(a)));
-      }
-    }
-    int first = attrs.First();
-    const Pli& base = Get(attrs.Without(first));
-    return Insert(attrs, base.Intersect(probing(first)));
-  }
-
- private:
-  const Pli& Insert(const AttributeSet& attrs, Pli pli) {
-    if (cache_.size() >= capacity_) cache_.clear();  // crude eviction
-    return cache_.emplace(attrs, std::move(pli)).first->second;
-  }
-
-  std::vector<Pli> singles_;
-  std::vector<std::vector<ClusterId>> probing_;
-  size_t num_records_;
-  size_t capacity_;
-  std::unordered_map<AttributeSet, Pli> cache_;
-};
+// The DFD paper's partition store is the shared PliCache: partitions are
+// derived from the largest cached subset and evicted LRU under the byte
+// budget (the old private store evicted by clearing everything).
 
 /// Per-RHS lattice search state.
 class RhsSearch {
  public:
-  RhsSearch(PliStore* store, int rhs, const AttributeSet& available,
+  RhsSearch(PliCache* store, int rhs, const AttributeSet& available,
             std::mt19937_64* rng, const Deadline* deadline)
       : store_(store),
         rhs_(rhs),
@@ -102,7 +58,7 @@ class RhsSearch {
     deadline_->Check();
     bool dep = lhs.Empty()
                    ? false  // constant RHS handled before the search
-                   : store_->Get(lhs).Refines(store_->probing(rhs_));
+                   : store_->Get(lhs)->Refines(store_->ProbingTable(rhs_));
     cache_.emplace(lhs, dep);
     return dep;
   }
@@ -208,7 +164,7 @@ class RhsSearch {
     return uncovered;
   }
 
-  PliStore* store_;
+  PliCache* store_;
   int rhs_;
   AttributeSet available_;
   std::mt19937_64* rng_;
@@ -224,34 +180,42 @@ FDSet DiscoverFdsDfd(const Relation& relation, const AlgoOptions& options) {
   Deadline deadline = Deadline::After(options.deadline_seconds);
   const int m = relation.num_columns();
 
-  auto plis = BuildAllColumnPlis(relation, options.null_semantics);
+  // The partition store: a shared cache if the caller provides one, else a
+  // private budgeted cache over this run's single-column PLIs. The cache's
+  // byte accounting doubles as DFD's kPlis charge.
+  PliCache* store = CheckSharedPliCache(options.pli_cache, relation, options);
+  std::unique_ptr<PliCache> owned_store;
+  if (store == nullptr) {
+    PliCache::Config cache_config;
+    cache_config.budget_bytes = options.pli_cache_budget_bytes;
+    cache_config.enabled = options.use_pli_cache;
+    cache_config.memory_tracker = options.memory_tracker;
+    owned_store = std::make_unique<PliCache>(
+        BuildAllColumnPlis(relation, options.null_semantics),
+        relation.num_rows(), cache_config, options.null_semantics);
+    store = owned_store.get();
+  } else if (options.memory_tracker != nullptr) {
+    options.memory_tracker->SetComponent(MemoryTracker::kPlis,
+                                         store->TotalBytes());
+  }
 
   FDSet result;
   // Constant columns: ∅ -> A; they are also useless inside any LHS.
   AttributeSet constants(m);
   for (int a = 0; a < m; ++a) {
-    if (plis[static_cast<size_t>(a)].IsConstant()) {
+    if (store->Single(a).IsConstant()) {
       constants.Set(a);
       result.Add(AttributeSet(m), a);
     }
   }
-
-  PliStore store(std::move(plis), relation.num_rows(), /*capacity=*/512);
   std::mt19937_64 rng(options.seed);
-  if (options.memory_tracker != nullptr) {
-    // The PLI store dominates DFD's footprint; charge its cap worth of the
-    // single-column PLIs as a conservative estimate.
-    size_t bytes = 0;
-    for (int a = 0; a < m; ++a) bytes += store.probing(a).size() * sizeof(ClusterId);
-    options.memory_tracker->SetComponent(MemoryTracker::kPlis, bytes);
-  }
 
   for (int rhs = 0; rhs < m; ++rhs) {
     if (constants.Test(rhs)) continue;
     AttributeSet available = AttributeSet::Full(m);
     available.Reset(rhs);
     available.AndNot(constants);
-    RhsSearch search(&store, rhs, available, &rng, &deadline);
+    RhsSearch search(store, rhs, available, &rng, &deadline);
     for (const AttributeSet& lhs : search.Run()) result.Add(lhs, rhs);
   }
   result.Canonicalize();

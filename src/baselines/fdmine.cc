@@ -1,17 +1,19 @@
 #include "baselines/fdmine.h"
 
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "fd/fd_tree.h"
 #include "pli/pli.h"
 #include "pli/pli_builder.h"
+#include "pli/pli_cache.h"
 
 namespace hyfd {
 namespace {
 
 struct Candidate {
-  Pli pli;
+  std::shared_ptr<const Pli> pli;
   AttributeSet closure;  ///< attributes known to be determined by the LHS
 };
 
@@ -27,18 +29,43 @@ FDSet DiscoverFdsFdMine(const Relation& relation, const AlgoOptions& options) {
   FDSet result;
   FDTree emitted(m);
 
-  // Single-column probing tables for the X -> A refinement checks.
-  std::vector<std::vector<ClusterId>> probing(static_cast<size_t>(m));
-  auto plis = BuildAllColumnPlis(relation, options.null_semantics);
-  for (int a = 0; a < m; ++a) {
-    probing[static_cast<size_t>(a)] =
-        plis[static_cast<size_t>(a)].BuildProbingTable();
+  // Shared or private PLI cache; nullptr (use_pli_cache = false) keeps the
+  // original direct pairwise intersections.
+  PliCache* cache = CheckSharedPliCache(options.pli_cache, relation, options);
+  std::unique_ptr<PliCache> owned_cache;
+  if (cache == nullptr && options.use_pli_cache) {
+    PliCache::Config cache_config;
+    cache_config.budget_bytes = options.pli_cache_budget_bytes;
+    owned_cache = std::make_unique<PliCache>(
+        BuildAllColumnPlis(relation, options.null_semantics),
+        relation.num_rows(), cache_config, options.null_semantics);
+    cache = owned_cache.get();
   }
+
+  // Single-column probing tables for the X -> A refinement checks.
+  std::vector<std::vector<ClusterId>> probing;
+  std::vector<Pli> plis;
+  if (cache == nullptr) {
+    probing.resize(static_cast<size_t>(m));
+    plis = BuildAllColumnPlis(relation, options.null_semantics);
+    for (int a = 0; a < m; ++a) {
+      probing[static_cast<size_t>(a)] =
+          plis[static_cast<size_t>(a)].BuildProbingTable();
+    }
+  }
+  auto probing_for = [&](int a) -> const std::vector<ClusterId>& {
+    return cache != nullptr ? cache->ProbingTable(a)
+                            : probing[static_cast<size_t>(a)];
+  };
+  auto single_for = [&](int a) -> const Pli& {
+    return cache != nullptr ? cache->Single(a)
+                            : plis[static_cast<size_t>(a)];
+  };
 
   // ∅ -> A for constant columns.
   AttributeSet constants(m);
   for (int a = 0; a < m; ++a) {
-    if (plis[static_cast<size_t>(a)].IsConstant()) {
+    if (single_for(a).IsConstant()) {
       constants.Set(a);
       emitted.AddFd(AttributeSet(m), a);
       result.Add(AttributeSet(m), a);
@@ -51,7 +78,9 @@ FDSet DiscoverFdsFdMine(const Relation& relation, const AlgoOptions& options) {
   for (int a = 0; a < m; ++a) {
     if (constants.Test(a)) continue;
     Candidate c;
-    c.pli = std::move(plis[static_cast<size_t>(a)]);
+    c.pli = cache != nullptr
+                ? cache->SingleShared(a)
+                : std::make_shared<const Pli>(std::move(plis[static_cast<size_t>(a)]));
     c.closure = constants.With(a);
     current.emplace(AttributeSet(m).With(a), std::move(c));
   }
@@ -61,7 +90,7 @@ FDSet DiscoverFdsFdMine(const Relation& relation, const AlgoOptions& options) {
     if (options.memory_tracker != nullptr) {
       size_t bytes = 0;
       for (const auto& [lhs, c] : current) {
-        bytes += lhs.MemoryBytes() + c.pli.MemoryBytes() +
+        bytes += lhs.MemoryBytes() + c.pli->MemoryBytes() +
                  c.closure.MemoryBytes() + sizeof(Candidate);
       }
       options.memory_tracker->SetComponent(MemoryTracker::kCandidates, bytes);
@@ -72,10 +101,9 @@ FDSet DiscoverFdsFdMine(const Relation& relation, const AlgoOptions& options) {
     for (auto& [lhs, candidate] : current) {
       deadline.Check();
       AttributeSet rhs_candidates = candidate.closure.Complement();
-      bool is_key = candidate.pli.IsUnique() && n >= 2;
+      bool is_key = candidate.pli->IsUnique() && n >= 2;
       ForEachBit(rhs_candidates, [&](int a) {
-        bool valid =
-            is_key || candidate.pli.Refines(probing[static_cast<size_t>(a)]);
+        bool valid = is_key || candidate.pli->Refines(probing_for(a));
         if (!valid) return;
         candidate.closure.Set(a);
         if (!emitted.ContainsFdOrGeneralization(lhs, a)) {
@@ -120,8 +148,11 @@ FDSet DiscoverFdsFdMine(const Relation& relation, const AlgoOptions& options) {
           }
           if (!viable) continue;
           Candidate c;
-          c.pli = current.at(members[i]).pli.Intersect(
-              current.at(members[j]).pli);
+          const Candidate& left = current.at(members[i]);
+          c.pli = cache != nullptr
+                      ? cache->GetWithBase(joined, members[i], left.pli)
+                      : std::make_shared<const Pli>(left.pli->Intersect(
+                            *current.at(members[j]).pli));
           c.closure = inherited | joined;
           next.emplace(std::move(joined), std::move(c));
         }

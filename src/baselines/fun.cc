@@ -1,17 +1,19 @@
 #include "baselines/fun.h"
 
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "fd/fd_tree.h"
 #include "pli/pli.h"
 #include "pli/pli_builder.h"
+#include "pli/pli_cache.h"
 
 namespace hyfd {
 namespace {
 
 struct FreeSet {
-  Pli pli;
+  std::shared_ptr<const Pli> pli;
   size_t cardinality = 0;  ///< |X|: distinct value combinations
 };
 
@@ -30,14 +32,30 @@ FDSet DiscoverFdsFun(const Relation& relation, const AlgoOptions& options) {
   // |∅| = 1: one (empty) value combination.
   const size_t empty_cardinality = n == 0 ? 0 : 1;
 
-  auto plis = BuildAllColumnPlis(relation, options.null_semantics);
+  // Shared or private PLI cache; nullptr (use_pli_cache = false) keeps the
+  // original discard-after-check intersections.
+  PliCache* cache = CheckSharedPliCache(options.pli_cache, relation, options);
+  std::unique_ptr<PliCache> owned_cache;
+  if (cache == nullptr && options.use_pli_cache) {
+    PliCache::Config cache_config;
+    cache_config.budget_bytes = options.pli_cache_budget_bytes;
+    owned_cache = std::make_unique<PliCache>(
+        BuildAllColumnPlis(relation, options.null_semantics),
+        relation.num_rows(), cache_config, options.null_semantics);
+    cache = owned_cache.get();
+  }
+
+  std::vector<Pli> plis;
+  if (cache == nullptr) plis = BuildAllColumnPlis(relation, options.null_semantics);
 
   // Level 1: singletons. ∅ -> A iff |{A}| = |∅|.
   Level current;
   for (int a = 0; a < m; ++a) {
     FreeSet fs;
-    fs.pli = std::move(plis[static_cast<size_t>(a)]);
-    fs.cardinality = fs.pli.NumClusters();
+    fs.pli = cache != nullptr
+                 ? cache->SingleShared(a)
+                 : std::make_shared<const Pli>(std::move(plis[static_cast<size_t>(a)]));
+    fs.cardinality = fs.pli->NumClusters();
     if (fs.cardinality <= empty_cardinality) {
       // Constant column: ∅ -> A; {A} is not free, prune it.
       AttributeSet lhs(m);
@@ -48,9 +66,11 @@ FDSet DiscoverFdsFun(const Relation& relation, const AlgoOptions& options) {
     current.emplace(AttributeSet(m).With(a), std::move(fs));
   }
 
-  // Lazily built single-column probing tables for the |X ∪ A| computations.
+  // Lazily built single-column probing tables for the |X ∪ A| computations
+  // (the cache keeps them pinned; the legacy path rebuilds on demand).
   std::vector<std::vector<ClusterId>> probing(static_cast<size_t>(m));
   auto probing_for = [&](int a) -> const std::vector<ClusterId>& {
+    if (cache != nullptr) return cache->ProbingTable(a);
     auto& table = probing[static_cast<size_t>(a)];
     if (table.empty() && n > 0) {
       table = BuildColumnPli(relation, a, options.null_semantics)
@@ -64,7 +84,7 @@ FDSet DiscoverFdsFun(const Relation& relation, const AlgoOptions& options) {
     if (options.memory_tracker != nullptr) {
       size_t bytes = 0;
       for (const auto& [lhs, fs] : current) {
-        bytes += lhs.MemoryBytes() + fs.pli.MemoryBytes() + sizeof(FreeSet);
+        bytes += lhs.MemoryBytes() + fs.pli->MemoryBytes() + sizeof(FreeSet);
       }
       options.memory_tracker->SetComponent(MemoryTracker::kCandidates, bytes);
     }
@@ -79,9 +99,12 @@ FDSet DiscoverFdsFun(const Relation& relation, const AlgoOptions& options) {
       deadline.Check();
       AttributeSet outside = lhs.Complement();
       ForEachBit(outside, [&](int a) {
-        Pli intersected = fs.pli.Intersect(probing_for(a));
-        // |X ∪ A| = stripped clusters + singletons.
-        size_t card = intersected.NumClusters();
+        // |X ∪ A| = stripped clusters + singletons. With a cache the
+        // intersection is kept: the next level's free sets re-request it.
+        size_t card =
+            cache != nullptr
+                ? cache->GetWithBase(lhs.With(a), lhs, fs.pli)->NumClusters()
+                : fs.pli->Intersect(probing_for(a)).NumClusters();
         if (card == fs.cardinality) {
           if (!emitted.ContainsFdOrGeneralization(lhs, a)) {
             emitted.AddFd(lhs, a);
@@ -120,8 +143,11 @@ FDSet DiscoverFdsFun(const Relation& relation, const AlgoOptions& options) {
           const FreeSet& left = current.at(members[i]);
           const FreeSet& right = current.at(members[j]);
           FreeSet fs;
-          fs.pli = left.pli.Intersect(right.pli);
-          fs.cardinality = fs.pli.NumClusters();
+          fs.pli = cache != nullptr
+                       ? cache->GetWithBase(joined, members[i], left.pli)
+                       : std::make_shared<const Pli>(
+                             left.pli->Intersect(*right.pli));
+          fs.cardinality = fs.pli->NumClusters();
           // Freeness: strictly larger cardinality than every subset.
           bool free = true;
           for (int a = joined.First(); a != AttributeSet::kNpos && free;

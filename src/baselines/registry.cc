@@ -20,6 +20,9 @@ FDSet RunHyFd(const Relation& relation, const AlgoOptions& options) {
   HyFdConfig config;
   config.null_semantics = options.null_semantics;
   config.memory_tracker = options.memory_tracker;
+  config.pli_cache = CheckSharedPliCache(options.pli_cache, relation, options);
+  config.enable_pli_cache = options.use_pli_cache;
+  config.pli_cache_budget_bytes = options.pli_cache_budget_bytes;
   return DiscoverFds(relation, config);
 }
 

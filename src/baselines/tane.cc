@@ -1,17 +1,19 @@
 #include "baselines/tane.h"
 
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "fd/fd_tree.h"
 #include "pli/pli.h"
 #include "pli/pli_builder.h"
+#include "pli/pli_cache.h"
 
 namespace hyfd {
 namespace {
 
 struct Candidate {
-  Pli pli;
+  std::shared_ptr<const Pli> pli;
   AttributeSet cplus;  ///< TANE's RHS⁺ candidate set C⁺(X)
   size_t error = 0;    ///< e(X) — FD check: X\A → A valid iff e(X\A) = e(X)
 };
@@ -22,7 +24,7 @@ size_t LevelMemoryBytes(const Level& level) {
   size_t bytes = 0;
   for (const auto& [lhs, candidate] : level) {
     bytes += lhs.MemoryBytes() + candidate.cplus.MemoryBytes() +
-             candidate.pli.MemoryBytes() + sizeof(Candidate);
+             candidate.pli->MemoryBytes() + sizeof(Candidate);
   }
   return bytes;
 }
@@ -38,25 +40,41 @@ FDSet DiscoverFdsTane(const Relation& relation, const AlgoOptions& options) {
   // Emitted FDs, used for exact minimality checks on the key-pruning path.
   FDTree emitted(m);
 
+  // Shared or private PLI cache; nullptr (use_pli_cache = false) keeps the
+  // original direct pairwise intersections.
+  PliCache* cache = CheckSharedPliCache(options.pli_cache, relation, options);
+  std::unique_ptr<PliCache> owned_cache;
+  if (cache == nullptr && options.use_pli_cache) {
+    PliCache::Config cache_config;
+    cache_config.budget_bytes = options.pli_cache_budget_bytes;
+    owned_cache = std::make_unique<PliCache>(
+        BuildAllColumnPlis(relation, options.null_semantics),
+        relation.num_rows(), cache_config, options.null_semantics);
+    cache = owned_cache.get();
+  }
+
   // Level 0: the empty set. e(∅) = n - 1 (one big cluster).
   Level prev;
   Candidate root;
   {
     std::vector<std::vector<RecordId>> all(1);
     for (size_t r = 0; r < n; ++r) all[0].push_back(static_cast<RecordId>(r));
-    root.pli = Pli(std::move(all), n);
+    root.pli = std::make_shared<const Pli>(Pli(std::move(all), n));
   }
   root.cplus = AttributeSet::Full(m);
-  root.error = root.pli.Error();
+  root.error = root.pli->Error();
   prev.emplace(AttributeSet(m), std::move(root));
 
   // Level 1: single attributes.
   Level current;
-  auto plis = BuildAllColumnPlis(relation, options.null_semantics);
+  std::vector<Pli> plis;
+  if (cache == nullptr) plis = BuildAllColumnPlis(relation, options.null_semantics);
   for (int a = 0; a < m; ++a) {
     Candidate c;
-    c.pli = std::move(plis[static_cast<size_t>(a)]);
-    c.error = c.pli.Error();
+    c.pli = cache != nullptr
+                ? cache->SingleShared(a)
+                : std::make_shared<const Pli>(std::move(plis[static_cast<size_t>(a)]));
+    c.error = c.pli->Error();
     c.cplus = AttributeSet::Full(m);
     current.emplace(AttributeSet(m).With(a), std::move(c));
   }
@@ -99,7 +117,7 @@ FDSet DiscoverFdsTane(const Relation& relation, const AlgoOptions& options) {
         to_erase.push_back(lhs);
         continue;
       }
-      bool is_key = candidate.pli.IsUnique();
+      bool is_key = candidate.pli->IsUnique();
       if (is_key) {
         AttributeSet rhs_candidates = candidate.cplus;
         rhs_candidates.AndNot(lhs);
@@ -145,8 +163,14 @@ FDSet DiscoverFdsTane(const Relation& relation, const AlgoOptions& options) {
           Candidate c;
           const Candidate& left = current.at(members[i]);
           const Candidate& right = current.at(members[j]);
-          c.pli = left.pli.Intersect(right.pli);
-          c.error = c.pli.Error();
+          // The cache derives π_joined from the largest cached subset (left
+          // is passed as a floor so eviction never forces a from-singles
+          // rebuild); without a cache, intersect the parents directly.
+          c.pli = cache != nullptr
+                      ? cache->GetWithBase(joined, members[i], left.pli)
+                      : std::make_shared<const Pli>(
+                            left.pli->Intersect(*right.pli));
+          c.error = c.pli->Error();
           // C⁺(Y) = ∩_{A ∈ Y} C⁺(Y \ {A}).
           c.cplus = AttributeSet::Full(m);
           ForEachBit(joined, [&](int a) {

@@ -11,6 +11,36 @@
 #include "util/timer.h"
 
 namespace hyfd {
+namespace {
+
+/// FNV-1a over every cluster id of the compressed records (plus the shape).
+/// Same relation + same null semantics → same PLIs → same fingerprint, so an
+/// owned PLI cache can be kept warm across Discover() calls and safely
+/// dropped when the data changed. One O(n·m) pass — noise next to a single
+/// validation level.
+uint64_t FingerprintRecords(const CompressedRecords& records) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(records.num_records());
+  mix(static_cast<uint64_t>(records.num_attributes()));
+  const size_t n = records.num_records();
+  const int m = records.num_attributes();
+  for (size_t r = 0; r < n; ++r) {
+    const ClusterId* rec = records.Record(static_cast<RecordId>(r));
+    for (int a = 0; a < m; ++a) mix(static_cast<uint32_t>(rec[a]));
+  }
+  return h;
+}
+
+}  // namespace
+
+void HyFd::ResetPliCache() {
+  owned_cache_.reset();
+  owned_cache_fingerprint_ = 0;
+}
 
 FDSet HyFd::Discover(const Relation& relation) {
   stats_ = HyFdStats{};
@@ -23,6 +53,35 @@ FDSet HyFd::Discover(const Relation& relation) {
     tracker->SetComponent(MemoryTracker::kPlis, data.MemoryBytes());
   }
 
+  // --- PLI cache selection (external shared, owned-and-warm, or none). ----
+  const bool needs_thread_safety = config_.num_threads > 1;
+  PliCache* cache = config_.pli_cache;
+  if (cache != nullptr &&
+      (cache->num_attributes() != data.num_attributes ||
+       cache->num_records() != data.num_records ||
+       cache->null_semantics() != config_.null_semantics ||
+       (needs_thread_safety && !cache->config().thread_safe))) {
+    cache = nullptr;  // defensively ignore an incompatible external cache
+  }
+  if (cache == nullptr && config_.enable_pli_cache) {
+    uint64_t fingerprint = FingerprintRecords(data.records);
+    if (owned_cache_ == nullptr ||
+        owned_cache_fingerprint_ != fingerprint ||
+        owned_cache_->num_attributes() != data.num_attributes ||
+        (needs_thread_safety && !owned_cache_->config().thread_safe)) {
+      PliCache::Config cache_config;
+      cache_config.budget_bytes = config_.pli_cache_budget_bytes;
+      cache_config.thread_safe = needs_thread_safety;
+      owned_cache_ = std::make_unique<PliCache>(
+          data.num_attributes, data.num_records, cache_config,
+          config_.null_semantics);
+      owned_cache_fingerprint_ = fingerprint;
+    }
+    cache = owned_cache_.get();
+  }
+  PliCache::Counters cache_before;
+  if (cache != nullptr) cache_before = cache->counters();
+
   FDTree tree(data.num_attributes);
   Sampler sampler(&data, config_.efficiency_threshold, config_.sampling_strategy);
   Inductor inductor(&tree);
@@ -32,7 +91,8 @@ FDSet HyFd::Discover(const Relation& relation) {
   if (config_.num_threads > 1) {
     pool = std::make_unique<ThreadPool>(static_cast<size_t>(config_.num_threads));
   }
-  Validator validator(&data, &tree, config_.efficiency_threshold, pool.get());
+  Validator validator(&data, &tree, config_.efficiency_threshold, pool.get(),
+                      cache);
 
   // The hybrid loop (paper Figure 2): Phase 1 = Sampler + Inductor,
   // Phase 2 = Validator; alternate until the Validator exhausts the lattice.
@@ -65,6 +125,12 @@ FDSet HyFd::Discover(const Relation& relation) {
     suggestions = std::move(vr.comparison_suggestions);
   }
 
+  if (cache != nullptr) {
+    PliCache::Counters after = cache->counters();
+    stats_.pli_cache_hits = after.hits - cache_before.hits;
+    stats_.pli_cache_misses = after.misses - cache_before.misses;
+    stats_.pli_cache_evictions = after.evictions - cache_before.evictions;
+  }
   stats_.comparisons = sampler.total_comparisons();
   stats_.non_fds = sampler.num_non_fds();
   stats_.validations = validator.total_validations();

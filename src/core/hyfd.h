@@ -3,11 +3,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 
 #include "core/sampler.h"
 #include "data/relation.h"
 #include "fd/fd_set.h"
 #include "pli/pli_builder.h"
+#include "pli/pli_cache.h"
 #include "util/memory_tracker.h"
 
 namespace hyfd {
@@ -31,6 +33,20 @@ struct HyFdConfig {
   int num_threads = 1;
   /// If set, the run charges its data structures here (Table 3 accounting).
   MemoryTracker* memory_tracker = nullptr;
+  /// External shared PLI cache probed (and kept warm) by the Validator —
+  /// hand the same cache to baseline runs via AlgoOptions::pli_cache to
+  /// share partitions across algorithms. Must be thread-safe when
+  /// num_threads > 1 (it is ignored otherwise, defensively). nullptr +
+  /// enable_pli_cache lets the HyFd object own a private cache instead.
+  PliCache* pli_cache = nullptr;
+  /// With pli_cache == nullptr: build a HyFd-owned cache so LHS partitions
+  /// assembled by the Validator stay warm across repeated Discover() calls
+  /// on the same relation (the EAIFD setting). The owned cache is dropped
+  /// automatically when Discover() sees different data (detected by a full
+  /// fingerprint of the compressed records).
+  bool enable_pli_cache = true;
+  /// Byte budget of the owned cache (0 = unbounded).
+  size_t pli_cache_budget_bytes = PliCache::kDefaultBudgetBytes;
 };
 
 /// Counters and timings of a completed run.
@@ -49,6 +65,11 @@ struct HyFdStats {
   double validation_seconds = 0;
   /// -1 = complete result; otherwise the Guardian capped LHS size here.
   int pruned_lhs_cap = -1;
+  /// PLI-cache activity attributable to this run (deltas of the cache's
+  /// cumulative counters; zero when no cache is attached).
+  size_t pli_cache_hits = 0;
+  size_t pli_cache_misses = 0;
+  size_t pli_cache_evictions = 0;
 };
 
 /// The hybrid FD discovery algorithm (the paper's primary contribution).
@@ -69,9 +90,16 @@ class HyFd {
   const HyFdStats& stats() const { return stats_; }
   const HyFdConfig& config() const { return config_; }
 
+  /// Drops the owned PLI cache (e.g. before discovering on new data that
+  /// could fingerprint-collide with the previous relation).
+  void ResetPliCache();
+
  private:
   HyFdConfig config_;
   HyFdStats stats_;
+  /// Owned cache kept across Discover() calls; see HyFdConfig::enable_pli_cache.
+  std::unique_ptr<PliCache> owned_cache_;
+  uint64_t owned_cache_fingerprint_ = 0;
 };
 
 /// One-shot convenience wrapper.

@@ -5,8 +5,47 @@
 namespace hyfd {
 
 Validator::Validator(const PreprocessedData* data, FDTree* tree,
-                     double efficiency_threshold, ThreadPool* pool)
-    : data_(data), tree_(tree), threshold_(efficiency_threshold), pool_(pool) {}
+                     double efficiency_threshold, ThreadPool* pool,
+                     PliCache* cache)
+    : data_(data),
+      tree_(tree),
+      threshold_(efficiency_threshold),
+      pool_(pool),
+      cache_(cache) {}
+
+Validator::RefineOutcome Validator::RefinesWithPli(
+    const Pli& lhs_pli, const std::vector<int>& rhs_attrs) const {
+  RefineOutcome out;
+  out.valid_rhss = AttributeSet(data_->num_attributes);
+  const size_t num_rhs = rhs_attrs.size();
+  std::vector<uint8_t> alive(num_rhs, 1);
+  size_t num_alive = num_rhs;
+  if (num_alive == 0) return out;
+
+  // Each cluster of π_lhs is one group of LHS-agreeing records: every
+  // still-alive RHS must agree with the cluster's first record on a
+  // non-unique cluster id, exactly as in the hash-grouping pass.
+  for (const auto& cluster : lhs_pli.clusters()) {
+    const ClusterId* first = data_->records.Record(cluster[0]);
+    for (size_t i = 1; i < cluster.size(); ++i) {
+      const ClusterId* rec = data_->records.Record(cluster[i]);
+      for (size_t j = 0; j < num_rhs; ++j) {
+        if (!alive[j]) continue;
+        ClusterId stored = first[rhs_attrs[j]];
+        if (stored == kUniqueCluster || stored != rec[rhs_attrs[j]]) {
+          alive[j] = 0;
+          --num_alive;
+          out.suggestions.emplace_back(cluster[0], cluster[i]);
+        }
+      }
+      if (num_alive == 0) return out;
+    }
+  }
+  for (size_t j = 0; j < num_rhs; ++j) {
+    if (alive[j]) out.valid_rhss.Set(rhs_attrs[j]);
+  }
+  return out;
+}
 
 Validator::RefineOutcome Validator::Refines(const AttributeSet& lhs,
                                             const AttributeSet& rhss) const {
@@ -21,6 +60,15 @@ Validator::RefineOutcome Validator::Refines(const AttributeSet& lhs,
       }
     });
     return out;
+  }
+
+  // A cached LHS partition (from an earlier discovery pass or a sibling
+  // algorithm sharing the cache) replaces the hash-grouping pass entirely.
+  const bool multi_lhs = lhs.Count() >= 2;
+  if (cache_ != nullptr && multi_lhs) {
+    if (auto cached = cache_->Probe(lhs)) {
+      return RefinesWithPli(*cached, rhss.ToIndexes());
+    }
   }
 
   // Pivot: the LHS attribute whose PLI has the most (smallest) clusters —
@@ -49,11 +97,18 @@ Validator::RefineOutcome Validator::Refines(const AttributeSet& lhs,
 
   struct GroupInfo {
     RecordId representative;
-    uint32_t rhs_offset;  ///< index into rhs_storage
+    uint32_t rhs_offset;   ///< index into rhs_storage
+    int32_t cluster = -1;  ///< index into `collected`, lazily materialized
   };
   // RHS cluster ids of all groups, stored contiguously to avoid per-group
   // allocations (this function runs once per FDTree node, per level).
   std::vector<ClusterId> rhs_storage;
+
+  // With a cache attached, the grouping pass doubles as a builder for π_lhs:
+  // every group that receives a second record becomes one of its stripped
+  // clusters. Abandoned on early exit (partial partitions are never cached).
+  const bool collect = cache_ != nullptr && multi_lhs;
+  std::vector<std::vector<RecordId>> collected;
 
   // Compares record `r` against its group (creating the group on first
   // sight); returns false when every RHS died.
@@ -68,6 +123,13 @@ Validator::RefineOutcome Validator::Refines(const AttributeSet& lhs,
         rhs_storage.push_back(rec[rhs_attrs[j]]);
       }
       return true;
+    }
+    if (collect) {
+      if (group.cluster < 0) {
+        group.cluster = static_cast<int32_t>(collected.size());
+        collected.push_back({group.representative});
+      }
+      collected[static_cast<size_t>(group.cluster)].push_back(r);
     }
     // A second record with the same LHS clusters: every still-alive RHS
     // must agree on a non-unique cluster, else the FD is violated.
@@ -142,6 +204,10 @@ Validator::RefineOutcome Validator::Refines(const AttributeSet& lhs,
         if (!probe_group(groups, key, r, rec)) return out;
       }
     }
+  }
+
+  if (collect) {
+    cache_->Put(lhs, Pli(std::move(collected), data_->num_records));
   }
 
   for (size_t j = 0; j < num_rhs; ++j) {

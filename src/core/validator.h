@@ -6,6 +6,7 @@
 
 #include "core/preprocessor.h"
 #include "fd/fd_tree.h"
+#include "pli/pli_cache.h"
 #include "util/attribute_set.h"
 #include "util/thread_pool.h"
 
@@ -33,9 +34,15 @@ struct ValidatorResult {
 class Validator {
  public:
   /// `data` and `tree` must outlive the Validator. A non-null `pool`
-  /// parallelizes the per-node refinement checks (paper §10.4).
+  /// parallelizes the per-node refinement checks (paper §10.4). A non-null
+  /// `cache` is probed for each multi-attribute LHS partition — a hit skips
+  /// the hash-grouping pass — and kept warm with the LHS partitions the
+  /// grouping pass assembles anyway, so repeated discovery passes and
+  /// sibling algorithms reuse them. The cache must be thread-safe when a
+  /// pool is given (probes run concurrently).
   Validator(const PreprocessedData* data, FDTree* tree,
-            double efficiency_threshold, ThreadPool* pool = nullptr);
+            double efficiency_threshold, ThreadPool* pool = nullptr,
+            PliCache* cache = nullptr);
 
   /// Continues the level-wise traversal from where it last stopped.
   ValidatorResult Run();
@@ -52,10 +59,16 @@ class Validator {
   /// Simultaneously checks lhs → rhs for every rhs in `rhss` (Figure 5).
   RefineOutcome Refines(const AttributeSet& lhs, const AttributeSet& rhss) const;
 
+  /// Fast path for a cached LHS partition: checks every rhs cluster-by-
+  /// cluster, no hashing.
+  RefineOutcome RefinesWithPli(const Pli& lhs_pli,
+                               const std::vector<int>& rhs_attrs) const;
+
   const PreprocessedData* data_;
   FDTree* tree_;
   double threshold_;
   ThreadPool* pool_;
+  PliCache* cache_;
   int current_level_number_ = 0;
   size_t total_validations_ = 0;
 };

@@ -28,6 +28,43 @@ Pli BuildColumnPli(const Relation& relation, int col, NullSemantics nulls) {
   return Pli(std::move(clusters), n);
 }
 
+Pli BuildPli(const Relation& relation, const AttributeSet& attrs,
+             NullSemantics nulls) {
+  const size_t n = relation.num_rows();
+  if (attrs.Empty()) {
+    std::vector<std::vector<RecordId>> all(1);
+    for (size_t r = 0; r < n; ++r) all[0].push_back(static_cast<RecordId>(r));
+    return Pli(std::move(all), n);
+  }
+  std::unordered_map<std::string, std::vector<RecordId>> groups;
+  std::string key;
+  for (size_t r = 0; r < n; ++r) {
+    key.clear();
+    bool unique = false;
+    for (int c = attrs.First(); c != AttributeSet::kNpos; c = attrs.NextAfter(c)) {
+      if (relation.IsNull(r, c)) {
+        if (nulls == NullSemantics::kNullUnequal) {
+          // Every NULL is its own value: the row is a stripped singleton.
+          unique = true;
+          break;
+        }
+        key += '\x01';  // shared NULL token
+      } else {
+        key += relation.Value(r, c);
+      }
+      key += '\x02';  // column separator
+    }
+    if (unique) continue;
+    groups[key].push_back(static_cast<RecordId>(r));
+  }
+  std::vector<std::vector<RecordId>> clusters;
+  clusters.reserve(groups.size());
+  for (auto& [_, records] : groups) {
+    if (records.size() >= 2) clusters.push_back(std::move(records));
+  }
+  return Pli(std::move(clusters), n);
+}
+
 std::vector<Pli> BuildAllColumnPlis(const Relation& relation, NullSemantics nulls) {
   std::vector<Pli> plis;
   plis.reserve(static_cast<size_t>(relation.num_columns()));

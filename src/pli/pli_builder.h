@@ -5,6 +5,7 @@
 
 #include "data/relation.h"
 #include "pli/pli.h"
+#include "util/attribute_set.h"
 
 namespace hyfd {
 
@@ -24,6 +25,14 @@ Pli BuildColumnPli(const Relation& relation, int col,
 /// Builds all single-column PLIs, in schema order.
 std::vector<Pli> BuildAllColumnPlis(
     const Relation& relation, NullSemantics nulls = NullSemantics::kNullEqualsNull);
+
+/// Builds π_X for an arbitrary attribute set X directly from the relation by
+/// grouping rows on their X-values — a from-scratch single pass with no
+/// intersections. Semantically identical to chaining Pli::Intersect over X's
+/// columns; the PliCache differential tests compare every cached or derived
+/// partition against this reference. π_∅ is the single all-rows cluster.
+Pli BuildPli(const Relation& relation, const AttributeSet& attrs,
+             NullSemantics nulls = NullSemantics::kNullEqualsNull);
 
 }  // namespace hyfd
 

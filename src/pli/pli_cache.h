@@ -1,0 +1,212 @@
+#ifndef HYFD_PLI_PLI_CACHE_H_
+#define HYFD_PLI_PLI_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "data/relation.h"
+#include "pli/pli.h"
+#include "pli/pli_builder.h"
+#include "util/attribute_set.h"
+#include "util/memory_tracker.h"
+
+namespace hyfd {
+
+class PliCache;
+
+/// Tuning knobs for a PliCache (namespace-scope so it is a complete type in
+/// the cache's own default arguments; spelled `PliCache::Config` by users).
+struct PliCacheConfig {
+  /// LRU eviction threshold in bytes; 0 disables eviction (unbounded).
+  /// The default (64 MiB) is generous for the bench datasets, small enough
+  /// to matter on the paper's large configurations.
+  size_t budget_bytes = size_t{64} << 20;
+  /// false = pass-through mode: Get() still derives correct partitions but
+  /// nothing is stored (the cache-off ablation arm for DFD).
+  bool enabled = true;
+  /// Guards every operation with a shared mutex (required when HyFD's
+  /// parallel Validator probes the cache).
+  bool thread_safe = false;
+  /// If set, the cache charges its total footprint (pinned singles +
+  /// cached partitions) under MemoryTracker::kPlis.
+  MemoryTracker* memory_tracker = nullptr;
+};
+
+/// A shared, memory-budgeted cache of intersected PLIs, keyed by
+/// `AttributeSet`.
+///
+/// PLI intersection dominates the lattice-traversal cost of every level-wise
+/// discoverer in this library (TANE, FUN, FD_Mine, DFD) and of repeated
+/// discovery passes over the same relation (the EAIFD setting). One cache can
+/// be built per relation and handed to any number of algorithm runs through
+/// `AlgoOptions::pli_cache` / `HyFdConfig::pli_cache`, so π_X computed by one
+/// run is a hit for the next.
+///
+/// * **Eviction** is LRU under a byte budget (`Config::budget_bytes`;
+///   0 = unbounded). Single-column PLIs and their probing tables are pinned —
+///   they are inputs, not derived state — and do not count against the
+///   budget. The entry inserted last is never evicted, so a tiny budget
+///   degenerates to a one-entry cache rather than a dead one.
+/// * **Derivation**: `Get()` serves misses by intersecting from the largest
+///   cached subset partition (checking immediate subsets first, then a
+///   bounded LRU scan), falling back to single-column intersection — the
+///   generalization of DFD's partition-store trick. Intermediate partitions
+///   produced on the way are cached too.
+/// * **Safety of eviction**: values are `shared_ptr<const Pli>`, so a caller
+///   holding a partition keeps it alive even after the cache dropped it.
+/// * **Thread safety** is optional (`Config::thread_safe`): a shared mutex
+///   lets HyFD's parallel Validator probe concurrently (shared lock) while
+///   derivations and inserts take the exclusive lock.
+/// * **Counters** (hits/misses/evictions/derivations/inserts plus current
+///   bytes/entries) feed bench_micro and the cache-ablation column of
+///   bench_ablation.
+class PliCache {
+ public:
+  /// Default byte budget: generous for the bench datasets, small enough to
+  /// matter on the paper's large configurations.
+  static constexpr size_t kDefaultBudgetBytes = size_t{64} << 20;
+
+  using Config = PliCacheConfig;
+
+  /// Cumulative since construction / ResetCounters(); bytes/entries are the
+  /// current derived-entry footprint (pinned singles excluded).
+  struct Counters {
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t evictions = 0;
+    size_t derivations = 0;  ///< PLI intersections performed on miss paths
+    size_t inserts = 0;
+    size_t bytes = 0;
+    size_t entries = 0;
+  };
+
+  /// Builds a cache over pre-built single-column PLIs (pinned; probing
+  /// tables are materialized eagerly). `nulls` records the semantics the
+  /// singles were built under so shared users can verify compatibility.
+  PliCache(std::vector<Pli> single_plis, size_t num_records, Config config = {},
+           NullSemantics nulls = NullSemantics::kNullEqualsNull);
+
+  /// Builds a cache without pinned singles. Only Probe()/Put() and
+  /// subset-derivable Get() calls work; Get() returns nullptr when it would
+  /// need a single-column base. This is the shape HyFD uses to keep
+  /// Validator-built LHS partitions warm across repeated Discover() passes.
+  PliCache(int num_attributes, size_t num_records, Config config = {},
+           NullSemantics nulls = NullSemantics::kNullEqualsNull);
+
+  /// Convenience: builds all single-column PLIs of `relation` and wraps them.
+  static PliCache FromRelation(const Relation& relation, Config config = {},
+                               NullSemantics nulls = NullSemantics::kNullEqualsNull);
+
+  // Not movable (mutex + atomics); FromRelation relies on copy elision.
+  PliCache(const PliCache&) = delete;
+  PliCache& operator=(const PliCache&) = delete;
+
+  int num_attributes() const { return num_attributes_; }
+  size_t num_records() const { return num_records_; }
+  NullSemantics null_semantics() const { return nulls_; }
+  const Config& config() const { return config_; }
+  bool has_singles() const { return !singles_.empty(); }
+
+  /// Pinned single-column PLI / probing table. Requires has_singles().
+  const Pli& Single(int attr) const { return *singles_[static_cast<size_t>(attr)]; }
+  std::shared_ptr<const Pli> SingleShared(int attr) const {
+    return singles_[static_cast<size_t>(attr)];
+  }
+  const std::vector<ClusterId>& ProbingTable(int attr) const {
+    return probing_[static_cast<size_t>(attr)];
+  }
+
+  /// π_X for an arbitrary attribute set: exact hit, else derived from the
+  /// largest cached subset (falling back to singles) and cached. Returns
+  /// nullptr only for the empty set or when a singles-less cache cannot
+  /// derive the partition.
+  std::shared_ptr<const Pli> Get(const AttributeSet& attrs);
+
+  /// Like Get(), but the caller supplies a known partition π_{base_key}
+  /// (base_key ⊆ attrs) to derive from when it beats every cached subset —
+  /// the level-wise algorithms pass the parent candidate they already hold,
+  /// so eviction can never force a from-singles rebuild.
+  std::shared_ptr<const Pli> GetWithBase(const AttributeSet& attrs,
+                                         const AttributeSet& base_key,
+                                         const std::shared_ptr<const Pli>& base);
+
+  /// Exact-hit lookup that never derives and never reorders the LRU list
+  /// (shared lock only): the Validator's concurrent probe. Counts a hit or
+  /// a miss. Returns nullptr on miss.
+  std::shared_ptr<const Pli> Probe(const AttributeSet& attrs) const;
+
+  /// Inserts (or replaces) an externally computed partition, e.g. the LHS
+  /// partitions HyFD's Validator assembles as a by-product of refinement.
+  void Put(const AttributeSet& attrs, Pli pli);
+  void Put(const AttributeSet& attrs, std::shared_ptr<const Pli> pli);
+
+  /// Re-budgets the cache, evicting immediately if the new budget is lower.
+  void set_budget_bytes(size_t budget_bytes);
+
+  /// Drops every derived entry (pinned singles stay). Not counted as
+  /// evictions.
+  void Clear();
+
+  Counters counters() const;
+  void ResetCounters();
+
+  /// Pinned singles + probing tables + cached partitions, in bytes.
+  size_t TotalBytes() const;
+
+ private:
+  struct Entry {
+    AttributeSet key;
+    std::shared_ptr<const Pli> pli;
+    size_t bytes = 0;
+  };
+  using LruList = std::list<Entry>;
+
+  // All private helpers assume the exclusive lock is held (when thread_safe).
+  std::shared_ptr<const Pli> GetLocked(const AttributeSet& attrs,
+                                       const AttributeSet* base_key,
+                                       const std::shared_ptr<const Pli>* base);
+  std::shared_ptr<const Pli> InsertLocked(const AttributeSet& attrs,
+                                          std::shared_ptr<const Pli> pli);
+  void EvictLocked();
+  void ChargeTrackerLocked();
+  static size_t EntryBytes(const AttributeSet& key, const Pli& pli);
+
+  std::unique_lock<std::shared_mutex> ExclusiveLock() const {
+    return config_.thread_safe ? std::unique_lock(mu_)
+                               : std::unique_lock<std::shared_mutex>();
+  }
+  std::shared_lock<std::shared_mutex> SharedLock() const {
+    return config_.thread_safe ? std::shared_lock(mu_)
+                               : std::shared_lock<std::shared_mutex>();
+  }
+
+  Config config_;
+  NullSemantics nulls_;
+  int num_attributes_ = 0;
+  size_t num_records_ = 0;
+  size_t singles_bytes_ = 0;
+
+  std::vector<std::shared_ptr<const Pli>> singles_;
+  std::vector<std::vector<ClusterId>> probing_;
+
+  mutable std::shared_mutex mu_;
+  LruList lru_;  ///< front = most recently used
+  std::unordered_map<AttributeSet, LruList::iterator> index_;
+  size_t bytes_ = 0;
+
+  mutable std::atomic<size_t> hits_{0};
+  mutable std::atomic<size_t> misses_{0};
+  std::atomic<size_t> evictions_{0};
+  std::atomic<size_t> derivations_{0};
+  std::atomic<size_t> inserts_{0};
+};
+
+}  // namespace hyfd
+
+#endif  // HYFD_PLI_PLI_CACHE_H_

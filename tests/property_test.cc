@@ -5,12 +5,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include "baselines/registry.h"
 #include "data/generators.h"
 #include "fd/closure.h"
 #include "fd/fd_tree.h"
 #include "fd/reference.h"
 #include "gtest/gtest.h"
 #include "pli/pli_builder.h"
+#include "pli/pli_cache.h"
 #include "test_util.h"
 
 namespace hyfd {
@@ -187,6 +189,36 @@ TEST_P(SamplePropertyTest, SampleFdsGeneralizeFullDataFds) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SamplePropertyTest,
                          ::testing::Range(uint64_t{400}, uint64_t{410}));
+
+// ---------------------------------------------------------------------------
+// PLI-cache ablation: every lattice algorithm (and HyFD) must produce the
+// same minimal FD set with the shared cache enabled, disabled, and shared
+// across runs — the cache is an accelerator, never a semantics change.
+// ---------------------------------------------------------------------------
+
+class CacheAblationTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CacheAblationTest, SameFdsWithAndWithoutPliCache) {
+  Relation r = testing::RandomRelation(5, 60, GetParam(), 3, 0.05);
+  PliCache shared = PliCache::FromRelation(r);
+  for (const char* name : {"tane", "fun", "fd_mine", "dfd", "hyfd"}) {
+    AlgoOptions cache_off;
+    cache_off.use_pli_cache = false;
+    FDSet baseline = FindAlgorithm(name).run(r, cache_off);
+
+    AlgoOptions cache_on;  // private cache, default budget
+    testing::ExpectSameFds(baseline, FindAlgorithm(name).run(r, cache_on),
+                           std::string(name) + " private cache");
+
+    AlgoOptions cache_shared;
+    cache_shared.pli_cache = &shared;
+    testing::ExpectSameFds(baseline, FindAlgorithm(name).run(r, cache_shared),
+                           std::string(name) + " shared cache");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheAblationTest,
+                         ::testing::Range(uint64_t{500}, uint64_t{520}));
 
 }  // namespace
 }  // namespace hyfd
