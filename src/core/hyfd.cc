@@ -7,6 +7,7 @@
 #include "core/preprocessor.h"
 #include "core/validator.h"
 #include "fd/fd_tree.h"
+#include "util/check.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -45,6 +46,7 @@ void HyFd::ResetPliCache() {
 FDSet HyFd::Discover(const Relation& relation) {
   stats_ = HyFdStats{};
   MemoryTracker* tracker = config_.memory_tracker;
+  HYFD_AUDIT_ONLY(relation.CheckInvariants());
 
   Timer timer;
   PreprocessedData data = Preprocess(relation, config_.null_semantics);
@@ -106,6 +108,8 @@ FDSet HyFd::Discover(const Relation& relation) {
       inductor.Update({});  // ablation: start from ∅ -> R, Validator only
     }
     stats_.sampling_seconds += timer.ElapsedSeconds();
+    // Audit seam: the Inductor just rewrote the positive cover.
+    HYFD_AUDIT_ONLY(tree.CheckInvariants());
     guardian.Check(&tree, sampler.NegativeCoverBytes() + data.MemoryBytes());
     if (tracker != nullptr) {
       tracker->SetComponent(MemoryTracker::kNegativeCover,
@@ -116,6 +120,8 @@ FDSet HyFd::Discover(const Relation& relation) {
     timer.Restart();
     ValidatorResult vr = validator.Run();
     stats_.validation_seconds += timer.ElapsedSeconds();
+    // Audit seam: the Validator pruned invalid FDs and specialized them.
+    HYFD_AUDIT_ONLY(tree.CheckInvariants());
     guardian.Check(&tree, sampler.NegativeCoverBytes() + data.MemoryBytes());
     if (tracker != nullptr) {
       tracker->SetComponent(MemoryTracker::kFdTree, tree.MemoryBytes());
@@ -125,6 +131,7 @@ FDSet HyFd::Discover(const Relation& relation) {
     suggestions = std::move(vr.comparison_suggestions);
   }
 
+  HYFD_AUDIT_ONLY(if (cache != nullptr) cache->CheckInvariants());
   if (cache != nullptr) {
     PliCache::Counters after = cache->counters();
     stats_.pli_cache_hits = after.hits - cache_before.hits;

@@ -6,6 +6,7 @@
 #include "core/preprocessor.h"
 #include "fd/fd_tree.h"
 #include "pli/pli.h"
+#include "util/check.h"
 
 namespace hyfd {
 namespace {
@@ -104,6 +105,8 @@ std::vector<AttributeSet> HyUcc::Discover(const Relation& relation) {
     for (const AttributeSet& agree : new_agree_sets) {
       SpecializeUcc(&tree, agree);
     }
+    // Audit seam: the candidate tree was just specialized from samples.
+    HYFD_AUDIT_ONLY(tree.CheckInvariants());
 
     // ---- Phase 2: validate level-wise until done or inefficient. ---------
     bool done = false;
@@ -141,6 +144,8 @@ std::vector<AttributeSet> HyUcc::Discover(const Relation& relation) {
         break;  // inefficient: go sample the violating pairs
       }
     }
+    // Audit seam: validation pruned non-unique candidates and extended them.
+    HYFD_AUDIT_ONLY(tree.CheckInvariants());
     if (done) break;
     ++stats_.phase_switches;
   }

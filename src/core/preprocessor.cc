@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "util/check.h"
+
 namespace hyfd {
 
 size_t PreprocessedData::MemoryBytes() const {
@@ -15,6 +17,7 @@ PreprocessedData Preprocess(const Relation& relation, NullSemantics nulls) {
   PreprocessedData data;
   data.num_records = relation.num_rows();
   data.num_attributes = relation.num_columns();
+  HYFD_AUDIT_ONLY(relation.CheckInvariants());
   data.plis = BuildAllColumnPlis(relation, nulls);
   data.records = CompressedRecords(data.plis, data.num_records);
 

@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "util/check.h"
+
 namespace hyfd {
 
 Validator::Validator(const PreprocessedData* data, FDTree* tree,
@@ -11,7 +13,12 @@ Validator::Validator(const PreprocessedData* data, FDTree* tree,
       tree_(tree),
       threshold_(efficiency_threshold),
       pool_(pool),
-      cache_(cache) {}
+      cache_(cache) {
+  HYFD_CHECK(data != nullptr && tree != nullptr,
+             "Validator: preprocessed data and FD tree are required");
+  HYFD_CHECK(tree->num_attributes() == data->num_attributes,
+             "Validator: FD tree and data disagree on the attribute count");
+}
 
 Validator::RefineOutcome Validator::RefinesWithPli(
     const Pli& lhs_pli, const std::vector<int>& rhs_attrs) const {

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/check.h"
+
 namespace hyfd {
 namespace {
 
@@ -128,6 +130,9 @@ Relation ReadCsvString(const std::string& text, const CsvOptions& opt) {
     }
     relation.AppendRow(row);
   }
+  // Audit seam: a freshly parsed relation must satisfy the NULL-semantics
+  // and rectangularity contracts before any algorithm consumes it.
+  HYFD_AUDIT_ONLY(relation.CheckInvariants());
   return relation;
 }
 

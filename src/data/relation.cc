@@ -1,7 +1,8 @@
 #include "data/relation.h"
 
-#include <cassert>
 #include <unordered_set>
+
+#include "util/check.h"
 
 namespace hyfd {
 
@@ -25,7 +26,8 @@ Relation Relation::FromStringRows(
 }
 
 void Relation::AppendRow(const std::vector<std::optional<std::string>>& row) {
-  assert(static_cast<int>(row.size()) == num_columns());
+  HYFD_CHECK(row.size() == static_cast<size_t>(num_columns()),
+             "Relation::AppendRow: row width does not match the schema");
   for (size_t c = 0; c < row.size(); ++c) {
     if (row[c].has_value()) {
       columns_[c].push_back(*row[c]);
@@ -38,11 +40,15 @@ void Relation::AppendRow(const std::vector<std::optional<std::string>>& row) {
 }
 
 void Relation::SetValue(size_t row, int col, std::string value) {
+  HYFD_DCHECK(col >= 0 && col < num_columns() && row < num_rows(),
+              "Relation::SetValue: cell out of range");
   columns_[static_cast<size_t>(col)][row] = std::move(value);
   nulls_[static_cast<size_t>(col)][row] = 0;
 }
 
 void Relation::SetNull(size_t row, int col) {
+  HYFD_DCHECK(col >= 0 && col < num_columns() && row < num_rows(),
+              "Relation::SetNull: cell out of range");
   columns_[static_cast<size_t>(col)][row].clear();
   nulls_[static_cast<size_t>(col)][row] = 1;
 }
@@ -74,6 +80,23 @@ Relation Relation::HeadColumns(int k) const {
     r.nulls_[static_cast<size_t>(c)] = nulls_[static_cast<size_t>(c)];
   }
   return r;
+}
+
+void Relation::CheckInvariants() const {
+  HYFD_CHECK(columns_.size() == static_cast<size_t>(schema_.num_columns()),
+             "Relation: column count disagrees with the schema");
+  HYFD_CHECK(nulls_.size() == columns_.size(),
+             "Relation: null-flag column count disagrees with value columns");
+  const size_t rows = num_rows();
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    HYFD_CHECK(columns_[c].size() == rows, "Relation: ragged value column");
+    HYFD_CHECK(nulls_[c].size() == rows, "Relation: ragged null-flag column");
+    for (size_t r = 0; r < rows; ++r) {
+      HYFD_CHECK(nulls_[c][r] <= 1, "Relation: null flag outside {0,1}");
+      HYFD_CHECK(nulls_[c][r] == 0 || columns_[c][r].empty(),
+                 "Relation: NULL cell carries a non-empty value");
+    }
+  }
 }
 
 size_t Relation::DistinctCount(int col) const {

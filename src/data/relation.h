@@ -62,6 +62,14 @@ class Relation {
   /// Number of distinct non-NULL values in column `col` (for stats/tests).
   size_t DistinctCount(int col) const;
 
+  /// Deep structural audit: schema/column/null-flag arity agreement,
+  /// rectangular columns, null flags in {0,1}, and the NULL representation
+  /// invariant (a NULL cell stores the empty string). Throws
+  /// ContractViolation on the first violation. Invoked automatically at the
+  /// discovery seams in audit builds (-DHYFD_AUDIT=ON); callable from any
+  /// build.
+  void CheckInvariants() const;
+
  private:
   Schema schema_;
   std::vector<std::vector<std::string>> columns_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/check.h"
+
 namespace hyfd {
 namespace {
 
@@ -97,6 +99,37 @@ size_t MemoryBytesRec(const FDTree::Node* node) {
     if (child) bytes += MemoryBytesRec(child.get());
   }
   return bytes;
+}
+
+/// Recursive audit for FDTree::CheckInvariants. `ancestor_fds` is the union
+/// of `fds` along the path above `node` (by value: the tree is shallow and
+/// the audit is not a hot path).
+void CheckNodeInvariants(const FDTree::Node* node, int num_attributes,
+                         int depth, int max_lhs_size,
+                         AttributeSet ancestor_fds) {
+  HYFD_CHECK(node->fds.size() == num_attributes,
+             "FDTree: fds bitset ranges over the wrong attribute count");
+  HYFD_CHECK(node->rhs_attrs.size() == num_attributes,
+             "FDTree: rhs_attrs bitset ranges over the wrong attribute count");
+  HYFD_CHECK(node->fds.IsSubsetOf(node->rhs_attrs),
+             "FDTree: stored RHS missing from the node's rhs_attrs superset");
+  HYFD_CHECK(node->children.empty() ||
+                 node->children.size() == static_cast<size_t>(num_attributes),
+             "FDTree: child slots outside the attribute range");
+  HYFD_CHECK(max_lhs_size < 0 || depth <= max_lhs_size,
+             "FDTree: node deeper than the Guardian's LHS cap");
+  HYFD_CHECK(!node->fds.Intersects(ancestor_fds),
+             "FDTree: FD stored below a stored generalization (non-minimal)");
+  ancestor_fds |= node->fds;
+  AttributeSet child_union(num_attributes);
+  for (const auto& child : node->children) {
+    if (child == nullptr) continue;
+    CheckNodeInvariants(child.get(), num_attributes, depth + 1, max_lhs_size,
+                        ancestor_fds);
+    child_union |= child->rhs_attrs;
+  }
+  HYFD_CHECK(child_union.IsSubsetOf(node->rhs_attrs),
+             "FDTree: rhs_attrs under-approximates the subtree's RHS union");
 }
 
 /// Prunes nodes deeper than `remaining` levels; recomputes rhs_attrs from
@@ -220,6 +253,12 @@ size_t FDTree::MemoryBytes() const { return MemoryBytesRec(root_.get()); }
 void FDTree::SetMaxLhsSize(int k) {
   max_lhs_size_ = k;
   if (k >= 0) PruneDeep(root_.get(), k);
+}
+
+void FDTree::CheckInvariants() const {
+  HYFD_CHECK(root_ != nullptr, "FDTree: missing root node");
+  CheckNodeInvariants(root_.get(), num_attributes_, 0, max_lhs_size_,
+                      AttributeSet(num_attributes_));
 }
 
 }  // namespace hyfd

@@ -97,6 +97,19 @@ class FDTree {
   /// adds from now on. k < 0 means unlimited.
   void SetMaxLhsSize(int k);
 
+  /// Deep structural audit (paper §5.3 / §7): every node's bitsets range
+  /// over num_attributes(), child slots are either absent or one per
+  /// attribute, `rhs_attrs` covers the node's own `fds` and every child's
+  /// `rhs_attrs` (it may over-approximate after RemoveFd, never
+  /// under-approximate), no node is deeper than the Guardian's LHS cap, and
+  /// no FD is stored below a stored generalization with the same RHS — the
+  /// path-minimality property the Inductor's and Validator's guarded adds
+  /// maintain. Throws ContractViolation on the first violation. Invoked
+  /// after each Inductor/Validator phase in audit builds (-DHYFD_AUDIT=ON);
+  /// callable from any build (but only meaningful for trees populated
+  /// through guarded adds — tests may legally store non-minimal FDs).
+  void CheckInvariants() const;
+
  private:
   Node* GetOrCreateChild(Node* node, int attr);
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "util/check.h"
+
 namespace hyfd {
 
 Pli::Pli(std::vector<std::vector<RecordId>> clusters, size_t num_records)
@@ -14,6 +16,35 @@ Pli::Pli(std::vector<std::vector<RecordId>> clusters, size_t num_records)
   size_ = 0;
   for (const auto& c : clusters_) size_ += c.size();
   num_clusters_total_ = clusters_.size() + (num_records_ - size_);
+  HYFD_AUDIT_ONLY(CheckInvariants());
+}
+
+void Pli::CheckInvariants() const {
+  // One shared pass gives disjointness and the id range; the builders and
+  // Intersect() emit record ids in ascending encounter order, so ordering is
+  // part of the representation contract too.
+  std::vector<uint8_t> seen(num_records_, 0);
+  size_t covered = 0;
+  for (const auto& cluster : clusters_) {
+    HYFD_CHECK(cluster.size() >= 2,
+               "Pli: singleton cluster survived stripping");
+    RecordId prev = 0;
+    for (size_t i = 0; i < cluster.size(); ++i) {
+      RecordId r = cluster[i];
+      HYFD_CHECK(static_cast<size_t>(r) < num_records_,
+                 "Pli: record id outside [0, num_records)");
+      HYFD_CHECK(i == 0 || r > prev,
+                 "Pli: cluster record ids not strictly ascending");
+      HYFD_CHECK(seen[r] == 0, "Pli: record id in two clusters");
+      seen[r] = 1;
+      prev = r;
+    }
+    covered += cluster.size();
+  }
+  HYFD_CHECK(size_ == covered,
+             "Pli: cached non-unique record count drifted from clusters");
+  HYFD_CHECK(num_clusters_total_ == clusters_.size() + (num_records_ - size_),
+             "Pli: cached total cluster count drifted from clusters");
 }
 
 std::vector<ClusterId> Pli::BuildProbingTable() const {

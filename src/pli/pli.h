@@ -83,6 +83,15 @@ class Pli {
   /// Approximate heap footprint (Table 3 accounting).
   size_t MemoryBytes() const;
 
+  /// Deep structural audit of the stripped partition (paper §5): every
+  /// cluster holds ≥ 2 strictly ascending record ids, clusters are pairwise
+  /// disjoint, all ids are in [0, num_records()), and the cached size /
+  /// cluster-count fields are re-derivable from the clusters. Throws
+  /// ContractViolation on the first violation. Runs automatically after
+  /// every construction (hence after every intersection) in audit builds
+  /// (-DHYFD_AUDIT=ON); callable from any build.
+  void CheckInvariants() const;
+
  private:
   std::vector<std::vector<RecordId>> clusters_;
   size_t num_records_ = 0;

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/check.h"
+
 namespace hyfd {
 namespace {
 
@@ -163,6 +165,10 @@ void PliCache::Put(const AttributeSet& attrs, Pli pli) {
 
 void PliCache::Put(const AttributeSet& attrs, std::shared_ptr<const Pli> pli) {
   if (attrs.Count() == 0 || pli == nullptr) return;
+  HYFD_CHECK(attrs.size() == num_attributes_,
+             "PliCache::Put: key ranges over the wrong attribute count");
+  HYFD_CHECK(pli->num_records() == num_records_,
+             "PliCache::Put: partition built over a different record count");
   auto lock = ExclusiveLock();
   InsertLocked(attrs, std::move(pli));
 }
@@ -171,10 +177,12 @@ std::shared_ptr<const Pli> PliCache::InsertLocked(
     const AttributeSet& attrs, std::shared_ptr<const Pli> pli) {
   if (!config_.enabled) return pli;  // pass-through: never store
   if (auto it = index_.find(attrs); it != index_.end()) {
-    // Replace in place (external Put of an already-derived partition).
+    // Replace in place (external Put of an already-derived partition). The
+    // charge is computed on the *stored* key: the caller's copy may carry a
+    // different word capacity, and the audit re-derives from stored state.
     bytes_ -= it->second->bytes;
     it->second->pli = std::move(pli);
-    it->second->bytes = EntryBytes(attrs, *it->second->pli);
+    it->second->bytes = EntryBytes(it->second->key, *it->second->pli);
     bytes_ += it->second->bytes;
     lru_.splice(lru_.begin(), lru_, it->second);
     EvictLocked();
@@ -183,7 +191,7 @@ std::shared_ptr<const Pli> PliCache::InsertLocked(
   Entry entry;
   entry.key = attrs;
   entry.pli = std::move(pli);
-  entry.bytes = EntryBytes(attrs, *entry.pli);
+  entry.bytes = EntryBytes(entry.key, *entry.pli);
   bytes_ += entry.bytes;
   lru_.push_front(std::move(entry));
   index_.emplace(attrs, lru_.begin());
@@ -207,6 +215,7 @@ void PliCache::EvictLocked() {
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
   ChargeTrackerLocked();
+  HYFD_AUDIT_ONLY(CheckInvariantsLocked());
 }
 
 void PliCache::ChargeTrackerLocked() {
@@ -228,6 +237,52 @@ void PliCache::Clear() {
   index_.clear();
   bytes_ = 0;
   ChargeTrackerLocked();
+  HYFD_AUDIT_ONLY(CheckInvariantsLocked());
+}
+
+void PliCache::CheckInvariants() const {
+  auto lock = SharedLock();
+  CheckInvariantsLocked();
+}
+
+void PliCache::CheckInvariantsLocked() const {
+  if (!singles_.empty()) {
+    HYFD_CHECK(singles_.size() == static_cast<size_t>(num_attributes_),
+               "PliCache: pinned single-column PLIs incomplete");
+    HYFD_CHECK(probing_.size() == singles_.size(),
+               "PliCache: probing tables out of step with pinned singles");
+    for (size_t a = 0; a < singles_.size(); ++a) {
+      HYFD_CHECK(singles_[a] != nullptr, "PliCache: missing pinned single");
+      HYFD_CHECK(singles_[a]->num_records() == num_records_,
+                 "PliCache: pinned single over a different record count");
+      HYFD_CHECK(probing_[a].size() == num_records_,
+                 "PliCache: probing table length != record count");
+    }
+  }
+  HYFD_CHECK(index_.size() == lru_.size(),
+             "PliCache: LRU list and index map are not a bijection");
+  HYFD_CHECK(config_.enabled || lru_.empty(),
+             "PliCache: pass-through cache stored an entry");
+  size_t derived_bytes = 0;
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    HYFD_CHECK(it->pli != nullptr, "PliCache: cached entry without partition");
+    HYFD_CHECK(it->key.size() == num_attributes_,
+               "PliCache: cached key ranges over the wrong attribute count");
+    HYFD_CHECK(!it->key.Empty(), "PliCache: cached key for the empty set");
+    HYFD_CHECK(it->pli->num_records() == num_records_,
+               "PliCache: cached partition over a different record count");
+    HYFD_CHECK(it->bytes == EntryBytes(it->key, *it->pli),
+               "PliCache: entry byte charge not re-derivable from the entry");
+    auto found = index_.find(it->key);
+    HYFD_CHECK(found != index_.end() && found->second == it,
+               "PliCache: LRU entry missing from (or misfiled in) the index");
+    derived_bytes += it->bytes;
+  }
+  HYFD_CHECK(bytes_ == derived_bytes,
+             "PliCache: byte-budget accounting drifted from the entries");
+  HYFD_CHECK(!config_.enabled || config_.budget_bytes == 0 ||
+                 bytes_ <= config_.budget_bytes || lru_.size() <= 1,
+             "PliCache: over budget with more than one evictable entry");
 }
 
 PliCache::Counters PliCache::counters() const {

@@ -159,6 +159,20 @@ class PliCache {
   /// Pinned singles + probing tables + cached partitions, in bytes.
   size_t TotalBytes() const;
 
+  /// Deep structural audit: pinned singles/probing tables shaped for
+  /// (num_attributes, num_records), LRU list ↔ index map bijection, every
+  /// entry's byte charge re-derivable from its key and partition, the total
+  /// budget accounting equal to the per-entry sum, the budget respected
+  /// (modulo the never-evict-the-newest rule), and a pass-through cache
+  /// holding nothing. Throws ContractViolation on the first violation. Runs
+  /// after every insert/evict/clear in audit builds (-DHYFD_AUDIT=ON);
+  /// callable from any build (takes the shared lock when thread-safe).
+  void CheckInvariants() const;
+
+  /// Test-only: skews the byte accounting so tests can prove the accounting
+  /// audit actually fires. Never called by library code.
+  void CorruptByteAccountingForTest(size_t delta) { bytes_ += delta; }
+
  private:
   struct Entry {
     AttributeSet key;
@@ -175,6 +189,7 @@ class PliCache {
                                           std::shared_ptr<const Pli> pli);
   void EvictLocked();
   void ChargeTrackerLocked();
+  void CheckInvariantsLocked() const;
   static size_t EntryBytes(const AttributeSet& key, const Pli& pli);
 
   std::unique_lock<std::shared_mutex> ExclusiveLock() const {

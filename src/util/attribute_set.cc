@@ -61,6 +61,7 @@ int AttributeSet::NextAfter(int i) const {
 }
 
 bool AttributeSet::IsSubsetOf(const AttributeSet& other) const {
+  HYFD_DCHECK(num_bits_ == other.num_bits_, "AttributeSet size mismatch");
   for (size_t i = 0; i < words_.size(); ++i) {
     if ((words_[i] & ~other.words_[i]) != 0) return false;
   }
@@ -72,6 +73,7 @@ bool AttributeSet::IsProperSubsetOf(const AttributeSet& other) const {
 }
 
 bool AttributeSet::Intersects(const AttributeSet& other) const {
+  HYFD_DCHECK(num_bits_ == other.num_bits_, "AttributeSet size mismatch");
   for (size_t i = 0; i < words_.size(); ++i) {
     if ((words_[i] & other.words_[i]) != 0) return true;
   }
@@ -79,21 +81,25 @@ bool AttributeSet::Intersects(const AttributeSet& other) const {
 }
 
 AttributeSet& AttributeSet::operator&=(const AttributeSet& other) {
+  HYFD_DCHECK(num_bits_ == other.num_bits_, "AttributeSet size mismatch");
   for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
   return *this;
 }
 
 AttributeSet& AttributeSet::operator|=(const AttributeSet& other) {
+  HYFD_DCHECK(num_bits_ == other.num_bits_, "AttributeSet size mismatch");
   for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
   return *this;
 }
 
 AttributeSet& AttributeSet::operator^=(const AttributeSet& other) {
+  HYFD_DCHECK(num_bits_ == other.num_bits_, "AttributeSet size mismatch");
   for (size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
   return *this;
 }
 
 AttributeSet& AttributeSet::AndNot(const AttributeSet& other) {
+  HYFD_DCHECK(num_bits_ == other.num_bits_, "AttributeSet size mismatch");
   for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
   return *this;
 }

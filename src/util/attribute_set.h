@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "util/check.h"
+
 namespace hyfd {
 
 /// A dynamic bitset over attribute indexes `[0, size())`.
@@ -43,13 +45,21 @@ class AttributeSet {
   int size() const { return num_bits_; }
 
   bool Test(int i) const {
+    HYFD_DCHECK(i >= 0 && i < num_bits_, "AttributeSet::Test out of range");
     return (words_[static_cast<size_t>(i) >> 6] >> (i & 63)) & 1u;
   }
-  void Set(int i) { words_[static_cast<size_t>(i) >> 6] |= uint64_t{1} << (i & 63); }
+  void Set(int i) {
+    HYFD_DCHECK(i >= 0 && i < num_bits_, "AttributeSet::Set out of range");
+    words_[static_cast<size_t>(i) >> 6] |= uint64_t{1} << (i & 63);
+  }
   void Reset(int i) {
+    HYFD_DCHECK(i >= 0 && i < num_bits_, "AttributeSet::Reset out of range");
     words_[static_cast<size_t>(i) >> 6] &= ~(uint64_t{1} << (i & 63));
   }
-  void Flip(int i) { words_[static_cast<size_t>(i) >> 6] ^= uint64_t{1} << (i & 63); }
+  void Flip(int i) {
+    HYFD_DCHECK(i >= 0 && i < num_bits_, "AttributeSet::Flip out of range");
+    words_[static_cast<size_t>(i) >> 6] ^= uint64_t{1} << (i & 63);
+  }
 
   /// Sets every bit in `[0, size())`.
   void SetAll();

@@ -1,0 +1,51 @@
+#include "util/check.h"
+
+#include <cstring>
+#include <utility>
+
+namespace hyfd {
+namespace {
+
+/// Renders "HYFD_CHECK failed: <expr> at <file>:<line>[: <message>]".
+/// Only the file's basename is kept: build trees differ, test expectations
+/// should not.
+std::string FormatViolation(const char* expression, const char* file, int line,
+                            const std::string& message) {
+  const char* base = std::strrchr(file, '/');
+  base = base != nullptr ? base + 1 : file;
+  std::string out = "HYFD_CHECK failed: ";
+  out += expression;
+  out += " at ";
+  out += base;
+  out += ':';
+  out += std::to_string(line);
+  if (!message.empty()) {
+    out += ": ";
+    out += message;
+  }
+  return out;
+}
+
+}  // namespace
+
+ContractViolation::ContractViolation(const char* expression, const char* file,
+                                     int line, std::string message)
+    : std::logic_error(FormatViolation(expression, file, line, message)),
+      expression_(expression),
+      file_(file),
+      line_(line),
+      message_(std::move(message)) {}
+
+namespace internal {
+
+void ContractFail(const char* expression, const char* file, int line) {
+  throw ContractViolation(expression, file, line);
+}
+
+void ContractFail(const char* expression, const char* file, int line,
+                  const std::string& message) {
+  throw ContractViolation(expression, file, line, message);
+}
+
+}  // namespace internal
+}  // namespace hyfd

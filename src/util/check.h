@@ -1,0 +1,99 @@
+#ifndef HYFD_UTIL_CHECK_H_
+#define HYFD_UTIL_CHECK_H_
+
+#include <stdexcept>
+#include <string>
+
+namespace hyfd {
+
+/// Thrown when a HYFD_CHECK / HYFD_DCHECK contract is violated or a deep
+/// CheckInvariants() audit finds a corrupted structure.
+///
+/// Contracts throw instead of aborting so (a) tests can prove each audit
+/// actually fires (EXPECT_THROW) and (b) a server embedding the library can
+/// fail one discovery request instead of the whole process. The exception
+/// carries the failed expression, source location, and an optional
+/// caller-supplied message; what() renders all of them.
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(const char* expression, const char* file, int line,
+                    std::string message = {});
+
+  const char* expression() const { return expression_; }
+  const char* file() const { return file_; }
+  int line() const { return line_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  const char* expression_;  ///< stringified condition (a string literal)
+  const char* file_;
+  int line_;
+  std::string message_;
+};
+
+/// True when this build was configured with -DHYFD_AUDIT=ON: HYFD_DCHECK is
+/// active and HYFD_AUDIT_ONLY blocks (the deep CheckInvariants() hooks at
+/// algorithm seams) are compiled in.
+#ifdef HYFD_AUDIT
+inline constexpr bool kAuditBuild = true;
+#else
+inline constexpr bool kAuditBuild = false;
+#endif
+
+/// True when HYFD_DCHECK is active: audit builds and plain debug builds.
+#if defined(HYFD_AUDIT) || !defined(NDEBUG)
+inline constexpr bool kDchecksEnabled = true;
+#else
+inline constexpr bool kDchecksEnabled = false;
+#endif
+
+namespace internal {
+[[noreturn]] void ContractFail(const char* expression, const char* file,
+                               int line);
+[[noreturn]] void ContractFail(const char* expression, const char* file,
+                               int line, const std::string& message);
+}  // namespace internal
+
+}  // namespace hyfd
+
+/// Always-on contract: throws ContractViolation when `condition` is false.
+/// An optional second argument adds a message: HYFD_CHECK(x > 0, "x drained").
+/// Use for cheap checks on API boundaries and accounting invariants whose
+/// violation would silently corrupt discovered FD sets.
+#define HYFD_CHECK(condition, ...)                                           \
+  do {                                                                       \
+    if (!(condition)) [[unlikely]] {                                         \
+      ::hyfd::internal::ContractFail(#condition, __FILE__,                   \
+                                     __LINE__ __VA_OPT__(, ) __VA_ARGS__);   \
+    }                                                                        \
+  } while (false)
+
+/// Debug/audit contract: like HYFD_CHECK in audit (-DHYFD_AUDIT=ON) and
+/// debug (!NDEBUG) builds; compiled but never evaluated otherwise. Use on hot
+/// paths (per-bit, per-record) where a release build cannot afford the test.
+#if defined(HYFD_AUDIT) || !defined(NDEBUG)
+#define HYFD_DCHECK(condition, ...) \
+  HYFD_CHECK(condition __VA_OPT__(, ) __VA_ARGS__)
+#else
+#define HYFD_DCHECK(condition, ...)                            \
+  do {                                                         \
+    if (false) HYFD_CHECK(condition __VA_OPT__(, ) __VA_ARGS__); \
+  } while (false)
+#endif
+
+/// Statements compiled only under -DHYFD_AUDIT=ON — the deep
+/// CheckInvariants() calls at algorithm seams (after PLI intersections,
+/// after Inductor/Validator phases, at cache insert/evict). Elided entirely
+/// in normal builds, so the wrapped expression may be arbitrarily expensive.
+#ifdef HYFD_AUDIT
+#define HYFD_AUDIT_ONLY(...) \
+  do {                       \
+    __VA_ARGS__;             \
+  } while (false)
+#else
+#define HYFD_AUDIT_ONLY(...) \
+  do {                       \
+  } while (false)
+#endif
+
+#endif  // HYFD_UTIL_CHECK_H_

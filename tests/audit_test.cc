@@ -1,0 +1,230 @@
+// The audit suite behind `ctest -L audit`:
+//
+//  * a sweep that runs every algorithm in the registry (plus HyUCC and the
+//    multi-threaded HyFD configuration) on generated data — under
+//    -DHYFD_AUDIT=ON this drives every CheckInvariants() hook at the
+//    algorithm seams (Pli construction, cache insert/evict, Inductor /
+//    Validator phase boundaries);
+//  * negative tests proving each deep audit (Pli, FDTree, PliCache,
+//    Relation, AttributeSet) can actually fire. CheckInvariants() is
+//    callable from any build, so these run in the plain CI job too.
+
+#include <memory>
+#include <vector>
+
+#include "baselines/registry.h"
+#include "core/hyfd.h"
+#include "core/hyucc.h"
+#include "data/generators.h"
+#include "fd/fd_tree.h"
+#include "fd/reference.h"
+#include "gtest/gtest.h"
+#include "pli/pli_builder.h"
+#include "pli/pli_cache.h"
+#include "test_util.h"
+#include "util/check.h"
+
+namespace hyfd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Sweep: every registered algorithm under live audit hooks.
+// ---------------------------------------------------------------------------
+
+TEST(AuditSweepTest, EveryRegistryAlgorithmOnGeneratedData) {
+  for (uint64_t seed : {7u, 21u}) {
+    Relation r = testing::RandomRelation(5, 90, seed, 3, /*null_rate=*/0.1);
+    FDSet expected = DiscoverFdsBruteForce(r);
+    for (const AlgoInfo& algo : AllAlgorithms()) {
+      AlgoOptions options;
+      FDSet fds = algo.run(r, options);
+      testing::ExpectSameFds(expected, fds,
+                             algo.name + " seed " + std::to_string(seed));
+    }
+  }
+}
+
+TEST(AuditSweepTest, RegistryAlgorithmsSharingOneAuditedCache) {
+  Relation r = MakeAddressDataset(80, 11);
+  PliCache cache = PliCache::FromRelation(r);
+  FDSet expected = DiscoverFdsBruteForce(r);
+  for (const AlgoInfo& algo : AllAlgorithms()) {
+    AlgoOptions options;
+    options.pli_cache = &cache;
+    testing::ExpectSameFds(expected, algo.run(r, options),
+                           algo.name + " with shared cache");
+    cache.CheckInvariants();  // explicit audit in every build mode
+  }
+}
+
+TEST(AuditSweepTest, MultiThreadedHyFdWithNullUnequalSemantics) {
+  Relation r = testing::RandomRelation(6, 120, 3, 4, /*null_rate=*/0.15);
+  HyFdConfig plain;
+  HyFdConfig config;
+  config.num_threads = 4;
+  config.null_semantics = NullSemantics::kNullUnequal;
+  plain.null_semantics = NullSemantics::kNullUnequal;
+  HyFd algo(config);
+  FDSet fds = algo.Discover(r);
+  // A second pass reuses the warmed owned cache (the EAIFD setting).
+  testing::ExpectSameFds(fds, algo.Discover(r), "second pass, warm cache");
+  testing::ExpectSameFds(DiscoverFds(r, plain), fds, "threads vs single");
+}
+
+TEST(AuditSweepTest, HyUccUnderAuditHooks) {
+  Relation r = MakeAddressDataset(70, 5);
+  HyUcc algo;
+  auto uccs = algo.Discover(r);
+  ASSERT_FALSE(uccs.empty());
+  // Every reported UCC must really be unique on the data.
+  for (const AttributeSet& ucc : uccs) {
+    Pli combined = BuildPli(r, ucc);
+    EXPECT_TRUE(combined.IsUnique()) << ucc.ToString();
+    combined.CheckInvariants();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Negative tests: each deep audit must be able to fire.
+// ---------------------------------------------------------------------------
+
+TEST(PliAuditTest, RecordIdOutOfRangeFires) {
+  EXPECT_THROW(
+      {
+        Pli bad({{5, 6}}, 3);
+        bad.CheckInvariants();  // audit builds already threw in the ctor
+      },
+      ContractViolation);
+}
+
+TEST(PliAuditTest, NonAscendingClusterFires) {
+  EXPECT_THROW(
+      {
+        Pli bad({{2, 0}}, 4);
+        bad.CheckInvariants();
+      },
+      ContractViolation);
+}
+
+TEST(PliAuditTest, DuplicateRecordIdWithinClusterFires) {
+  EXPECT_THROW(
+      {
+        Pli bad({{1, 1}}, 4);
+        bad.CheckInvariants();
+      },
+      ContractViolation);
+}
+
+TEST(PliAuditTest, OverlappingClustersFire) {
+  EXPECT_THROW(
+      {
+        Pli bad({{0, 1}, {1, 2}}, 4);
+        bad.CheckInvariants();
+      },
+      ContractViolation);
+}
+
+TEST(PliAuditTest, ValidPartitionPasses) {
+  Pli good({{0, 2}, {1, 3}}, 5);
+  EXPECT_NO_THROW(good.CheckInvariants());
+  EXPECT_NO_THROW(good.Intersect(good).CheckInvariants());
+}
+
+TEST(FdTreeAuditTest, StoredRhsMissingFromRhsAttrsFires) {
+  FDTree tree(3);
+  tree.root()->fds.Set(1);  // bypasses AddFd's rhs_attrs maintenance
+  EXPECT_THROW(tree.CheckInvariants(), ContractViolation);
+}
+
+TEST(FdTreeAuditTest, RhsAttrsUnderApproximationFires) {
+  FDTree tree(3);
+  tree.AddFd(AttributeSet(3, {0}), 2);
+  tree.root()->rhs_attrs.Reset(2);  // subtree still stores {0} -> 2
+  EXPECT_THROW(tree.CheckInvariants(), ContractViolation);
+}
+
+TEST(FdTreeAuditTest, FdBelowStoredGeneralizationFires) {
+  FDTree tree(3);
+  tree.AddFd(AttributeSet(3, {0}), 2);
+  tree.AddFd(AttributeSet(3, {0, 1}), 2);  // non-minimal: {0} -> 2 stored
+  EXPECT_THROW(tree.CheckInvariants(), ContractViolation);
+}
+
+TEST(FdTreeAuditTest, MalformedChildSlotsFire) {
+  FDTree tree(3);
+  tree.root()->children.resize(1);  // must be empty or one slot per attribute
+  EXPECT_THROW(tree.CheckInvariants(), ContractViolation);
+}
+
+TEST(FdTreeAuditTest, GuardedTreePasses) {
+  FDTree tree(4);
+  tree.AddMostGeneralFds();
+  EXPECT_NO_THROW(tree.CheckInvariants());
+  // Specialize the way the Inductor does: remove, then add extensions.
+  tree.RemoveFd(AttributeSet(4), 3);
+  tree.AddFd(AttributeSet(4, {0}), 3);
+  tree.AddFd(AttributeSet(4, {1, 2}), 3);
+  EXPECT_NO_THROW(tree.CheckInvariants());
+}
+
+TEST(PliCacheAuditTest, ByteAccountingDriftFires) {
+  Relation r = MakeAddressDataset(40, 2);
+  PliCache cache = PliCache::FromRelation(r);
+  ASSERT_NE(cache.Get(AttributeSet(r.num_columns(), {0, 1})), nullptr);
+  EXPECT_NO_THROW(cache.CheckInvariants());
+  cache.CorruptByteAccountingForTest(64);
+  EXPECT_THROW(cache.CheckInvariants(), ContractViolation);
+}
+
+TEST(PliCacheAuditTest, PutWithWrongKeyWidthFires) {
+  Relation r = MakeAddressDataset(40, 2);
+  PliCache cache = PliCache::FromRelation(r);
+  AttributeSet foreign(r.num_columns() + 1, {0, 1});
+  EXPECT_THROW(cache.Put(foreign, BuildPli(r, AttributeSet(r.num_columns(), {0, 1}))),
+               ContractViolation);
+}
+
+TEST(PliCacheAuditTest, PutWithWrongRecordCountFires) {
+  Relation r = MakeAddressDataset(40, 2);
+  PliCache cache = PliCache::FromRelation(r);
+  Relation shorter = r.HeadRows(30);
+  AttributeSet key(r.num_columns(), {0, 1});
+  EXPECT_THROW(cache.Put(key, BuildPli(shorter, key)), ContractViolation);
+}
+
+TEST(RelationAuditTest, RaggedRowFires) {
+  EXPECT_THROW(Relation::FromStringRows(Schema::Generic(2), {{"a", "b"}, {"c"}}),
+               ContractViolation);
+}
+
+TEST(RelationAuditTest, WellFormedRelationPasses) {
+  Relation r = testing::RandomRelation(4, 30, 5, 3, 0.2);
+  EXPECT_NO_THROW(r.CheckInvariants());
+}
+
+TEST(AttributeSetAuditTest, OutOfRangeAccessFiresUnderDchecks) {
+  if (!kDchecksEnabled) GTEST_SKIP() << "HYFD_DCHECK compiled out";
+  AttributeSet s(8);
+  EXPECT_THROW(s.Test(8), ContractViolation);
+  EXPECT_THROW(s.Set(-1), ContractViolation);
+  EXPECT_THROW(s.Flip(64), ContractViolation);
+}
+
+TEST(AttributeSetAuditTest, SizeMismatchFiresUnderDchecks) {
+  if (!kDchecksEnabled) GTEST_SKIP() << "HYFD_DCHECK compiled out";
+  AttributeSet a(8, {1, 2});
+  AttributeSet b(16, {1, 2});
+  EXPECT_THROW(a |= b, ContractViolation);
+  EXPECT_THROW(a.IsSubsetOf(b), ContractViolation);
+  EXPECT_THROW(a.Intersects(b), ContractViolation);
+}
+
+TEST(AuditHooksTest, ConstructorSeamFiresOnlyInAuditBuilds) {
+  if (!kAuditBuild) GTEST_SKIP() << "HYFD_AUDIT_ONLY hooks compiled out";
+  // The Pli constructor's audit seam must reject a corrupt partition
+  // without an explicit CheckInvariants() call.
+  EXPECT_THROW(Pli({{0, 5}}, 3), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hyfd

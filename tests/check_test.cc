@@ -1,0 +1,96 @@
+// Unit tests for the contract layer (src/util/check.h): HYFD_CHECK always
+// throws on violation with a readable what(), HYFD_DCHECK follows
+// kDchecksEnabled, and HYFD_AUDIT_ONLY blocks are elided outside audit
+// builds.
+
+#include "util/check.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace hyfd {
+namespace {
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(HYFD_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(HYFD_CHECK(true, "never printed"));
+}
+
+TEST(CheckTest, FailingCheckThrowsContractViolation) {
+  EXPECT_THROW(HYFD_CHECK(1 > 2), ContractViolation);
+  // ContractViolation is a logic_error so embedders can catch broadly.
+  EXPECT_THROW(HYFD_CHECK(false), std::logic_error);
+}
+
+TEST(CheckTest, WhatCarriesExpressionFileLineAndMessage) {
+  try {
+    HYFD_CHECK(2 + 2 == 5, "arithmetic drifted");
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("check_test.cc"), std::string::npos) << what;
+    EXPECT_NE(what.find("arithmetic drifted"), std::string::npos) << what;
+    EXPECT_STREQ(e.expression(), "2 + 2 == 5");
+    EXPECT_EQ(e.message(), "arithmetic drifted");
+    EXPECT_GT(e.line(), 0);
+  }
+}
+
+TEST(CheckTest, MessageIsOptional) {
+  try {
+    HYFD_CHECK(false);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    EXPECT_TRUE(e.message().empty());
+    EXPECT_NE(std::string(e.what()).find("false"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, ConditionEvaluatedExactlyOnce) {
+  int calls = 0;
+  HYFD_CHECK([&] {
+    ++calls;
+    return true;
+  }());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(CheckTest, DcheckFollowsBuildMode) {
+  int calls = 0;
+  auto noisy_true = [&] {
+    ++calls;
+    return true;
+  };
+  HYFD_DCHECK(noisy_true());
+  // Outside audit/debug builds the condition is compiled but never run.
+  EXPECT_EQ(calls, kDchecksEnabled ? 1 : 0);
+
+  if (kDchecksEnabled) {
+    EXPECT_THROW(HYFD_DCHECK(false, "dcheck fired"), ContractViolation);
+  } else {
+    EXPECT_NO_THROW(HYFD_DCHECK(false, "dcheck elided"));
+  }
+}
+
+TEST(CheckTest, AuditOnlyBlockElidedOutsideAuditBuilds) {
+  int runs = 0;
+  HYFD_AUDIT_ONLY(++runs);
+  EXPECT_EQ(runs, kAuditBuild ? 1 : 0);
+}
+
+TEST(CheckTest, AuditOnlyAcceptsMultipleStatements) {
+  int a = 0;
+  int b = 0;
+  HYFD_AUDIT_ONLY(a = 1; b = 2);
+  if (kAuditBuild) {
+    EXPECT_EQ(a + b, 3);
+  } else {
+    EXPECT_EQ(a + b, 0);
+  }
+}
+
+}  // namespace
+}  // namespace hyfd

@@ -225,6 +225,51 @@ TEST(PliCacheTest, CounterAccounting) {
   EXPECT_EQ(c.hits + c.misses + c.derivations + c.inserts, 0u);
 }
 
+// Regression for the byte-accounting audit: churn the cache through every
+// accounting path — fresh inserts, replace-in-place Puts of different-size
+// partitions for the SAME key (where EntryBytes must be computed on the
+// stored key, not the caller's differently-capacitied copy), LRU shuffles,
+// budget shrinks with evictions, and Clear — re-auditing after each step.
+TEST(PliCacheTest, AccountingAuditSurvivesChurn) {
+  Relation r = SeededTable(29, 120);
+  const int m = r.num_columns();
+  PliCache cache = PliCache::FromRelation(r);
+  std::mt19937_64 rng(29);
+  cache.CheckInvariants();
+
+  for (int round = 0; round < 40; ++round) {
+    AttributeSet attrs = RandomAttrs(rng, m, 3);
+    switch (round % 4) {
+      case 0:
+        ASSERT_NE(cache.Get(attrs), nullptr);
+        break;
+      case 1: {
+        // Replace-in-place: Put the same key twice, second time built over
+        // a different attribute set so the partition's byte size changes.
+        cache.Put(attrs, BuildPli(r, attrs));
+        AttributeSet wider = attrs;
+        wider.Set(static_cast<int>(rng() % static_cast<uint64_t>(m)));
+        Pli replacement = BuildPli(r, wider);
+        cache.Put(attrs, std::make_shared<const Pli>(std::move(replacement)));
+        break;
+      }
+      case 2:
+        cache.set_budget_bytes(1 + cache.counters().bytes / 2);
+        break;
+      default:
+        cache.set_budget_bytes(PliCache::kDefaultBudgetBytes);
+        break;
+    }
+    cache.CheckInvariants();
+  }
+
+  cache.Clear();
+  cache.CheckInvariants();
+  // The cache still answers correctly after all that churn.
+  ExpectMatchesOracle(cache, r, AttributeSet(m, {0, 2, 4}),
+                      NullSemantics::kNullEqualsNull);
+}
+
 TEST(PliCacheTest, GetWithBaseDerivesFromProvidedParent) {
   Relation r = SeededTable(45);
   const int m = r.num_columns();

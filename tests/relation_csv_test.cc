@@ -132,5 +132,55 @@ TEST(CsvTest, MissingFinalNewlineStillParsesLastRow) {
   EXPECT_EQ(r.Value(0, 1), "2");
 }
 
+// Malformed-input corpus: adversarial documents the parser must either
+// reject with a clean exception or parse byte-exactly — never read out of
+// bounds (the ASan CI job runs these under address+undefined sanitizers).
+
+TEST(CsvMalformedTest, UnterminatedQuoteVariantsThrow) {
+  EXPECT_THROW(ReadCsvString("a,b\n\"x,y\n"), std::runtime_error);
+  EXPECT_THROW(ReadCsvString("\"header\n"), std::runtime_error);
+  // Escaped-quote pair right at end-of-input keeps the field open.
+  EXPECT_THROW(ReadCsvString("a\n\"x\"\""), std::runtime_error);
+  // A lone quote as the very last byte.
+  EXPECT_THROW(ReadCsvString("a\n\""), std::runtime_error);
+}
+
+TEST(CsvMalformedTest, RaggedRowVariantsThrow) {
+  EXPECT_THROW(ReadCsvString("a,b\n1,2,3\n"), std::runtime_error);  // too wide
+  EXPECT_THROW(ReadCsvString("a,b\n1,2\n1\n"), std::runtime_error);  // narrow late
+  EXPECT_THROW(ReadCsvString("a,b,c\n,,\n,\n"), std::runtime_error);
+}
+
+TEST(CsvMalformedTest, EmbeddedNulBytesAreOrdinaryData) {
+  // std::string with an explicit length: NUL is a legal payload byte and
+  // must neither truncate the field nor terminate the scan early.
+  const std::string text("a,b\nx\0y,2\n", 10);
+  Relation r = ReadCsvString(text);
+  ASSERT_EQ(r.num_rows(), 1u);
+  EXPECT_EQ(r.Value(0, 0), std::string("x\0y", 3));
+  EXPECT_EQ(r.Value(0, 1), "2");
+}
+
+TEST(CsvMalformedTest, QuoteReopenedMidFieldIsLiteral) {
+  // A quote after unquoted text does not start a quoted section.
+  Relation r = ReadCsvString("a\nx\"y\"\n");
+  ASSERT_EQ(r.num_rows(), 1u);
+  EXPECT_EQ(r.Value(0, 0), "x\"y\"");
+}
+
+TEST(CsvMalformedTest, OnlyDelimitersAndNewlines) {
+  Relation r = ReadCsvString(",,\n,,\n");
+  EXPECT_EQ(r.num_columns(), 3);
+  ASSERT_EQ(r.num_rows(), 1u);
+  for (int c = 0; c < 3; ++c) EXPECT_TRUE(r.IsNull(0, c));
+}
+
+TEST(CsvMalformedTest, CarriageReturnsOnlyDocument) {
+  // Bare \r runs produce no records (we swallow \r); must not crash or
+  // fabricate phantom rows.
+  Relation r = ReadCsvString("\r\r\r");
+  EXPECT_EQ(r.num_rows(), 0u);
+}
+
 }  // namespace
 }  // namespace hyfd
