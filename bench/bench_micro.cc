@@ -55,7 +55,7 @@ void BM_PliRefines(benchmark::State& state) {
 }
 BENCHMARK(BM_PliRefines)->Arg(10000)->Arg(100000);
 
-void BM_RecordMatch(benchmark::State& state) {
+void BM_Match(benchmark::State& state) {
   const int cols = static_cast<int>(state.range(0));
   Relation r = BenchRelation(4096, cols, 16);
   PreprocessedData data = Preprocess(r);
@@ -67,7 +67,24 @@ void BM_RecordMatch(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * cols);
 }
-BENCHMARK(BM_RecordMatch)->Arg(8)->Arg(32)->Arg(128);
+BENCHMARK(BM_Match)->Arg(8)->Arg(32)->Arg(64)->Arg(128);
+
+/// The Sampler's hot loop: word-level agreement into a reused scratch set —
+/// no allocation, 64 attributes per accumulated word.
+void BM_MatchInto(benchmark::State& state) {
+  const int cols = static_cast<int>(state.range(0));
+  Relation r = BenchRelation(4096, cols, 16);
+  PreprocessedData data = Preprocess(r);
+  AttributeSet scratch;
+  RecordId i = 0;
+  for (auto _ : state) {
+    data.records.MatchInto(i, (i + 1) % 4096, &scratch);
+    benchmark::DoNotOptimize(scratch);
+    i = (i + 1) % 4096;
+  }
+  state.SetItemsProcessed(state.iterations() * cols);
+}
+BENCHMARK(BM_MatchInto)->Arg(8)->Arg(32)->Arg(64)->Arg(128);
 
 /// Random ≤3-attribute sets over a fixed schema, shared by the cache
 /// benchmarks so cold and warm runs request the same partitions.

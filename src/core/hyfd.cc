@@ -84,15 +84,19 @@ FDSet HyFd::Discover(const Relation& relation) {
   PliCache::Counters cache_before;
   if (cache != nullptr) cache_before = cache->counters();
 
-  FDTree tree(data.num_attributes);
-  Sampler sampler(&data, config_.efficiency_threshold, config_.sampling_strategy);
-  Inductor inductor(&tree);
-  MemoryGuardian guardian(config_.memory_limit_bytes);
-
+  // One pool serves both phases (paper §10.4): the Sampler's cluster-pair
+  // comparisons and the Validator's refinement checks. Each ParallelFor*
+  // waits on its own latch, so sharing is safe.
   std::unique_ptr<ThreadPool> pool;
   if (config_.num_threads > 1) {
     pool = std::make_unique<ThreadPool>(static_cast<size_t>(config_.num_threads));
   }
+
+  FDTree tree(data.num_attributes);
+  Sampler sampler(&data, config_.efficiency_threshold, config_.sampling_strategy,
+                  pool.get());
+  Inductor inductor(&tree);
+  MemoryGuardian guardian(config_.memory_limit_bytes);
   Validator validator(&data, &tree, config_.efficiency_threshold, pool.get(),
                       cache);
 

@@ -1,6 +1,7 @@
 #include "core/hyucc.h"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_map>
 
 #include "core/preprocessor.h"
@@ -88,9 +89,15 @@ std::vector<AttributeSet> HyUcc::Discover(const Relation& relation) {
   PreprocessedData data = Preprocess(relation, config_.null_semantics);
   const int m = data.num_attributes;
 
+  std::unique_ptr<ThreadPool> pool;
+  if (config_.num_threads > 1) {
+    pool = std::make_unique<ThreadPool>(static_cast<size_t>(config_.num_threads));
+  }
+
   FDTree tree(m);
   tree.AddFd(AttributeSet(m), kUccMarker);  // start from "∅ is unique"
-  Sampler sampler(&data, config_.efficiency_threshold, config_.sampling_strategy);
+  Sampler sampler(&data, config_.efficiency_threshold, config_.sampling_strategy,
+                  pool.get());
 
   std::vector<std::pair<RecordId, RecordId>> suggestions;
   int current_level = 0;

@@ -15,6 +15,9 @@ struct HyUccConfig {
   NullSemantics null_semantics = NullSemantics::kNullEqualsNull;
   double efficiency_threshold = 0.01;
   SamplingStrategy sampling_strategy = SamplingStrategy::kClusterWindowing;
+  /// > 1 parallelizes Phase 1 (the shared Sampler) exactly as in HyFD;
+  /// results are bit-identical for any value.
+  int num_threads = 1;
 };
 
 /// Run counters, mirroring HyFdStats.

@@ -2,64 +2,165 @@
 
 #include <algorithm>
 
+#include "util/check.h"
+
 namespace hyfd {
+namespace {
+
+/// Window runs with fewer pairs than this stay serial: below it the pool's
+/// submit/latch round-trip costs more than the comparisons themselves.
+constexpr size_t kMinParallelPairs = 2048;
+
+/// Pairs claimed per atomic fetch in a parallel window run.
+constexpr size_t kPairGrain = 512;
+
+}  // namespace
 
 Sampler::Sampler(const PreprocessedData* data, double efficiency_threshold,
-                 SamplingStrategy strategy)
-    : data_(data), strategy_(strategy), threshold_(efficiency_threshold) {}
+                 SamplingStrategy strategy, ThreadPool* pool)
+    : data_(data),
+      strategy_(strategy),
+      threshold_(efficiency_threshold),
+      pool_(pool),
+      non_fds_(pool != nullptr ? pool->num_threads() * 4 : 1) {}
 
 void Sampler::MatchPair(RecordId a, RecordId b,
                         std::vector<AttributeSet>* new_non_fds) {
   ++total_comparisons_;
-  AttributeSet agree = data_->records.Match(a, b);
-  auto [it, inserted] = non_fds_.insert(std::move(agree));
-  if (inserted) new_non_fds->push_back(*it);
+  data_->records.MatchInto(a, b, &scratch_);
+  if (non_fds_.Contains(scratch_)) return;
+  if (non_fds_.Insert(scratch_)) new_non_fds->push_back(scratch_);
+}
+
+void Sampler::SortClustersOfAttribute(int attr) {
+  const int m = data_->num_attributes;
+  // Sort each cluster of π_attr by the cluster ids of the neighbors in the
+  // cluster-count ranking: the left neighbor has more (smaller) clusters —
+  // a promising key — the right one breaks ties (paper Figure 3.1). Using
+  // different neighbors per attribute gives each record a different
+  // neighborhood in every sorting. Ties fall back to the record id, so the
+  // sorting (and everything downstream) is deterministic.
+  int p = data_->rank[static_cast<size_t>(attr)];
+  int left = data_->by_rank[static_cast<size_t>((p + m - 1) % m)];
+  int right = data_->by_rank[static_cast<size_t>((p + 1) % m)];
+  auto clusters = data_->plis[static_cast<size_t>(attr)].clusters();
+  for (auto& cluster : clusters) {
+    std::sort(cluster.begin(), cluster.end(), [&](RecordId a, RecordId b) {
+      ClusterId la = data_->records.Cluster(a, left);
+      ClusterId lb = data_->records.Cluster(b, left);
+      if (la != lb) return la < lb;
+      ClusterId ra = data_->records.Cluster(a, right);
+      ClusterId rb = data_->records.Cluster(b, right);
+      if (ra != rb) return ra < rb;
+      return a < b;
+    });
+  }
+  sorted_clusters_[static_cast<size_t>(attr)] = std::move(clusters);
 }
 
 void Sampler::InitializeClusterSortings() {
   const int m = data_->num_attributes;
   sorted_clusters_.resize(static_cast<size_t>(m));
   efficiencies_.clear();
-  for (int attr = 0; attr < m; ++attr) {
-    // Sort each cluster of π_attr by the cluster ids of the neighbors in the
-    // cluster-count ranking: the left neighbor has more (smaller) clusters —
-    // a promising key — the right one breaks ties (paper Figure 3.1). Using
-    // different neighbors per attribute gives each record a different
-    // neighborhood in every sorting.
-    int p = data_->rank[static_cast<size_t>(attr)];
-    int left = data_->by_rank[static_cast<size_t>((p + m - 1) % m)];
-    int right = data_->by_rank[static_cast<size_t>((p + 1) % m)];
-    auto clusters = data_->plis[static_cast<size_t>(attr)].clusters();
-    for (auto& cluster : clusters) {
-      std::sort(cluster.begin(), cluster.end(), [&](RecordId a, RecordId b) {
-        ClusterId la = data_->records.Cluster(a, left);
-        ClusterId lb = data_->records.Cluster(b, left);
-        if (la != lb) return la < lb;
-        ClusterId ra = data_->records.Cluster(a, right);
-        ClusterId rb = data_->records.Cluster(b, right);
-        if (ra != rb) return ra < rb;
-        return a < b;
-      });
-    }
-    sorted_clusters_[static_cast<size_t>(attr)] = std::move(clusters);
+  if (pool_ != nullptr && m > 1) {
+    // Attributes sort independently; cluster-count skew between them is why
+    // this claims attributes dynamically instead of pre-chunking.
+    pool_->ParallelForDynamic(static_cast<size_t>(m), 1, [this](size_t attr) {
+      SortClustersOfAttribute(static_cast<int>(attr));
+    });
+  } else {
+    for (int attr = 0; attr < m; ++attr) SortClustersOfAttribute(attr);
   }
 }
 
 void Sampler::RunWindow(Efficiency* eff, std::vector<AttributeSet>* new_non_fds) {
-  size_t new_results_before = new_non_fds->size();
-  size_t comps_before = total_comparisons_;
   const auto& clusters = sorted_clusters_[static_cast<size_t>(eff->attribute)];
   const size_t w = eff->window;
-  for (const auto& cluster : clusters) {
-    if (cluster.size() < w) continue;
-    for (size_t i = 0; i + w - 1 < cluster.size(); ++i) {
-      MatchPair(cluster[i], cluster[i + w - 1], new_non_fds);
+
+  // Pair space of this window run: cluster c contributes size-w+1 sliding
+  // pairs when it is large enough. first_pair[] is the prefix sum over the
+  // eligible clusters (plus a total sentinel), so workers can map a global
+  // pair index back to (cluster, offset) — this balances a single huge
+  // cluster across all workers, where partitioning by cluster could not.
+  std::vector<uint32_t> eligible;
+  std::vector<size_t> first_pair;
+  size_t total_pairs = 0;
+  for (size_t c = 0; c < clusters.size(); ++c) {
+    if (clusters[c].size() < w) continue;
+    eligible.push_back(static_cast<uint32_t>(c));
+    first_pair.push_back(total_pairs);
+    total_pairs += clusters[c].size() - w + 1;
+  }
+  if (total_pairs == 0) {
+    eff->exhausted = true;  // window outgrew all clusters
+    return;
+  }
+
+  if (pool_ == nullptr || total_pairs < kMinParallelPairs) {
+    const size_t new_before = new_non_fds->size();
+    for (uint32_t c : eligible) {
+      const auto& cluster = clusters[c];
+      for (size_t i = 0; i + w - 1 < cluster.size(); ++i) {
+        MatchPair(cluster[i], cluster[i + w - 1], new_non_fds);
+      }
+    }
+    eff->comps += total_pairs;
+    eff->results += new_non_fds->size() - new_before;
+    return;
+  }
+
+  first_pair.push_back(total_pairs);
+
+  // Parallel path: workers claim pair ranges, match into a per-worker
+  // scratch set, and probe the sharded negative cover — a shared-lock
+  // Contains for the common already-known case, then an exclusive Insert
+  // that exactly one worker wins per distinct agree set. Freshly discovered
+  // sets land in per-worker buffers merged below.
+  struct WorkerState {
+    std::vector<AttributeSet> fresh;
+    AttributeSet scratch;
+  };
+  std::vector<WorkerState> workers(pool_->num_threads());
+  pool_->ParallelForRanges(
+      total_pairs, kPairGrain, [&](size_t begin, size_t end) {
+        const int wid = ThreadPool::CurrentWorkerIndex();
+        HYFD_DCHECK(wid >= 0, "Sampler window task off the pool");
+        WorkerState& state = workers[static_cast<size_t>(wid)];
+        size_t k = static_cast<size_t>(
+                       std::upper_bound(first_pair.begin(), first_pair.end(),
+                                        begin) -
+                       first_pair.begin()) -
+                   1;
+        size_t p = begin;
+        while (p < end) {
+          const auto& cluster = clusters[eligible[k]];
+          const size_t stop = std::min(end, first_pair[k + 1]);
+          size_t i = p - first_pair[k];
+          for (; p < stop; ++p, ++i) {
+            data_->records.MatchInto(cluster[i], cluster[i + w - 1],
+                                     &state.scratch);
+            if (non_fds_.Contains(state.scratch)) continue;
+            if (non_fds_.Insert(state.scratch)) {
+              state.fresh.push_back(state.scratch);
+            }
+          }
+          ++k;
+        }
+      });
+
+  // Deterministic merge: comparison and result counts are sums over the
+  // partition of the pair space, so they match the serial path exactly; the
+  // batch itself is canonically re-sorted in Run().
+  size_t results = 0;
+  for (WorkerState& state : workers) {
+    results += state.fresh.size();
+    for (AttributeSet& agree : state.fresh) {
+      new_non_fds->push_back(std::move(agree));
     }
   }
-  size_t comps = total_comparisons_ - comps_before;
-  eff->comps += comps;
-  eff->results += new_non_fds->size() - new_results_before;
-  if (comps == 0) eff->exhausted = true;  // window outgrew all clusters
+  total_comparisons_ += total_pairs;
+  eff->comps += total_pairs;
+  eff->results += results;
 }
 
 void Sampler::RunProgressive(std::vector<AttributeSet>* new_non_fds) {
@@ -82,14 +183,22 @@ void Sampler::RunRandom(std::vector<AttributeSet>* new_non_fds) {
   std::uniform_int_distribution<RecordId> pick(0, static_cast<RecordId>(n - 1));
   while (true) {
     size_t new_before = new_non_fds->size();
+    size_t comps_before = total_comparisons_;
     for (size_t i = 0; i < kBatch; ++i) {
       RecordId a = pick(rng_);
       RecordId b = pick(rng_);
       if (a == b) continue;
       MatchPair(a, b, new_non_fds);
     }
+    // Efficiency over the comparisons actually performed: a == b draws are
+    // skipped above, and on small relations they are a sizable share of the
+    // batch — dividing by kBatch would deflate the ratio and terminate
+    // sampling early exactly where samples are cheapest.
+    size_t performed = total_comparisons_ - comps_before;
+    if (performed == 0) break;
     double efficiency =
-        static_cast<double>(new_non_fds->size() - new_before) / kBatch;
+        static_cast<double>(new_non_fds->size() - new_before) /
+        static_cast<double>(performed);
     if (efficiency < threshold_) break;
   }
 }
@@ -123,14 +232,27 @@ std::vector<AttributeSet> Sampler::Run(
   } else {
     RunRandom(&new_non_fds);
   }
+  // Canonical batch order: descending bit count (the Inductor specializes
+  // longest-first anyway), ties lexicographic. Parallel window runs append
+  // in worker order, so this sort is what makes the returned batch — and
+  // hence the induced FDTree — bit-identical for any thread count.
+  std::sort(new_non_fds.begin(), new_non_fds.end(),
+            [](const AttributeSet& a, const AttributeSet& b) {
+              const int ca = a.Count();
+              const int cb = b.Count();
+              if (ca != cb) return ca > cb;
+              return a < b;
+            });
   return new_non_fds;
 }
 
 size_t Sampler::NegativeCoverBytes() const {
   size_t bytes = 0;
-  for (const auto& s : non_fds_) bytes += sizeof(AttributeSet) + s.MemoryBytes();
+  non_fds_.ForEach([&bytes](const AttributeSet& s) {
+    bytes += sizeof(AttributeSet) + s.MemoryBytes();
+  });
   // Rough accounting of the hash-set buckets.
-  bytes += non_fds_.bucket_count() * sizeof(void*);
+  bytes += non_fds_.BucketBytes();
   return bytes;
 }
 

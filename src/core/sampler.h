@@ -3,12 +3,13 @@
 
 #include <cstdint>
 #include <random>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "core/preprocessor.h"
 #include "util/attribute_set.h"
+#include "util/sharded_set.h"
+#include "util/thread_pool.h"
 
 namespace hyfd {
 
@@ -28,15 +29,27 @@ enum class SamplingStrategy {
 /// neighboring attributes' cluster ids), governed by a progressive
 /// efficiency ranking. Each call to Run() is one sampling phase; the
 /// efficiency threshold halves on every re-entry.
+///
+/// With a ThreadPool attached, Phase 1 runs parallel end-to-end (paper
+/// §10.4): cluster sortings are built concurrently per attribute, each
+/// window run partitions its pair space across workers, and the negative
+/// cover is a hash-striped ShardedSet so discovering an agree set never
+/// serializes the other workers. The result is deterministic: the returned
+/// non-FD batch (canonically sorted), total_comparisons(), num_non_fds(),
+/// and every per-window efficiency value are bit-identical for any thread
+/// count, including none.
 class Sampler {
  public:
   Sampler(const PreprocessedData* data, double efficiency_threshold,
-          SamplingStrategy strategy = SamplingStrategy::kClusterWindowing);
+          SamplingStrategy strategy = SamplingStrategy::kClusterWindowing,
+          ThreadPool* pool = nullptr);
 
   /// Runs one sampling phase. `suggestions` are record pairs the Validator
   /// saw violating a candidate (paper: comparisonSuggestions); they are
   /// matched first. Returns the non-FD agree sets newly discovered in this
-  /// phase.
+  /// phase, sorted by descending bit count then lexicographically (the order
+  /// the Inductor wants, and a canonical order independent of the thread
+  /// count).
   std::vector<AttributeSet> Run(
       const std::vector<std::pair<RecordId, RecordId>>& suggestions);
 
@@ -66,24 +79,30 @@ class Sampler {
   void MatchPair(RecordId a, RecordId b, std::vector<AttributeSet>* new_non_fds);
 
   /// Slides the current window of `eff` over its attribute's sorted clusters
-  /// (Algorithm 2, runWindow).
+  /// (Algorithm 2, runWindow), across the pool when one is attached.
   void RunWindow(Efficiency* eff, std::vector<AttributeSet>* new_non_fds);
 
   void InitializeClusterSortings();
+  void SortClustersOfAttribute(int attr);
   void RunProgressive(std::vector<AttributeSet>* new_non_fds);
   void RunRandom(std::vector<AttributeSet>* new_non_fds);
 
   const PreprocessedData* data_;
   SamplingStrategy strategy_;
   double threshold_;
+  ThreadPool* pool_;
   bool initialized_ = false;
 
-  std::unordered_set<AttributeSet> non_fds_;
+  /// The negative cover. One shard when serial; ~4 shards per worker when a
+  /// pool is attached, so concurrent inserts rarely collide on a lock.
+  ShardedSet<AttributeSet> non_fds_;
   /// Per attribute: that PLI's clusters with records sorted by the
   /// neighbor-attribute keys (paper Figure 3.1).
   std::vector<std::vector<std::vector<RecordId>>> sorted_clusters_;
   std::vector<Efficiency> efficiencies_;
   size_t total_comparisons_ = 0;
+  /// Reusable agree-set buffer for the serial MatchPair path.
+  AttributeSet scratch_;
   std::mt19937_64 rng_{0x5eed5eedULL};
 };
 

@@ -242,7 +242,10 @@ ValidatorResult Validator::Run() {
       outcomes[i] = Refines(entry.lhs, entry.node->fds);
     };
     if (pool_ != nullptr && level.size() > 1) {
-      pool_->ParallelFor(level.size(), validate_one);
+      // Dynamic chunking: nodes on one level vary wildly in refinement cost
+      // (pivot cluster sizes differ by orders of magnitude), so workers
+      // claim entries one at a time instead of taking fixed chunks.
+      pool_->ParallelForDynamic(level.size(), 1, validate_one);
     } else {
       for (size_t i = 0; i < level.size(); ++i) validate_one(i);
     }

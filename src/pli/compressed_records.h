@@ -40,6 +40,13 @@ class CompressedRecords {
   /// cluster id.
   AttributeSet Match(RecordId a, RecordId b) const;
 
+  /// Match() into a caller-owned bitset: compares 64 attributes' cluster ids
+  /// into one agreement word written directly into the AttributeSet's
+  /// backing words (no per-pair allocation — the Sampler reuses one scratch
+  /// set per worker across millions of pairs). `agree` is resized on shape
+  /// mismatch; every word is overwritten, so no Clear() is needed.
+  void MatchInto(RecordId a, RecordId b, AttributeSet* agree) const;
+
   size_t MemoryBytes() const { return values_.capacity() * sizeof(ClusterId); }
 
  private:

@@ -66,6 +66,34 @@ class AttributeSet {
   /// Clears every bit.
   void Clear();
 
+  /// Number of backing 64-bit words, i.e. ceil(size() / 64).
+  size_t num_words() const { return words_.size(); }
+
+  /// Word `w` of the backing storage; bit `i` of the set is bit `i % 64` of
+  /// word `i / 64`.
+  uint64_t Word(size_t w) const {
+    HYFD_DCHECK(w < words_.size(), "AttributeSet::Word out of range");
+    return words_[w];
+  }
+
+  /// Overwrites word `w` wholesale. Bits at positions >= size() in the last
+  /// word are masked off, preserving the invariant that unused tail bits are
+  /// zero (Hash(), operator== and Count() rely on it). This is the word-level
+  /// write path of CompressedRecords::MatchInto.
+  void SetWord(size_t w, uint64_t value) {
+    HYFD_DCHECK(w < words_.size(), "AttributeSet::SetWord out of range");
+    if (w + 1 == words_.size()) {
+      const int tail = num_bits_ & 63;
+      if (tail != 0) value &= (uint64_t{1} << tail) - 1;
+    }
+    words_[w] = value;
+  }
+
+  /// Raw pointer to the backing words, for bulk kernels. Callers must keep
+  /// bits at positions >= size() zero; prefer SetWord, which masks the tail.
+  uint64_t* MutableWords() { return words_.data(); }
+  const uint64_t* Words() const { return words_.data(); }
+
   /// Number of set bits.
   int Count() const;
   bool Empty() const;

@@ -1,0 +1,110 @@
+#ifndef HYFD_UTIL_SHARDED_SET_H_
+#define HYFD_UTIL_SHARDED_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_set>
+
+namespace hyfd {
+
+/// A hash-striped set: `num_shards` independent hash sets, each behind its
+/// own reader-writer lock, with elements routed by hash.
+///
+/// This is the Sampler's concurrent negative cover. Most Phase-1 comparisons
+/// re-discover an agree set that is already known, so the hot path is a
+/// membership probe — Contains() takes only a shard's shared lock, and
+/// probes for different elements almost always land on different shards.
+/// Insert() takes the shard's exclusive lock; exactly one caller wins for
+/// any given element, which is what makes the Sampler's per-window "new
+/// results" count deterministic under any thread count.
+///
+/// size(), ForEach() and MemoryBytes() lock shards one at a time: they are
+/// consistent only when no concurrent writers exist (the Sampler calls them
+/// between parallel phases).
+template <typename T, typename Hash = std::hash<T>>
+class ShardedSet {
+ public:
+  /// `num_shards` is rounded up to a power of two (at least 1).
+  explicit ShardedSet(size_t num_shards = 1) {
+    size_t shards = 1;
+    while (shards < num_shards) shards <<= 1;
+    num_shards_ = shards;
+    shards_ = std::make_unique<Shard[]>(shards);
+  }
+
+  size_t num_shards() const { return num_shards_; }
+
+  /// True iff `value` is in the set. Takes the shard's shared lock only.
+  bool Contains(const T& value) const {
+    const Shard& shard = ShardFor(value);
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    return shard.set.find(value) != shard.set.end();
+  }
+
+  /// Inserts `value`; returns true iff it was newly inserted. Under
+  /// concurrent calls with equal values, exactly one caller sees true.
+  bool Insert(const T& value) {
+    Shard& shard = ShardFor(value);
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    return shard.set.insert(value).second;
+  }
+
+  /// Total element count across shards (serial contexts only).
+  size_t size() const {
+    size_t n = 0;
+    for (size_t s = 0; s < num_shards_; ++s) {
+      std::shared_lock<std::shared_mutex> lock(shards_[s].mu);
+      n += shards_[s].set.size();
+    }
+    return n;
+  }
+
+  /// Invokes `fn(const T&)` on every element (serial contexts only).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t s = 0; s < num_shards_; ++s) {
+      std::shared_lock<std::shared_mutex> lock(shards_[s].mu);
+      for (const T& value : shards_[s].set) fn(value);
+    }
+  }
+
+  /// Rough hash-table overhead in bytes (buckets across all shards); callers
+  /// add their per-element payload via ForEach.
+  size_t BucketBytes() const {
+    size_t bytes = 0;
+    for (size_t s = 0; s < num_shards_; ++s) {
+      std::shared_lock<std::shared_mutex> lock(shards_[s].mu);
+      bytes += shards_[s].set.bucket_count() * sizeof(void*);
+    }
+    return bytes;
+  }
+
+ private:
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_set<T, Hash> set;
+  };
+
+  /// Routes by the *high* bits of a mixed hash: the shard's unordered_set
+  /// buckets by the low bits of the same hash, so using low bits for the
+  /// shard too would funnel each shard's elements into few buckets.
+  const Shard& ShardFor(const T& value) const {
+    const uint64_t h =
+        static_cast<uint64_t>(Hash{}(value)) * 0x9e3779b97f4a7c15ull;
+    return shards_[(h >> 32) & (num_shards_ - 1)];
+  }
+  Shard& ShardFor(const T& value) {
+    return const_cast<Shard&>(
+        static_cast<const ShardedSet*>(this)->ShardFor(value));
+  }
+
+  std::unique_ptr<Shard[]> shards_;
+  size_t num_shards_ = 1;
+};
+
+}  // namespace hyfd
+
+#endif  // HYFD_UTIL_SHARDED_SET_H_

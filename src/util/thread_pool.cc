@@ -1,14 +1,45 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 
 namespace hyfd {
+namespace {
+
+/// Set once per worker thread; -1 on every non-worker thread.
+thread_local int tls_worker_index = -1;
+
+}  // namespace
+
+/// Per-call completion latch. Tasks of one ParallelFor* call count down on
+/// this latch only, so the call returns when its own work is done even while
+/// other clients (another ParallelFor, raw Submits) keep the pool busy.
+/// Heap-allocated via shared_ptr: the last finishing task may outlive the
+/// caller's stack frame by a few instructions.
+struct ThreadPool::Latch {
+  explicit Latch(size_t n) : pending(n) {}
+
+  void CountDown() {
+    std::unique_lock<std::mutex> lock(mu);
+    if (--pending == 0) cv.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return pending == 0; });
+  }
+
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t pending;
+};
 
 ThreadPool::ThreadPool(size_t num_threads) {
   num_threads = std::max<size_t>(1, num_threads);
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -20,6 +51,8 @@ ThreadPool::~ThreadPool() {
   task_available_.notify_all();
   for (auto& w : workers_) w.join();
 }
+
+int ThreadPool::CurrentWorkerIndex() { return tls_worker_index; }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
@@ -37,20 +70,50 @@ void ThreadPool::WaitIdle() {
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
-  size_t chunks = std::min(n, num_threads() * 4);
-  size_t chunk_size = (n + chunks - 1) / chunks;
-  for (size_t c = 0; c < chunks; ++c) {
-    size_t begin = c * chunk_size;
-    size_t end = std::min(n, begin + chunk_size);
-    if (begin >= end) break;
-    Submit([begin, end, &fn] {
+  const size_t chunks = std::min(n, num_threads() * 4);
+  const size_t chunk_size = (n + chunks - 1) / chunks;
+  const size_t num_tasks = (n + chunk_size - 1) / chunk_size;
+  auto latch = std::make_shared<Latch>(num_tasks);
+  for (size_t c = 0; c < num_tasks; ++c) {
+    const size_t begin = c * chunk_size;
+    const size_t end = std::min(n, begin + chunk_size);
+    Submit([latch, begin, end, &fn] {
       for (size_t i = begin; i < end; ++i) fn(i);
+      latch->CountDown();
     });
   }
-  WaitIdle();
+  latch->Wait();
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::ParallelForRanges(
+    size_t n, size_t grain, const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  grain = std::max<size_t>(1, grain);
+  const size_t num_tasks = std::min(num_threads(), (n + grain - 1) / grain);
+  auto latch = std::make_shared<Latch>(num_tasks);
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  for (size_t t = 0; t < num_tasks; ++t) {
+    Submit([latch, next, n, grain, &fn] {
+      for (;;) {
+        const size_t begin = next->fetch_add(grain, std::memory_order_relaxed);
+        if (begin >= n) break;
+        fn(begin, std::min(n, begin + grain));
+      }
+      latch->CountDown();
+    });
+  }
+  latch->Wait();
+}
+
+void ThreadPool::ParallelForDynamic(size_t n, size_t grain,
+                                    const std::function<void(size_t)>& fn) {
+  ParallelForRanges(n, grain, [&fn](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  tls_worker_index = static_cast<int>(worker_index);
   for (;;) {
     std::function<void()> task;
     {

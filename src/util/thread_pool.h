@@ -13,9 +13,16 @@ namespace hyfd {
 
 /// A minimal fixed-size thread pool.
 ///
-/// HyFD's two embarrassingly parallel spots — window runs in the Sampler and
-/// per-node refinement checks in the Validator (paper §10.4) — submit batches
-/// of tasks here and wait for the batch with WaitIdle().
+/// HyFD's two embarrassingly parallel spots — cluster-pair comparisons in the
+/// Sampler and per-node refinement checks in the Validator (paper §10.4) —
+/// run batches of work here through the ParallelFor* calls. Both subsystems
+/// share one pool per discovery run, so every ParallelFor* waits on its own
+/// per-call completion latch: a call returns exactly when *its* iterations
+/// are done, independent of any other work queued on the pool.
+///
+/// ParallelFor* must not be called from inside a pool task (the caller
+/// blocks while holding no worker, so nested calls can deadlock a fully
+/// loaded pool).
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (at least 1).
@@ -28,17 +35,40 @@ class ThreadPool {
   /// Enqueues a task for execution on some worker.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every task submitted *by anyone* has finished. Prefer the
+  /// ParallelFor* calls, which wait per-call; WaitIdle is only meaningful
+  /// when a single client uses raw Submit().
   void WaitIdle();
 
   /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
-  /// Work is chunked to limit queueing overhead.
+  /// Work is split into fixed chunks up-front — cheapest when iterations
+  /// cost about the same.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Runs `fn(i)` for i in [0, n), with workers claiming `grain`-sized index
+  /// ranges from a shared atomic counter. Use for skewed workloads (cluster
+  /// or level sizes varying by orders of magnitude): a worker stuck on a
+  /// heavy index never strands the pre-assigned remainder of a static chunk.
+  void ParallelForDynamic(size_t n, size_t grain,
+                          const std::function<void(size_t)>& fn);
+
+  /// Dynamic-chunking variant handing workers whole ranges: `fn(begin, end)`
+  /// with the [begin, end) ranges covering [0, n) exactly once. Lets callers
+  /// amortize per-range setup (e.g. locating the cluster containing `begin`).
+  void ParallelForRanges(size_t n, size_t grain,
+                         const std::function<void(size_t, size_t)>& fn);
+
+  /// Index of the calling pool worker in [0, num_threads()), or -1 when the
+  /// caller is not a pool worker. ParallelFor* bodies use it to index
+  /// per-worker accumulators without locking.
+  static int CurrentWorkerIndex();
 
   size_t num_threads() const { return workers_.size(); }
 
  private:
-  void WorkerLoop();
+  struct Latch;
+
+  void WorkerLoop(size_t worker_index);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;

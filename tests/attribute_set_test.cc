@@ -125,5 +125,40 @@ TEST(AttributeSetTest, SetAllOnEmptySet) {
   EXPECT_TRUE(s.Empty());
 }
 
+TEST(AttributeSetTest, WordAccessorsRoundTrip) {
+  AttributeSet s(70);
+  EXPECT_EQ(s.num_words(), 2u);
+  s.SetWord(0, 0x5ull);
+  s.SetWord(1, 0x3ull);
+  EXPECT_EQ(s.Word(0), 0x5ull);
+  EXPECT_EQ(s.Word(1), 0x3ull);
+  EXPECT_EQ(s.ToIndexes(), (std::vector<int>{0, 2, 64, 65}));
+
+  // The word-built set must be indistinguishable from a bit-built twin.
+  AttributeSet twin(70, {0, 2, 64, 65});
+  EXPECT_EQ(s, twin);
+  EXPECT_EQ(s.Hash(), twin.Hash());
+  EXPECT_EQ(s.Count(), twin.Count());
+}
+
+TEST(AttributeSetTest, SetWordMasksTailBits) {
+  AttributeSet s(70);  // 6 valid bits in the last word
+  s.SetWord(1, ~uint64_t{0});
+  EXPECT_EQ(s.Word(1), 0x3Full);
+  EXPECT_EQ(s.Count(), 6);
+  // The zero-tail invariant keeps equality/hash consistent with Set().
+  AttributeSet twin(70, {64, 65, 66, 67, 68, 69});
+  EXPECT_EQ(s, twin);
+  EXPECT_EQ(s.Hash(), twin.Hash());
+}
+
+TEST(AttributeSetTest, MutableWordsWritesAreVisible) {
+  AttributeSet s(64);
+  s.MutableWords()[0] = uint64_t{1} << 63;
+  EXPECT_TRUE(s.Test(63));
+  EXPECT_EQ(s.Words()[0], uint64_t{1} << 63);
+  EXPECT_EQ(s.Count(), 1);
+}
+
 }  // namespace
 }  // namespace hyfd

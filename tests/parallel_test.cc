@@ -1,0 +1,184 @@
+// Determinism and thread-safety tests for the parallel Phase-1 pipeline:
+// the same FDs, stats, and sampler batches must come out bit-identical for
+// every thread count, and the sharded negative cover must survive concurrent
+// hammering (run under TSan via the "concurrency" ctest label).
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "core/hyfd.h"
+#include "core/hyucc.h"
+#include "core/preprocessor.h"
+#include "core/sampler.h"
+#include "data/datasets.h"
+#include "data/generators.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "util/sharded_set.h"
+#include "util/thread_pool.h"
+
+namespace hyfd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ShardedSet
+// ---------------------------------------------------------------------------
+
+TEST(ShardedSetTest, InsertContainsAndDeduplicates) {
+  ShardedSet<AttributeSet> set(4);
+  AttributeSet a(70, {1, 65});
+  AttributeSet b(70, {2});
+  EXPECT_FALSE(set.Contains(a));
+  EXPECT_TRUE(set.Insert(a));
+  EXPECT_FALSE(set.Insert(a));  // duplicate
+  EXPECT_TRUE(set.Insert(b));
+  EXPECT_TRUE(set.Contains(a));
+  EXPECT_TRUE(set.Contains(b));
+  EXPECT_EQ(set.size(), 2u);
+
+  size_t seen = 0;
+  set.ForEach([&](const AttributeSet& s) {
+    ++seen;
+    EXPECT_TRUE(s == a || s == b);
+  });
+  EXPECT_EQ(seen, 2u);
+}
+
+TEST(ShardedSetTest, ShardCountRoundsUpToPowerOfTwo) {
+  ShardedSet<int> set(5);
+  EXPECT_EQ(set.num_shards(), 8u);
+  ShardedSet<int> one(0);
+  EXPECT_EQ(one.num_shards(), 1u);
+}
+
+TEST(ShardedSetTest, ConcurrentInsertsCountEachValueOnce) {
+  // 8 workers race to insert the same 512 values; exactly 512 inserts may
+  // report success (the successful-insert count is what makes the parallel
+  // sampler's efficiency values order-independent).
+  constexpr size_t kValues = 512;
+  std::vector<AttributeSet> values;
+  values.reserve(kValues);
+  for (size_t v = 0; v < kValues; ++v) {
+    AttributeSet s(96);
+    for (int bit = 0; bit < 96; ++bit) {
+      if ((v >> (bit % 9)) & 1u) s.Set(bit);
+    }
+    s.Set(static_cast<int>(v % 96));
+    values.push_back(s);
+  }
+  // Some of the constructed sets collide; count the distinct ones.
+  std::vector<AttributeSet> distinct = values;
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()), distinct.end());
+
+  ShardedSet<AttributeSet> set(32);
+  ThreadPool pool(8);
+  std::atomic<size_t> successes{0};
+  pool.ParallelForDynamic(8 * kValues, 1, [&](size_t i) {
+    const AttributeSet& s = values[i % kValues];
+    const bool present = set.Contains(s);  // shared-lock fast path, racing
+    if (set.Insert(s)) {
+      EXPECT_FALSE(present);  // a value seen present can never insert
+      successes.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(successes.load(), distinct.size());
+  EXPECT_EQ(set.size(), distinct.size());
+}
+
+// ---------------------------------------------------------------------------
+// Sampler: parallel == serial, bit for bit
+// ---------------------------------------------------------------------------
+
+TEST(ParallelStressTest, SamplerBatchIdenticalWithPool) {
+  Relation r = GenerateFdReduced(4000, 10, 8, /*seed=*/9);
+  PreprocessedData data = Preprocess(r);
+
+  Sampler serial(&data, 0.001);
+  auto serial_batch = serial.Run({});
+
+  ThreadPool pool(8);
+  Sampler parallel(&data, 0.001, SamplingStrategy::kClusterWindowing, &pool);
+  auto parallel_batch = parallel.Run({});
+
+  // Not just the same set — the same order (the canonical batch sort).
+  ASSERT_EQ(serial_batch.size(), parallel_batch.size());
+  for (size_t i = 0; i < serial_batch.size(); ++i) {
+    EXPECT_EQ(serial_batch[i], parallel_batch[i]) << "batch index " << i;
+  }
+  EXPECT_EQ(serial.total_comparisons(), parallel.total_comparisons());
+  EXPECT_EQ(serial.num_non_fds(), parallel.num_non_fds());
+  // NegativeCoverBytes is intentionally NOT compared: the sharded cover's
+  // bucket-array overhead depends on the shard count, not the contents.
+}
+
+TEST(ParallelStressTest, SamplingHeavyDiscoveryMatchesSerial) {
+  // A low threshold keeps the run in Phase 1 for many windows — the densest
+  // concurrent traffic on the sharded cover and the parallel window path.
+  Relation r = GenerateFdReduced(2500, 8, 12, /*seed=*/5);
+  HyFdConfig serial_config;
+  serial_config.efficiency_threshold = 0.0001;
+  HyFd serial(serial_config);
+  FDSet expected = serial.Discover(r);
+
+  HyFdConfig parallel_config = serial_config;
+  parallel_config.num_threads = 8;
+  HyFd parallel(parallel_config);
+  FDSet actual = parallel.Discover(r);
+
+  testing::ExpectSameFds(expected, actual, "sampling-heavy, 8 threads");
+  EXPECT_EQ(serial.stats().comparisons, parallel.stats().comparisons);
+  EXPECT_EQ(serial.stats().non_fds, parallel.stats().non_fds);
+}
+
+// ---------------------------------------------------------------------------
+// Full-pipeline determinism sweep over the dataset registry
+// ---------------------------------------------------------------------------
+
+TEST(ParallelDeterminismTest, RegistrySweepIdenticalAcrossThreadCounts) {
+  for (const DatasetSpec& spec : PaperDatasets()) {
+    const size_t rows = std::min<size_t>(spec.default_rows, 800);
+    const int columns = std::min(spec.columns, 10);
+    Relation r = MakeDataset(spec.name, rows, columns);
+
+    HyFdConfig config;
+    HyFd baseline(config);
+    FDSet expected = baseline.Discover(r);
+
+    for (int threads : {2, 8}) {
+      HyFdConfig parallel_config;
+      parallel_config.num_threads = threads;
+      HyFd parallel(parallel_config);
+      FDSet actual = parallel.Discover(r);
+      testing::ExpectSameFds(expected, actual,
+                             spec.name + " @ " + std::to_string(threads) +
+                                 " threads");
+      EXPECT_EQ(baseline.stats().comparisons, parallel.stats().comparisons)
+          << spec.name << " @ " << threads << " threads";
+      EXPECT_EQ(baseline.stats().non_fds, parallel.stats().non_fds)
+          << spec.name << " @ " << threads << " threads";
+      EXPECT_EQ(baseline.stats().num_fds, parallel.stats().num_fds)
+          << spec.name << " @ " << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, HyUccIdenticalAcrossThreadCounts) {
+  Relation r = testing::RandomRelation(6, 200, /*seed=*/77, 3);
+  HyUcc baseline;
+  auto expected = baseline.Discover(r);
+
+  for (int threads : {2, 8}) {
+    HyUccConfig config;
+    config.num_threads = threads;
+    HyUcc parallel(config);
+    auto actual = parallel.Discover(r);
+    EXPECT_EQ(expected, actual) << threads << " threads";
+    EXPECT_EQ(baseline.stats().comparisons, parallel.stats().comparisons)
+        << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace hyfd

@@ -7,6 +7,7 @@
 #include "gtest/gtest.h"
 #include "pli/compressed_records.h"
 #include "pli/pli_builder.h"
+#include "test_util.h"
 
 namespace hyfd {
 namespace {
@@ -143,6 +144,36 @@ TEST(CompressedRecordsTest, UniqueValuesNeverMatch) {
   // Both records are unique in "a": the agree set must be empty even though
   // both carry the sentinel kUniqueCluster.
   EXPECT_TRUE(records.Match(0, 1).Empty());
+}
+
+TEST(CompressedRecordsTest, MatchIntoMatchesBitwiseOracle) {
+  // Differential test of the word-level kernel against a per-bit oracle,
+  // covering one word exactly (64), sub-word (3, 8), and multi-word with
+  // tails (70, 130) shapes. The scratch set is reused across pairs to
+  // exercise stale-word overwrite (MatchInto must not rely on Clear()).
+  for (int cols : {3, 8, 64, 70, 130}) {
+    Relation r = testing::RandomRelation(cols, 40, /*seed=*/cols, 3);
+    auto plis = BuildAllColumnPlis(r);
+    CompressedRecords records(plis, r.num_rows());
+    AttributeSet scratch;
+    for (RecordId a = 0; a < 40; a += 7) {
+      for (RecordId b = a + 1; b < 40; b += 5) {
+        AttributeSet oracle(cols);
+        for (int i = 0; i < cols; ++i) {
+          if (records.Cluster(a, i) != kUniqueCluster &&
+              records.Cluster(a, i) == records.Cluster(b, i)) {
+            oracle.Set(i);
+          }
+        }
+        EXPECT_EQ(records.Match(a, b), oracle)
+            << "cols=" << cols << " a=" << a << " b=" << b;
+        records.MatchInto(a, b, &scratch);
+        EXPECT_EQ(scratch, oracle)
+            << "cols=" << cols << " a=" << a << " b=" << b;
+        EXPECT_EQ(scratch.Hash(), oracle.Hash());
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -115,6 +115,27 @@ TEST(SamplerTest, RandomStrategyAlsoFindsViolations) {
   EXPECT_FALSE(non_fds.empty());
 }
 
+TEST(SamplerTest, RandomStrategyEfficiencyCountsPerformedComparisons) {
+  // Three rows, three columns; every one of the three record pairs agrees on
+  // exactly one (distinct) attribute, so random sampling keeps finding a new
+  // agree set among the first batches and the efficiency stays 3/∞ … i.e.
+  // the loop only stops once enough *performed* comparisons dilute it. The
+  // old code divided by the constant batch size, overestimating the work
+  // done (pairs are drawn with replacement and deduplicated per batch) and
+  // bailing out after roughly one batch.
+  Relation r = Relation::FromStringRows(
+      Schema::Generic(3),
+      {{"a", "x", "p"}, {"a", "y", "q"}, {"b", "x", "q"}});
+  PreprocessedData data = Preprocess(r);
+  Sampler sampler(&data, 0.004, SamplingStrategy::kRandomPairs);
+  auto non_fds = sampler.Run({});
+  EXPECT_EQ(non_fds.size(), 3u);
+  EXPECT_EQ(sampler.num_non_fds(), 3u);
+  // 3 new agree sets at threshold 0.004 requires ≥ 750 performed
+  // comparisons; dividing by kBatch would have stopped far earlier.
+  EXPECT_GT(sampler.total_comparisons(), 750u);
+}
+
 TEST(SamplerTest, NoViolationsOnUniqueData) {
   // All columns unique: no record pair agrees anywhere, so cluster
   // windowing has no clusters to slide over.

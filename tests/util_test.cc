@@ -1,4 +1,6 @@
 #include <atomic>
+#include <future>
+#include <thread>
 #include <vector>
 
 #include "core/guardian.h"
@@ -80,6 +82,65 @@ TEST(ThreadPoolTest, WaitIdleWithNoTasksReturnsImmediately) {
 TEST(ThreadPoolTest, AtLeastOneWorker) {
   ThreadPool pool(0);
   EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForDynamicCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(997);
+  pool.ParallelForDynamic(997, 7, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForRangesCoversEveryIndexOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelForRanges(1000, 64, [&](size_t begin, size_t end) {
+    ASSERT_LT(begin, end);
+    ASSERT_LE(end, 1000u);
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, CurrentWorkerIndexIdentifiesWorkers) {
+  // Not a worker: the calling thread reports -1.
+  EXPECT_EQ(ThreadPool::CurrentWorkerIndex(), -1);
+  ThreadPool pool(3);
+  std::atomic<int> bad_index{0};
+  pool.ParallelForDynamic(200, 1, [&](size_t) {
+    int wid = ThreadPool::CurrentWorkerIndex();
+    if (wid < 0 || wid >= 3) bad_index.fetch_add(1);
+  });
+  EXPECT_EQ(bad_index.load(), 0);
+}
+
+// Regression for the per-call completion latch: with the old global
+// WaitIdle()-based ParallelFor, a call waited for in_flight_ == 0 — i.e. for
+// *every* client of the pool. Here the first call's task blocks until the
+// second call has returned; under global completion the second call could
+// never return first, so the test deadlocked (two subsystems sharing one
+// pool, exactly the Sampler + Validator situation).
+TEST(ThreadPoolTest, ConcurrentParallelForsCompleteIndependently) {
+  ThreadPool pool(3);
+  std::promise<void> release;
+  std::shared_future<void> released(release.get_future());
+  std::atomic<bool> second_done{false};
+
+  std::thread first([&] {
+    pool.ParallelFor(1, [&](size_t) { released.wait(); });
+  });
+  std::thread second([&] {
+    pool.ParallelFor(4, [](size_t) {});
+    second_done.store(true);
+    release.set_value();  // only now may the first call's task finish
+  });
+  second.join();
+  EXPECT_TRUE(second_done.load());
+  first.join();
 }
 
 TEST(TimerTest, MeasuresElapsedTime) {
