@@ -8,7 +8,8 @@
 //
 // Flags: --rows=N (default 8000), --cols=N (default 24),
 //        --lattice_cols=N (default 8; column cap for the cache ablation,
-//        since full-width lattices are infeasible for TANE).
+//        since full-width lattices are infeasible for TANE),
+//        --out=PATH (run-report JSON, default BENCH_ablation.json).
 
 #include <cstdio>
 #include <string>
@@ -35,6 +36,8 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv);
   size_t rows = static_cast<size_t>(flags.GetInt("rows", 8000));
   int cols = static_cast<int>(flags.GetInt("cols", 24));
+  std::string out = flags.GetString("out", "BENCH_ablation.json");
+  ReportSink sink("ablation");
 
   Relation relation = MakeDataset("ncvoter-statewide", rows, cols);
 
@@ -54,11 +57,18 @@ int main(int argc, char** argv) {
   std::printf("%-30s %9s %10s %12s %12s %8s\n", "variant", "runtime",
               "switches", "comparisons", "validations", "FDs");
   size_t reference_fds = 0;
+  int variant_index = 0;
   for (const Variant& v : variants) {
-    HyFd algo(v.config);
+    RunReport report;
+    report.dataset = "ncvoter-statewide";
+    HyFdConfig config = v.config;
+    config.run_report = &report;
+    HyFd algo(config);
     Timer timer;
     FDSet fds = algo.Discover(relation);
     const HyFdStats& s = algo.stats();
+    report.SetCounter("bench.variant", static_cast<uint64_t>(variant_index++));
+    sink.Add(report);
     if (reference_fds == 0) reference_fds = fds.size();
     std::printf("%-30s %8.2fs %10d %12zu %12zu %8zu%s\n", v.name,
                 timer.ElapsedSeconds(), s.phase_switches, s.comparisons,
@@ -86,12 +96,17 @@ int main(int argc, char** argv) {
   for (const char* name : {"tane", "dfd"}) {
     FDSet cache_off_fds;
     for (bool use_cache : {false, true}) {
+      RunReport report;
+      report.dataset = "ncvoter-statewide";
       AlgoOptions options;
       options.use_pli_cache = use_cache;
+      options.run_report = &report;
       PliCache cache = PliCache::FromRelation(lattice_rel);
       if (use_cache) options.pli_cache = &cache;
       Timer timer;
       FDSet fds = FindAlgorithm(name).run(lattice_rel, options);
+      report.SetCounter("bench.pli_cache", use_cache ? 1 : 0);
+      sink.Add(report);
       double elapsed = timer.ElapsedSeconds();
       auto c = cache.counters();
       bool mismatch = use_cache && !(fds == cache_off_fds);
@@ -107,5 +122,5 @@ int main(int argc, char** argv) {
       "\nExpected shape: cache-on is neutral or faster (DFD especially —\n"
       "its random walk re-requests partitions constantly) and the FD sets\n"
       "are identical in both arms.\n");
-  return 0;
+  return sink.WriteJson(out) ? 0 : 1;
 }

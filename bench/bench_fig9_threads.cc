@@ -70,10 +70,14 @@ int main(int argc, char** argv) {
     ladder.push_back(static_cast<int>(max_threads));
   }
 
+  ReportSink sink("fig9_threads");
   for (int threads : ladder) {
+    RunReport report;
+    report.dataset = "fd-reduced (generated)";
     HyFdConfig config;
     config.efficiency_threshold = threshold;
     config.num_threads = threads;
+    config.run_report = &report;
     HyFd algo(config);
     Timer timer;
     FDSet fds = algo.Discover(relation);
@@ -96,32 +100,12 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
     points.push_back({threads, seconds, speedup, fds.size(),
                       algo.stats().comparisons, identical});
+    report.SetCounter("bench.threads", static_cast<uint64_t>(threads));
+    report.SetCounter("bench.identical", identical ? 1 : 0);
+    sink.Add(report);
   }
 
-  if (FILE* f = std::fopen(out.c_str(), "w")) {
-    std::fprintf(f,
-                 "{\n  \"benchmark\": \"fig9_threads\",\n"
-                 "  \"rows\": %zu,\n  \"cols\": %d,\n"
-                 "  \"threshold\": %g,\n  \"hardware_threads\": %ld,\n"
-                 "  \"points\": [\n",
-                 rows, cols, threshold, hardware);
-    for (size_t i = 0; i < points.size(); ++i) {
-      const Point& p = points[i];
-      std::fprintf(f,
-                   "    {\"threads\": %d, \"seconds\": %.6f, "
-                   "\"speedup\": %.4f, \"fds\": %zu, "
-                   "\"comparisons\": %zu, \"identical\": %s}%s\n",
-                   p.threads, p.seconds, p.speedup, p.fds, p.comparisons,
-                   p.identical ? "true" : "false",
-                   i + 1 < points.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("\nwrote %s\n", out.c_str());
-  } else {
-    std::fprintf(stderr, "cannot write %s\n", out.c_str());
-    return 1;
-  }
+  if (!sink.WriteJson(out)) return 1;
 
   std::printf(
       "Paper reference (Figure 9 / §10.4): sampling and validation both\n"

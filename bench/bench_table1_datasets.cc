@@ -3,7 +3,8 @@
 //
 // Flags: --tl=SECONDS (default 5), --max_cols_lattice=N (default 30: column
 // cap beyond which lattice algorithms are marked ML, mirroring the paper's
-// memory-limit entries), --full (runs the paper's fd-reduced row count).
+// memory-limit entries), --full (runs the paper's fd-reduced row count),
+// --out=PATH (run-report JSON, default BENCH_table1.json).
 
 #include <cstdio>
 #include <vector>
@@ -18,6 +19,8 @@ int main(int argc, char** argv) {
   double tl = flags.GetDouble("tl", 5.0);
   int lattice_cap = static_cast<int>(flags.GetInt("max_cols_lattice", 30));
   bool full = flags.GetBool("full");
+  std::string out = flags.GetString("out", "BENCH_table1.json");
+  ReportSink sink("table1_datasets");
 
   // Table 1 datasets, in the paper's order.
   const std::vector<const char*> datasets = {
@@ -52,7 +55,8 @@ int main(int argc, char** argv) {
       if (memory_hazard || pair_hazard) {
         r.status = RunResult::kSkipped;  // the paper's ML / TL entries
       } else {
-        r = RunTimed(algo, relation, tl);
+        r = RunTimed(algo, relation, tl, name);
+        sink.Add(r.report);
       }
       if (r.status == RunResult::kOk && algo.name == "hyfd") fd_count = r.num_fds;
       std::printf(" %9s", r.Cell().c_str());
@@ -68,5 +72,5 @@ int main(int argc, char** argv) {
       "only FDEP remains competitive on wide-but-short data and only the\n"
       "lattice family on fd-reduced-30.\n",
       tl);
-  return 0;
+  return sink.WriteJson(out) ? 0 : 1;
 }

@@ -3,7 +3,8 @@
 // we account bytes held in PLIs / candidate levels / negative covers /
 // FD trees through MemoryTracker (DESIGN.md §3).
 //
-// Flags: --tl=SECONDS (default 10).
+// Flags: --tl=SECONDS (default 10), --out=PATH (run-report JSON, default
+// BENCH_table3.json).
 
 #include <cstdio>
 #include <vector>
@@ -17,6 +18,8 @@ int main(int argc, char** argv) {
   using namespace hyfd::bench;
   Flags flags(argc, argv);
   double tl = flags.GetDouble("tl", 10.0);
+  std::string out = flags.GetString("out", "BENCH_table3.json");
+  ReportSink sink("table3_memory");
 
   const std::vector<const char*> datasets = {"hepatitis", "adult",  "letter",
                                              "horse",     "plista", "flight"};
@@ -36,9 +39,12 @@ int main(int argc, char** argv) {
     for (const char* algo_name : algos) {
       const AlgoInfo& algo = FindAlgorithm(algo_name);
       MemoryTracker tracker;
+      RunReport report;
+      report.dataset = name;
       AlgoOptions options;
       options.deadline_seconds = tl;
       options.memory_tracker = &tracker;
+      options.run_report = &report;
       std::string cell;
       try {
         algo.run(relation, options);
@@ -48,7 +54,10 @@ int main(int argc, char** argv) {
         cell = buf;
       } catch (const TimeoutError&) {
         cell = "TL";
+        report.MarkIncomplete("deadline of " + std::to_string(tl) +
+                              "s exceeded");
       }
+      sink.Add(report);
       std::printf(" %10s", cell.c_str());
       std::fflush(stdout);
     }
@@ -59,5 +68,5 @@ int main(int argc, char** argv) {
       "memory (intermediate PLIs for whole lattice levels), DFD sits in the\n"
       "middle (PLI store), FDEP is small (no PLIs), and HyFD is smallest:\n"
       "single-column PLIs plus bitset negative cover plus the FD tree.\n");
-  return 0;
+  return sink.WriteJson(out) ? 0 : 1;
 }

@@ -1,13 +1,18 @@
 #ifndef HYFD_BASELINES_COMMON_H_
 #define HYFD_BASELINES_COMMON_H_
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
+#include "data/relation.h"
 #include "pli/pli_builder.h"
 #include "pli/pli_cache.h"
 #include "util/memory_tracker.h"
+#include "util/run_report.h"
 
 namespace hyfd {
 
@@ -65,6 +70,10 @@ struct AlgoOptions {
   /// to their direct per-level intersections; DFD derives every partition
   /// from the single-column PLIs without a store.
   bool use_pli_cache = true;
+  /// If set, the algorithm fills a structured run report here (schema in
+  /// util/run_report.h): phase spans, counters, completeness. Every registry
+  /// algorithm supports this; nullptr costs nothing.
+  RunReport* run_report = nullptr;
 };
 
 /// Verifies a shared cache actually describes `relation` under `options`'s
@@ -80,6 +89,46 @@ inline PliCache* CheckSharedPliCache(PliCache* cache, const Relation& relation,
         "shared PliCache does not match the relation / null semantics");
   }
   return cache;
+}
+
+/// Stamps the run report attached to `options` (if any) with the run's
+/// identity and returns it — nullptr means "no observability requested" and
+/// every later report call must be null-guarded (ScopedPhase already is).
+inline RunReport* InitRunReport(const AlgoOptions& options,
+                                const char* algorithm,
+                                const Relation& relation) {
+  RunReport* report = options.run_report;
+  if (report == nullptr) return nullptr;
+  std::string dataset = std::move(report->dataset);  // harness-owned label
+  *report = RunReport{};
+  report->dataset = std::move(dataset);
+  report->algorithm = algorithm;
+  report->rows = relation.num_rows();
+  report->columns = relation.num_columns();
+  return report;
+}
+
+/// Finalizes a run report: result size, wall time, and — when a tracker was
+/// attached — the peak footprint broken down by component.
+inline void FinishRunReport(RunReport* report, size_t result_count,
+                            double total_seconds,
+                            const MemoryTracker* tracker) {
+  if (report == nullptr) return;
+  report->result_count = result_count;
+  report->total_seconds = total_seconds;
+  if (tracker != nullptr) {
+    report->peak_memory_bytes = tracker->peak_bytes();
+    report->memory_components.clear();
+    for (int c = 0; c < MemoryTracker::kNumComponents; ++c) {
+      size_t bytes = tracker->component_bytes(c);
+      if (bytes > 0) {
+        report->memory_components.emplace_back(MemoryTracker::ComponentName(c),
+                                               bytes);
+      }
+    }
+    std::sort(report->memory_components.begin(),
+              report->memory_components.end());
+  }
 }
 
 }  // namespace hyfd

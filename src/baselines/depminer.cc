@@ -7,6 +7,7 @@
 #include "baselines/agree_sets.h"
 #include "pli/compressed_records.h"
 #include "pli/pli_builder.h"
+#include "util/timer.h"
 
 namespace hyfd {
 namespace {
@@ -76,6 +77,9 @@ void MinimalTransversals(const std::vector<AttributeSet>& diffs,
 
 FDSet DiscoverFdsDepMiner(const Relation& relation, const AlgoOptions& options) {
   Deadline deadline = Deadline::After(options.deadline_seconds);
+  RunReport* report = InitRunReport(options, "depminer", relation);
+  Timer total_timer;
+  Timer phase_timer;
   const int m = relation.num_columns();
   auto plis = BuildAllColumnPlis(relation, options.null_semantics);
   CompressedRecords records(plis, relation.num_rows());
@@ -86,6 +90,12 @@ FDSet DiscoverFdsDepMiner(const Relation& relation, const AlgoOptions& options) 
     size_t bytes = 0;
     for (const auto& s : agree_sets) bytes += sizeof(AttributeSet) + s.MemoryBytes();
     options.memory_tracker->SetComponent(MemoryTracker::kAgreeSets, bytes);
+  }
+  if (report != nullptr) {
+    report->AddPhase("agree_sets", phase_timer.ElapsedSeconds());
+    report->SetCounter("depminer.agree_sets",
+                       static_cast<uint64_t>(agree_sets.size()));
+    phase_timer.Restart();
   }
 
   FDSet result;
@@ -107,6 +117,11 @@ FDSet DiscoverFdsDepMiner(const Relation& relation, const AlgoOptions& options) 
     MinimalTransversals(diffs, m, rhs, deadline, &result);
   }
   result.Canonicalize();
+  if (report != nullptr) {
+    report->AddPhase("cover_search", phase_timer.ElapsedSeconds());
+  }
+  FinishRunReport(report, result.size(), total_timer.ElapsedSeconds(),
+                  options.memory_tracker);
   return result;
 }
 

@@ -9,6 +9,7 @@
 #include "pli/pli.h"
 #include "pli/pli_builder.h"
 #include "pli/pli_cache.h"
+#include "util/timer.h"
 
 namespace hyfd {
 namespace {
@@ -178,6 +179,9 @@ class RhsSearch {
 
 FDSet DiscoverFdsDfd(const Relation& relation, const AlgoOptions& options) {
   Deadline deadline = Deadline::After(options.deadline_seconds);
+  RunReport* report = InitRunReport(options, "dfd", relation);
+  Timer total_timer;
+  Timer phase_timer;
   const int m = relation.num_columns();
 
   // The partition store: a shared cache if the caller provides one, else a
@@ -210,8 +214,16 @@ FDSet DiscoverFdsDfd(const Relation& relation, const AlgoOptions& options) {
   }
   std::mt19937_64 rng(options.seed);
 
+  if (report != nullptr) {
+    report->AddPhase("preprocess", phase_timer.ElapsedSeconds());
+    phase_timer.Restart();
+  }
+  PliCache::Counters cache_before = store->counters();
+
+  int rhs_searches = 0;
   for (int rhs = 0; rhs < m; ++rhs) {
     if (constants.Test(rhs)) continue;
+    ++rhs_searches;
     AttributeSet available = AttributeSet::Full(m);
     available.Reset(rhs);
     available.AndNot(constants);
@@ -219,6 +231,16 @@ FDSet DiscoverFdsDfd(const Relation& relation, const AlgoOptions& options) {
     for (const AttributeSet& lhs : search.Run()) result.Add(lhs, rhs);
   }
   result.Canonicalize();
+  if (report != nullptr) {
+    report->AddPhase("random_walk", phase_timer.ElapsedSeconds());
+    report->SetCounter("dfd.rhs_searches", static_cast<uint64_t>(rhs_searches));
+    PliCache::Counters after = store->counters();
+    report->pli_cache_hits = after.hits - cache_before.hits;
+    report->pli_cache_misses = after.misses - cache_before.misses;
+    report->pli_cache_evictions = after.evictions - cache_before.evictions;
+  }
+  FinishRunReport(report, result.size(), total_timer.ElapsedSeconds(),
+                  options.memory_tracker);
   return result;
 }
 

@@ -7,11 +7,15 @@
 #include "fd/fd_tree.h"
 #include "pli/compressed_records.h"
 #include "pli/pli_builder.h"
+#include "util/timer.h"
 
 namespace hyfd {
 
 FDSet DiscoverFdsFdep(const Relation& relation, const AlgoOptions& options) {
   Deadline deadline = Deadline::After(options.deadline_seconds);
+  RunReport* report = InitRunReport(options, "fdep", relation);
+  Timer total_timer;
+  Timer phase_timer;
   auto plis = BuildAllColumnPlis(relation, options.null_semantics);
   CompressedRecords records(plis, relation.num_rows());
 
@@ -24,6 +28,12 @@ FDSet DiscoverFdsFdep(const Relation& relation, const AlgoOptions& options) {
     options.memory_tracker->SetComponent(MemoryTracker::kNegativeCover, bytes);
   }
   deadline.Check();
+  if (report != nullptr) {
+    report->AddPhase("negative_cover", phase_timer.ElapsedSeconds());
+    report->SetCounter("fdep.agree_sets",
+                       static_cast<uint64_t>(negative_cover.size()));
+    phase_timer.Restart();
+  }
 
   // Positive cover by successive specialization (shared with HyFD).
   FDTree tree(relation.num_columns());
@@ -34,7 +44,13 @@ FDSet DiscoverFdsFdep(const Relation& relation, const AlgoOptions& options) {
     options.memory_tracker->SetComponent(MemoryTracker::kFdTree,
                                          tree.MemoryBytes());
   }
-  return tree.ToFdSet();
+  FDSet result = tree.ToFdSet();
+  if (report != nullptr) {
+    report->AddPhase("specialize", phase_timer.ElapsedSeconds());
+  }
+  FinishRunReport(report, result.size(), total_timer.ElapsedSeconds(),
+                  options.memory_tracker);
+  return result;
 }
 
 }  // namespace hyfd

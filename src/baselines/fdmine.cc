@@ -8,6 +8,7 @@
 #include "pli/pli.h"
 #include "pli/pli_builder.h"
 #include "pli/pli_cache.h"
+#include "util/timer.h"
 
 namespace hyfd {
 namespace {
@@ -23,6 +24,9 @@ using Level = std::unordered_map<AttributeSet, Candidate>;
 
 FDSet DiscoverFdsFdMine(const Relation& relation, const AlgoOptions& options) {
   Deadline deadline = Deadline::After(options.deadline_seconds);
+  RunReport* report = InitRunReport(options, "fd_mine", relation);
+  Timer total_timer;
+  Timer phase_timer;
   const int m = relation.num_columns();
   const size_t n = relation.num_rows();
 
@@ -85,7 +89,16 @@ FDSet DiscoverFdsFdMine(const Relation& relation, const AlgoOptions& options) {
     current.emplace(AttributeSet(m).With(a), std::move(c));
   }
 
+  if (report != nullptr) {
+    report->AddPhase("build_plis", phase_timer.ElapsedSeconds());
+    phase_timer.Restart();
+  }
+  PliCache::Counters cache_before;
+  if (cache != nullptr) cache_before = cache->counters();
+
+  int levels = 0;
   while (!current.empty()) {
+    ++levels;
     deadline.Check();
     if (options.memory_tracker != nullptr) {
       size_t bytes = 0;
@@ -162,6 +175,18 @@ FDSet DiscoverFdsFdMine(const Relation& relation, const AlgoOptions& options) {
   }
 
   result.Canonicalize();
+  if (report != nullptr) {
+    report->AddPhase("lattice_traversal", phase_timer.ElapsedSeconds());
+    report->SetCounter("fd_mine.levels", static_cast<uint64_t>(levels));
+    if (cache != nullptr) {
+      PliCache::Counters after = cache->counters();
+      report->pli_cache_hits = after.hits - cache_before.hits;
+      report->pli_cache_misses = after.misses - cache_before.misses;
+      report->pli_cache_evictions = after.evictions - cache_before.evictions;
+    }
+  }
+  FinishRunReport(report, result.size(), total_timer.ElapsedSeconds(),
+                  options.memory_tracker);
   return result;
 }
 

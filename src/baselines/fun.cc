@@ -8,6 +8,7 @@
 #include "pli/pli.h"
 #include "pli/pli_builder.h"
 #include "pli/pli_cache.h"
+#include "util/timer.h"
 
 namespace hyfd {
 namespace {
@@ -23,6 +24,9 @@ using Level = std::unordered_map<AttributeSet, FreeSet>;
 
 FDSet DiscoverFdsFun(const Relation& relation, const AlgoOptions& options) {
   Deadline deadline = Deadline::After(options.deadline_seconds);
+  RunReport* report = InitRunReport(options, "fun", relation);
+  Timer total_timer;
+  Timer phase_timer;
   const int m = relation.num_columns();
   const size_t n = relation.num_rows();
 
@@ -79,7 +83,16 @@ FDSet DiscoverFdsFun(const Relation& relation, const AlgoOptions& options) {
     return table;
   };
 
+  if (report != nullptr) {
+    report->AddPhase("build_plis", phase_timer.ElapsedSeconds());
+    phase_timer.Restart();
+  }
+  PliCache::Counters cache_before;
+  if (cache != nullptr) cache_before = cache->counters();
+
+  int levels = 0;
   while (!current.empty()) {
+    ++levels;
     deadline.Check();
     if (options.memory_tracker != nullptr) {
       size_t bytes = 0;
@@ -165,6 +178,18 @@ FDSet DiscoverFdsFun(const Relation& relation, const AlgoOptions& options) {
   }
 
   result.Canonicalize();
+  if (report != nullptr) {
+    report->AddPhase("lattice_traversal", phase_timer.ElapsedSeconds());
+    report->SetCounter("fun.levels", static_cast<uint64_t>(levels));
+    if (cache != nullptr) {
+      PliCache::Counters after = cache->counters();
+      report->pli_cache_hits = after.hits - cache_before.hits;
+      report->pli_cache_misses = after.misses - cache_before.misses;
+      report->pli_cache_evictions = after.evictions - cache_before.evictions;
+    }
+  }
+  FinishRunReport(report, result.size(), total_timer.ElapsedSeconds(),
+                  options.memory_tracker);
   return result;
 }
 

@@ -23,6 +23,7 @@ FDSet RunHyFd(const Relation& relation, const AlgoOptions& options) {
   config.pli_cache = CheckSharedPliCache(options.pli_cache, relation, options);
   config.enable_pli_cache = options.use_pli_cache;
   config.pli_cache_budget_bytes = options.pli_cache_budget_bytes;
+  config.run_report = options.run_report;
   return DiscoverFds(relation, config);
 }
 

@@ -8,6 +8,7 @@
 #include "pli/pli.h"
 #include "pli/pli_builder.h"
 #include "pli/pli_cache.h"
+#include "util/timer.h"
 
 namespace hyfd {
 namespace {
@@ -33,6 +34,9 @@ size_t LevelMemoryBytes(const Level& level) {
 
 FDSet DiscoverFdsTane(const Relation& relation, const AlgoOptions& options) {
   Deadline deadline = Deadline::After(options.deadline_seconds);
+  RunReport* report = InitRunReport(options, "tane", relation);
+  Timer total_timer;
+  Timer phase_timer;
   const int m = relation.num_columns();
   const size_t n = relation.num_rows();
 
@@ -78,6 +82,13 @@ FDSet DiscoverFdsTane(const Relation& relation, const AlgoOptions& options) {
     c.cplus = AttributeSet::Full(m);
     current.emplace(AttributeSet(m).With(a), std::move(c));
   }
+
+  if (report != nullptr) {
+    report->AddPhase("build_plis", phase_timer.ElapsedSeconds());
+    phase_timer.Restart();
+  }
+  PliCache::Counters cache_before;
+  if (cache != nullptr) cache_before = cache->counters();
 
   int level_number = 1;
   while (!current.empty()) {
@@ -187,6 +198,18 @@ FDSet DiscoverFdsTane(const Relation& relation, const AlgoOptions& options) {
   }
 
   result.Canonicalize();
+  if (report != nullptr) {
+    report->AddPhase("lattice_traversal", phase_timer.ElapsedSeconds());
+    report->SetCounter("tane.levels", static_cast<uint64_t>(level_number - 1));
+    if (cache != nullptr) {
+      PliCache::Counters after = cache->counters();
+      report->pli_cache_hits = after.hits - cache_before.hits;
+      report->pli_cache_misses = after.misses - cache_before.misses;
+      report->pli_cache_evictions = after.evictions - cache_before.evictions;
+    }
+  }
+  FinishRunReport(report, result.size(), total_timer.ElapsedSeconds(),
+                  options.memory_tracker);
   return result;
 }
 

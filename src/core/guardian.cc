@@ -7,7 +7,16 @@ void MemoryGuardian::Check(FDTree* tree, size_t extra_bytes) {
   while (tree->MemoryBytes() + extra_bytes > limit_bytes_) {
     int cap = tree->max_lhs_size() >= 0 ? tree->max_lhs_size() - 1
                                         : tree->Depth() - 1;
-    if (cap < 1) return;  // never prune below single-attribute LHSs
+    if (cap < 1) {
+      // Never prune below single-attribute LHSs. The budget is unenforceable
+      // from here on; record the overrun instead of returning silently so
+      // the run report can surface it.
+      size_t used = tree->MemoryBytes() + extra_bytes;
+      size_t over = used - limit_bytes_;
+      if (over > overrun_bytes_) overrun_bytes_ = over;
+      ++give_ups_;
+      return;
+    }
     tree->SetMaxLhsSize(cap);
     ++times_pruned_;
   }

@@ -13,7 +13,15 @@ namespace hyfd {
 /// attribute count, so when the tracked footprint exceeds the budget the
 /// Guardian successively decrements the tree's maximum LHS size, pruning the
 /// longest (most likely accidental, least useful) FDs first. A run whose
-/// result was pruned is no longer complete; `WasPruned()` reports that.
+/// result was pruned is no longer complete; `WasPruned()` reports that, and
+/// the run's RunReport carries it as `complete = false`.
+///
+/// The cap never goes below single-attribute LHSs. When the tree is still
+/// over budget at cap 1, the Guardian cannot shed any more state — instead
+/// of silently accepting the overrun (the pre-observability behaviour) it
+/// records how far over budget the run went (`overrun_bytes()`) and how
+/// often it hit that wall (`give_ups()`), so an over-limit run is
+/// machine-detectable even when no further pruning was possible.
 class MemoryGuardian {
  public:
   /// `limit_bytes == 0` disables the guardian entirely.
@@ -25,12 +33,23 @@ class MemoryGuardian {
   /// same budget.
   void Check(FDTree* tree, size_t extra_bytes = 0);
 
+  /// True iff the cap was ever lowered — the result is missing every FD
+  /// whose minimal LHS is longer than the final cap, i.e. it is incomplete.
   bool WasPruned() const { return times_pruned_ > 0; }
   int times_pruned() const { return times_pruned_; }
+
+  /// Times Check() found the tree over budget with the cap already at its
+  /// floor (LHS size 1) and nothing left to prune.
+  int give_ups() const { return give_ups_; }
+  /// Largest observed overrun (bytes over the limit) across all give-ups;
+  /// 0 when the budget was always enforceable.
+  size_t overrun_bytes() const { return overrun_bytes_; }
 
  private:
   size_t limit_bytes_;
   int times_pruned_ = 0;
+  int give_ups_ = 0;
+  size_t overrun_bytes_ = 0;
 };
 
 }  // namespace hyfd

@@ -1,6 +1,9 @@
 #include "core/hyfd.h"
 
+#include <algorithm>
 #include <memory>
+#include <string>
+#include <utility>
 
 #include "core/guardian.h"
 #include "core/inductor.h"
@@ -8,6 +11,7 @@
 #include "core/validator.h"
 #include "fd/fd_tree.h"
 #include "util/check.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -45,8 +49,12 @@ void HyFd::ResetPliCache() {
 
 FDSet HyFd::Discover(const Relation& relation) {
   stats_ = HyFdStats{};
+  report_ = RunReport{};
   MemoryTracker* tracker = config_.memory_tracker;
   HYFD_AUDIT_ONLY(relation.CheckInvariants());
+
+  Timer total_timer;
+  MetricsRegistry metrics;
 
   Timer timer;
   PreprocessedData data = Preprocess(relation, config_.null_semantics);
@@ -58,12 +66,31 @@ FDSet HyFd::Discover(const Relation& relation) {
   // --- PLI cache selection (external shared, owned-and-warm, or none). ----
   const bool needs_thread_safety = config_.num_threads > 1;
   PliCache* cache = config_.pli_cache;
-  if (cache != nullptr &&
-      (cache->num_attributes() != data.num_attributes ||
-       cache->num_records() != data.num_records ||
-       cache->null_semantics() != config_.null_semantics ||
-       (needs_thread_safety && !cache->config().thread_safe))) {
-    cache = nullptr;  // defensively ignore an incompatible external cache
+  if (cache != nullptr) {
+    // An incompatible external cache must not be used (wrong partitions or
+    // data races), but ignoring it silently hides a broken sharing setup —
+    // record exactly which compatibility check failed.
+    std::string reason;
+    if (cache->num_attributes() != data.num_attributes) {
+      reason = "attribute count mismatch (cache " +
+               std::to_string(cache->num_attributes()) + ", relation " +
+               std::to_string(data.num_attributes) + ")";
+    } else if (cache->num_records() != data.num_records) {
+      reason = "record count mismatch (cache " +
+               std::to_string(cache->num_records()) + ", relation " +
+               std::to_string(data.num_records) + ")";
+    } else if (cache->null_semantics() != config_.null_semantics) {
+      reason = "null-semantics mismatch";
+    } else if (needs_thread_safety && !cache->config().thread_safe) {
+      reason = "cache not thread-safe but num_threads = " +
+               std::to_string(config_.num_threads);
+    }
+    if (!reason.empty()) {
+      stats_.external_cache_rejected = true;
+      stats_.external_cache_rejection_reason = std::move(reason);
+      cache = nullptr;  // the owned-cache fallback below still needs
+                        // enable_pli_cache's explicit authorization
+    }
   }
   if (cache == nullptr && config_.enable_pli_cache) {
     uint64_t fingerprint = FingerprintRecords(data.records);
@@ -94,11 +121,11 @@ FDSet HyFd::Discover(const Relation& relation) {
 
   FDTree tree(data.num_attributes);
   Sampler sampler(&data, config_.efficiency_threshold, config_.sampling_strategy,
-                  pool.get());
-  Inductor inductor(&tree);
+                  pool.get(), &metrics);
+  Inductor inductor(&tree, &metrics);
   MemoryGuardian guardian(config_.memory_limit_bytes);
   Validator validator(&data, &tree, config_.efficiency_threshold, pool.get(),
-                      cache);
+                      cache, &metrics);
 
   // The hybrid loop (paper Figure 2): Phase 1 = Sampler + Inductor,
   // Phase 2 = Validator; alternate until the Validator exhausts the lattice.
@@ -145,11 +172,71 @@ FDSet HyFd::Discover(const Relation& relation) {
   stats_.comparisons = sampler.total_comparisons();
   stats_.non_fds = sampler.num_non_fds();
   stats_.validations = validator.total_validations();
-  stats_.levels_validated = validator.current_level();
+  stats_.levels_validated = validator.levels_validated();
+  // Guardian outcome: a pruned tree means FDs were dropped — the result is
+  // a strict subset of the full answer and MUST be flagged as incomplete
+  // (the silent-truncation bug this field family fixes).
+  stats_.complete = !guardian.WasPruned();
   stats_.pruned_lhs_cap = guardian.WasPruned() ? tree.max_lhs_size() : -1;
+  stats_.guardian_prunes = guardian.times_pruned();
+  stats_.guardian_give_ups = guardian.give_ups();
+  stats_.guardian_overrun_bytes = guardian.overrun_bytes();
 
   FDSet result = tree.ToFdSet();
   stats_.num_fds = result.size();
+
+  // --- Structured run report (the observability layer's output). ----------
+  report_.algorithm = "hyfd";
+  report_.rows = data.num_records;
+  report_.columns = data.num_attributes;
+  report_.result_kind = "fds";
+  report_.result_count = result.size();
+  report_.total_seconds = total_timer.ElapsedSeconds();
+  report_.AddPhase("preprocess", stats_.preprocess_seconds);
+  report_.AddPhase("sampling", stats_.sampling_seconds);
+  report_.AddPhase("validation", stats_.validation_seconds);
+  if (!stats_.complete) {
+    report_.MarkIncomplete(
+        "memory guardian pruned FDs with LHS size > " +
+        std::to_string(stats_.pruned_lhs_cap) + " (limit " +
+        std::to_string(config_.memory_limit_bytes) + " bytes)");
+  }
+  report_.pruned_lhs_cap = stats_.pruned_lhs_cap;
+  report_.guardian_prunes = stats_.guardian_prunes;
+  report_.guardian_give_ups = stats_.guardian_give_ups;
+  report_.guardian_overrun_bytes = stats_.guardian_overrun_bytes;
+  report_.external_cache_rejected = stats_.external_cache_rejected;
+  report_.external_cache_rejection_reason = stats_.external_cache_rejection_reason;
+  report_.pli_cache_hits = stats_.pli_cache_hits;
+  report_.pli_cache_misses = stats_.pli_cache_misses;
+  report_.pli_cache_evictions = stats_.pli_cache_evictions;
+  if (tracker != nullptr) {
+    report_.peak_memory_bytes = tracker->peak_bytes();
+    for (int c = 0; c < MemoryTracker::kNumComponents; ++c) {
+      size_t bytes = tracker->component_bytes(c);
+      if (bytes > 0) {
+        report_.memory_components.emplace_back(MemoryTracker::ComponentName(c),
+                                               bytes);
+      }
+    }
+    std::sort(report_.memory_components.begin(),
+              report_.memory_components.end());
+  }
+  report_.MergeMetrics(metrics);
+  report_.SetCounter("hyfd.phase_switches",
+                     static_cast<uint64_t>(stats_.phase_switches));
+  report_.SetCounter("hyfd.comparisons", stats_.comparisons);
+  report_.SetCounter("hyfd.non_fds", stats_.non_fds);
+  report_.SetCounter("hyfd.validations", stats_.validations);
+  report_.SetCounter("hyfd.levels_validated",
+                     static_cast<uint64_t>(stats_.levels_validated));
+  if (config_.run_report != nullptr) {
+    // Preserve harness-owned labeling (dataset name) across the overwrite.
+    std::string dataset = std::move(config_.run_report->dataset);
+    *config_.run_report = report_;
+    config_.run_report->dataset = std::move(dataset);
+    report_.dataset = config_.run_report->dataset;
+  }
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "core/sampler.h"
 #include "data/relation.h"
@@ -11,6 +12,7 @@
 #include "pli/pli_builder.h"
 #include "pli/pli_cache.h"
 #include "util/memory_tracker.h"
+#include "util/run_report.h"
 
 namespace hyfd {
 
@@ -47,9 +49,18 @@ struct HyFdConfig {
   /// on the same relation (the EAIFD setting). The owned cache is dropped
   /// automatically when Discover() sees different data (detected by a full
   /// fingerprint of the compressed records).
+  ///
+  /// This flag is also what authorizes the owned-cache FALLBACK after an
+  /// incompatible external `pli_cache` was rejected: with it false, a
+  /// rejected external cache leaves the run cache-less (and reported as
+  /// such) instead of silently shadowing the rejection with a fresh
+  /// private cache.
   bool enable_pli_cache = true;
   /// Byte budget of the owned cache (0 = unbounded).
   size_t pli_cache_budget_bytes = PliCache::kDefaultBudgetBytes;
+  /// If set, Discover() writes its structured run report here (the same
+  /// document `HyFd::report()` exposes) — the bench harness's channel.
+  RunReport* run_report = nullptr;
 };
 
 /// Counters and timings of a completed run.
@@ -62,12 +73,31 @@ struct HyFdStats {
   size_t non_fds = 0;           ///< distinct agree sets in the negative cover
   size_t validations = 0;       ///< FD candidates checked by the Validator
   size_t num_fds = 0;           ///< minimal FDs in the result
+  /// Lattice levels fully validated; the deepest validated LHS size is
+  /// levels_validated - 1 (level 0 is the empty LHS).
   int levels_validated = 0;
   double preprocess_seconds = 0;
   double sampling_seconds = 0;  ///< includes induction
   double validation_seconds = 0;
+  /// False iff the MemoryGuardian pruned the FDTree: the result is then a
+  /// strict subset of the full answer (every FD whose minimal LHS exceeds
+  /// `pruned_lhs_cap` is missing). THE flag to check before trusting or
+  /// reusing a result (EAIFD-style incremental re-discovery, top-k budgets).
+  bool complete = true;
   /// -1 = complete result; otherwise the Guardian capped LHS size here.
   int pruned_lhs_cap = -1;
+  int guardian_prunes = 0;      ///< times the Guardian lowered the cap
+  /// Over-budget Check() calls that found nothing left to prune (cap already
+  /// at LHS size 1). The result is complete w.r.t. the cap, but the run
+  /// exceeded its memory budget by `guardian_overrun_bytes`.
+  int guardian_give_ups = 0;
+  size_t guardian_overrun_bytes = 0;
+  /// An external `HyFdConfig::pli_cache` was supplied but incompatible with
+  /// this run, so it was ignored (reason below). Performance-only: results
+  /// are unaffected, but a caller sharing one cache across algorithms wants
+  /// to know the sharing silently did not happen.
+  bool external_cache_rejected = false;
+  std::string external_cache_rejection_reason;
   /// PLI-cache activity attributable to this run (deltas of the cache's
   /// cumulative counters; zero when no cache is attached).
   size_t pli_cache_hits = 0;
@@ -91,6 +121,10 @@ class HyFd {
   FDSet Discover(const Relation& relation);
 
   const HyFdStats& stats() const { return stats_; }
+  /// Structured report of the last Discover() call (phase spans, counters,
+  /// guardian/cache degradation, memory components). Also copied into
+  /// `HyFdConfig::run_report` when that is set.
+  const RunReport& report() const { return report_; }
   const HyFdConfig& config() const { return config_; }
 
   /// Drops the owned PLI cache (e.g. before discovering on new data that
@@ -100,6 +134,7 @@ class HyFd {
  private:
   HyFdConfig config_;
   HyFdStats stats_;
+  RunReport report_;
   /// Owned cache kept across Discover() calls; see HyFdConfig::enable_pli_cache.
   std::unique_ptr<PliCache> owned_cache_;
   uint64_t owned_cache_fingerprint_ = 0;

@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "core/preprocessor.h"
 #include "fd/fd_tree.h"
 #include "pli/pli.h"
 #include "util/check.h"
+#include "util/metrics.h"
+#include "util/timer.h"
 
 namespace hyfd {
 namespace {
@@ -86,6 +90,9 @@ bool IsUnique(const PreprocessedData& data, const AttributeSet& lhs,
 
 std::vector<AttributeSet> HyUcc::Discover(const Relation& relation) {
   stats_ = HyUccStats{};
+  report_ = RunReport{};
+  Timer total_timer;
+  MetricsRegistry metrics;
   PreprocessedData data = Preprocess(relation, config_.null_semantics);
   const int m = data.num_attributes;
 
@@ -97,12 +104,20 @@ std::vector<AttributeSet> HyUcc::Discover(const Relation& relation) {
   FDTree tree(m);
   tree.AddFd(AttributeSet(m), kUccMarker);  // start from "∅ is unique"
   Sampler sampler(&data, config_.efficiency_threshold, config_.sampling_strategy,
-                  pool.get());
+                  pool.get(), &metrics);
 
   std::vector<std::pair<RecordId, RecordId>> suggestions;
   int current_level = 0;
+  Timer timer;
   while (true) {
     // ---- Phase 1: sample violations, specialize the candidate tree. ------
+    timer.Restart();
+    // The same violating pair can be suggested by several invalidated
+    // candidates of one level; replaying duplicates only inflates the
+    // comparison count (the agree set is already in the negative cover).
+    std::sort(suggestions.begin(), suggestions.end());
+    suggestions.erase(std::unique(suggestions.begin(), suggestions.end()),
+                      suggestions.end());
     auto new_agree_sets = sampler.Run(suggestions);
     suggestions.clear();
     std::sort(new_agree_sets.begin(), new_agree_sets.end(),
@@ -114,8 +129,10 @@ std::vector<AttributeSet> HyUcc::Discover(const Relation& relation) {
     }
     // Audit seam: the candidate tree was just specialized from samples.
     HYFD_AUDIT_ONLY(tree.CheckInvariants());
+    stats_.sampling_seconds += timer.ElapsedSeconds();
 
     // ---- Phase 2: validate level-wise until done or inefficient. ---------
+    timer.Restart();
     bool done = false;
     while (true) {
       auto level = tree.GetLevel(current_level);
@@ -146,6 +163,8 @@ std::vector<AttributeSet> HyUcc::Discover(const Relation& relation) {
         }
       }
       ++current_level;
+      ++stats_.levels_validated;
+      metrics.GetCounter("validator.levels")->Add(1);
       if (static_cast<double>(invalid.size()) >
           config_.efficiency_threshold * static_cast<double>(num_valid)) {
         break;  // inefficient: go sample the violating pairs
@@ -153,6 +172,7 @@ std::vector<AttributeSet> HyUcc::Discover(const Relation& relation) {
     }
     // Audit seam: validation pruned non-unique candidates and extended them.
     HYFD_AUDIT_ONLY(tree.CheckInvariants());
+    stats_.validation_seconds += timer.ElapsedSeconds();
     if (done) break;
     ++stats_.phase_switches;
   }
@@ -166,6 +186,26 @@ std::vector<AttributeSet> HyUcc::Discover(const Relation& relation) {
     return a < b;
   });
   stats_.num_uccs = uccs.size();
+
+  report_.algorithm = "hyucc";
+  report_.rows = data.num_records;
+  report_.columns = data.num_attributes;
+  report_.result_kind = "uccs";
+  report_.result_count = uccs.size();
+  report_.total_seconds = total_timer.ElapsedSeconds();
+  report_.AddPhase("sampling", stats_.sampling_seconds);
+  report_.AddPhase("validation", stats_.validation_seconds);
+  report_.MergeMetrics(metrics);
+  report_.SetCounter("hyucc.phase_switches",
+                     static_cast<uint64_t>(stats_.phase_switches));
+  report_.SetCounter("hyucc.comparisons", stats_.comparisons);
+  report_.SetCounter("hyucc.validations", stats_.validations);
+  if (config_.run_report != nullptr) {
+    std::string dataset = std::move(config_.run_report->dataset);
+    *config_.run_report = report_;
+    config_.run_report->dataset = std::move(dataset);
+    report_.dataset = config_.run_report->dataset;
+  }
   return uccs;
 }
 

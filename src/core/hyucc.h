@@ -7,6 +7,7 @@
 #include "data/relation.h"
 #include "pli/pli_builder.h"
 #include "util/attribute_set.h"
+#include "util/run_report.h"
 
 namespace hyfd {
 
@@ -18,6 +19,9 @@ struct HyUccConfig {
   /// > 1 parallelizes Phase 1 (the shared Sampler) exactly as in HyFD;
   /// results are bit-identical for any value.
   int num_threads = 1;
+  /// If set, Discover() writes its structured run report here (the same
+  /// document `HyUcc::report()` exposes).
+  RunReport* run_report = nullptr;
 };
 
 /// Run counters, mirroring HyFdStats.
@@ -26,6 +30,11 @@ struct HyUccStats {
   size_t comparisons = 0;
   size_t validations = 0;
   size_t num_uccs = 0;
+  /// Lattice levels fully validated (deepest validated UCC size is
+  /// levels_validated - 1, level 0 being the empty set).
+  int levels_validated = 0;
+  double sampling_seconds = 0;
+  double validation_seconds = 0;
 };
 
 /// Hybrid discovery of all minimal unique column combinations (candidate
@@ -46,10 +55,14 @@ class HyUcc {
   std::vector<AttributeSet> Discover(const Relation& relation);
 
   const HyUccStats& stats() const { return stats_; }
+  /// Structured report of the last Discover() call. Also copied into
+  /// `HyUccConfig::run_report` when that is set.
+  const RunReport& report() const { return report_; }
 
  private:
   HyUccConfig config_;
   HyUccStats stats_;
+  RunReport report_;
 };
 
 }  // namespace hyfd

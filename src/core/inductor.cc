@@ -4,12 +4,17 @@
 
 namespace hyfd {
 
-Inductor::Inductor(FDTree* tree) : tree_(tree) {}
+Inductor::Inductor(FDTree* tree, MetricsRegistry* metrics)
+    : tree_(tree), metrics_(metrics) {}
 
 void Inductor::Update(std::vector<AttributeSet> new_non_fds) {
   if (!initialized_) {
     tree_->AddMostGeneralFds();
     initialized_ = true;
+  }
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("inductor.updates")->Add(1);
+    metrics_->GetCounter("inductor.non_fds_folded")->Add(new_non_fds.size());
   }
   // Longest agree sets first: their specializations prune the most
   // generalization lookups for the shorter ones (Algorithm 3 line 1).

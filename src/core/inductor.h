@@ -5,6 +5,7 @@
 
 #include "fd/fd_tree.h"
 #include "util/attribute_set.h"
+#include "util/metrics.h"
 
 namespace hyfd {
 
@@ -18,8 +19,9 @@ namespace hyfd {
 class Inductor {
  public:
   /// `tree` must outlive the Inductor; on first use it should be empty —
-  /// Update() initializes it with the most general FDs ∅ → A.
-  explicit Inductor(FDTree* tree);
+  /// Update() initializes it with the most general FDs ∅ → A. A non-null
+  /// `metrics` registry receives per-update counters.
+  explicit Inductor(FDTree* tree, MetricsRegistry* metrics = nullptr);
 
   /// Folds `new_non_fds` into the candidate tree. Sorting by descending
   /// cardinality (longest agree sets first) keeps the tree small during
@@ -30,6 +32,7 @@ class Inductor {
   void Specialize(const AttributeSet& non_fd_lhs, int rhs);
 
   FDTree* tree_;
+  MetricsRegistry* metrics_;
   bool initialized_ = false;
 };
 

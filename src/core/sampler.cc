@@ -17,11 +17,13 @@ constexpr size_t kPairGrain = 512;
 }  // namespace
 
 Sampler::Sampler(const PreprocessedData* data, double efficiency_threshold,
-                 SamplingStrategy strategy, ThreadPool* pool)
+                 SamplingStrategy strategy, ThreadPool* pool,
+                 MetricsRegistry* metrics)
     : data_(data),
       strategy_(strategy),
       threshold_(efficiency_threshold),
       pool_(pool),
+      metrics_(metrics),
       non_fds_(pool != nullptr ? pool->num_threads() * 4 : 1) {}
 
 void Sampler::MatchPair(RecordId a, RecordId b,
@@ -76,6 +78,7 @@ void Sampler::InitializeClusterSortings() {
 void Sampler::RunWindow(Efficiency* eff, std::vector<AttributeSet>* new_non_fds) {
   const auto& clusters = sorted_clusters_[static_cast<size_t>(eff->attribute)];
   const size_t w = eff->window;
+  if (metrics_ != nullptr) metrics_->GetCounter("sampler.windows")->Add(1);
 
   // Pair space of this window run: cluster c contributes size-w+1 sliding
   // pairs when it is large enough. first_pair[] is the prefix sum over the
@@ -224,6 +227,10 @@ std::vector<AttributeSet> Sampler::Run(
     // Re-entry from the validation phase: relax the efficiency bar
     // (Algorithm 2 line 17) and replay the suggested violating pairs.
     threshold_ /= 2.0;
+  }
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("sampler.phases")->Add(1);
+    metrics_->GetCounter("sampler.suggestions_replayed")->Add(suggestions.size());
   }
   for (const auto& [a, b] : suggestions) MatchPair(a, b, &new_non_fds);
 

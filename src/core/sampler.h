@@ -8,6 +8,7 @@
 
 #include "core/preprocessor.h"
 #include "util/attribute_set.h"
+#include "util/metrics.h"
 #include "util/sharded_set.h"
 #include "util/thread_pool.h"
 
@@ -40,9 +41,11 @@ enum class SamplingStrategy {
 /// count, including none.
 class Sampler {
  public:
+  /// A non-null `metrics` registry receives window/phase counters — updated
+  /// per window run, never per pair, so the hot loop stays metric-free.
   Sampler(const PreprocessedData* data, double efficiency_threshold,
           SamplingStrategy strategy = SamplingStrategy::kClusterWindowing,
-          ThreadPool* pool = nullptr);
+          ThreadPool* pool = nullptr, MetricsRegistry* metrics = nullptr);
 
   /// Runs one sampling phase. `suggestions` are record pairs the Validator
   /// saw violating a candidate (paper: comparisonSuggestions); they are
@@ -91,6 +94,7 @@ class Sampler {
   SamplingStrategy strategy_;
   double threshold_;
   ThreadPool* pool_;
+  MetricsRegistry* metrics_;
   bool initialized_ = false;
 
   /// The negative cover. One shard when serial; ~4 shards per worker when a

@@ -1,5 +1,6 @@
 #include "core/validator.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "util/check.h"
@@ -8,12 +9,13 @@ namespace hyfd {
 
 Validator::Validator(const PreprocessedData* data, FDTree* tree,
                      double efficiency_threshold, ThreadPool* pool,
-                     PliCache* cache)
+                     PliCache* cache, MetricsRegistry* metrics)
     : data_(data),
       tree_(tree),
       threshold_(efficiency_threshold),
       pool_(pool),
-      cache_(cache) {
+      cache_(cache),
+      metrics_(metrics) {
   HYFD_CHECK(data != nullptr && tree != nullptr,
              "Validator: preprocessed data and FD tree are required");
   HYFD_CHECK(tree->num_attributes() == data->num_attributes,
@@ -227,10 +229,31 @@ ValidatorResult Validator::Run() {
   ValidatorResult result;
   const int m = data_->num_attributes;
 
+  // One record pair often violates several candidates of one level (several
+  // RHSs of a node, several nodes sharing the violating pair). Replaying a
+  // pair twice in the Sampler can never discover a new agree set, but it
+  // does bump total_comparisons() — which drifted the comparison statistics
+  // (and sampling efficiency) upward on every phase switch. Canonical
+  // sort + unique keeps the suggestion list deterministic for any thread
+  // count and replay-minimal.
+  auto finalize_suggestions = [this, &result] {
+    auto& suggestions = result.comparison_suggestions;
+    const size_t raw = suggestions.size();
+    std::sort(suggestions.begin(), suggestions.end());
+    suggestions.erase(std::unique(suggestions.begin(), suggestions.end()),
+                      suggestions.end());
+    if (metrics_ != nullptr) {
+      metrics_->GetCounter("validator.suggestions")->Add(suggestions.size());
+      metrics_->GetCounter("validator.suggestions_deduped")
+          ->Add(raw - suggestions.size());
+    }
+  };
+
   while (true) {
     std::vector<FDTree::LevelEntry> level = tree_->GetLevel(current_level_number_);
     if (level.empty()) {
       result.done = true;
+      finalize_suggestions();
       return result;
     }
 
@@ -284,10 +307,17 @@ ValidatorResult Validator::Run() {
     }
 
     ++current_level_number_;
+    ++levels_validated_;
+    if (metrics_ != nullptr) {
+      metrics_->GetCounter("validator.levels")->Add(1);
+      metrics_->GetCounter("validator.candidates")->Add(level.size());
+      metrics_->GetCounter("validator.invalid_fds")->Add(invalid_fds.size());
+    }
 
     // --- Phase-switch test (Algorithm 4, line 36). -------------------------
     if (static_cast<double>(invalid_fds.size()) >
         threshold_ * static_cast<double>(num_valid)) {
+      finalize_suggestions();
       return result;  // validation inefficient: back to sampling
     }
   }

@@ -8,6 +8,7 @@
 #include "fd/fd_tree.h"
 #include "pli/pli_cache.h"
 #include "util/attribute_set.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 
 namespace hyfd {
@@ -19,6 +20,11 @@ struct ValidatorResult {
   bool done = false;
   /// Record pairs that violated some candidate; the Sampler matches them
   /// first in the next sampling phase (paper: comparisonSuggestions).
+  /// Deduplicated and canonically sorted: one pair can violate many
+  /// candidates in one phase (several RHSs of one node, several nodes), but
+  /// replaying it more than once would inflate the Sampler's
+  /// total_comparisons() — and with it every efficiency figure — without
+  /// ever discovering a new agree set.
   std::vector<std::pair<RecordId, RecordId>> comparison_suggestions;
 };
 
@@ -39,16 +45,27 @@ class Validator {
   /// the hash-grouping pass — and kept warm with the LHS partitions the
   /// grouping pass assembles anyway, so repeated discovery passes and
   /// sibling algorithms reuse them. The cache must be thread-safe when a
-  /// pool is given (probes run concurrently).
+  /// pool is given (probes run concurrently). A non-null `metrics` registry
+  /// receives per-level counters (levels, candidates, suggestion dedup).
   Validator(const PreprocessedData* data, FDTree* tree,
             double efficiency_threshold, ThreadPool* pool = nullptr,
-            PliCache* cache = nullptr);
+            PliCache* cache = nullptr, MetricsRegistry* metrics = nullptr);
 
   /// Continues the level-wise traversal from where it last stopped.
   ValidatorResult Run();
 
   size_t total_validations() const { return total_validations_; }
+  /// The lattice level the next Run() call would validate first — also the
+  /// count of levels fully validated so far, since validation starts at
+  /// level 0 (LHS size 0) and the cursor advances only after a level
+  /// completes. Audited: the two readings coincide; see levels_validated().
   int current_level() const { return current_level_number_; }
+  /// Number of lattice levels fully validated (LHS sizes 0 through
+  /// levels_validated() - 1). Maintained as its own counter so the stat
+  /// cannot drift from the traversal cursor if the traversal order ever
+  /// changes; the deepest validated LHS size is levels_validated() - 1,
+  /// NOT levels_validated() — the historical off-by-one misreading.
+  int levels_validated() const { return levels_validated_; }
 
  private:
   struct RefineOutcome {
@@ -69,7 +86,9 @@ class Validator {
   double threshold_;
   ThreadPool* pool_;
   PliCache* cache_;
+  MetricsRegistry* metrics_;
   int current_level_number_ = 0;
+  int levels_validated_ = 0;
   size_t total_validations_ = 0;
 };
 

@@ -20,6 +20,19 @@ void MemoryTracker::SetComponent(int component, size_t bytes) {
   }
 }
 
+const char* MemoryTracker::ComponentName(int component) {
+  switch (component) {
+    case kPlis: return "plis";
+    case kCompressedRecords: return "compressed_records";
+    case kNegativeCover: return "negative_cover";
+    case kFdTree: return "fd_tree";
+    case kCandidates: return "candidates";
+    case kAgreeSets: return "agree_sets";
+    case kOther: return "other";
+    default: return "unknown";
+  }
+}
+
 void MemoryTracker::Reset() {
   current_.store(0, std::memory_order_relaxed);
   peak_.store(0, std::memory_order_relaxed);

@@ -27,6 +27,14 @@ class MemoryTracker {
 
   size_t current_bytes() const { return current_.load(std::memory_order_relaxed); }
   size_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
+  /// Current charge of one component slot (run reports break the footprint
+  /// down by component).
+  size_t component_bytes(int component) const {
+    return components_[component].load(std::memory_order_relaxed);
+  }
+  /// Stable lower_snake_case name of a component slot ("plis",
+  /// "negative_cover", ...) — the key used in run-report JSON.
+  static const char* ComponentName(int component);
 
   void Reset();
 

@@ -1,0 +1,35 @@
+#include "util/metrics.h"
+
+namespace hyfd {
+
+Metric* MetricsRegistry::FindOrCreate(std::string_view name, Metric::Kind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) return it->second.get();
+  auto metric = std::make_unique<Metric>(std::string(name), kind);
+  Metric* ptr = metric.get();
+  metrics_.emplace(std::string(name), std::move(metric));
+  return ptr;
+}
+
+std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::Export() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(metrics_.size());
+  for (const auto& [name, metric] : metrics_) {  // std::map: already sorted
+    out.emplace_back(name, metric->value());
+  }
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, metric] : metrics_) metric->Set(0);
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return metrics_.size();
+}
+
+}  // namespace hyfd

@@ -1,0 +1,114 @@
+#ifndef HYFD_UTIL_METRICS_H_
+#define HYFD_UTIL_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hyfd {
+
+/// One registered metric cell: a relaxed atomic counter, gauge, or
+/// accumulated timer. Pointers handed out by MetricsRegistry stay valid for
+/// the registry's lifetime, so hot paths register once and then touch a
+/// single atomic — no map lookup, no lock.
+class Metric {
+ public:
+  enum class Kind { kCounter, kGauge, kTimer };
+
+  Metric(std::string name, Kind kind) : name_(std::move(name)), kind_(kind) {}
+
+  /// Counter/timer accumulation. Relaxed: metric values are reconciled at
+  /// run boundaries, never used for synchronization.
+  void Add(uint64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  /// Gauge semantics: last writer wins.
+  void Set(uint64_t value) { value_.store(value, std::memory_order_relaxed); }
+  /// Gauge that only ever rises (e.g. a peak watermark).
+  void SetMax(uint64_t value) {
+    uint64_t prev = value_.load(std::memory_order_relaxed);
+    while (prev < value &&
+           !value_.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+  Kind kind() const { return kind_; }
+
+ private:
+  std::string name_;
+  Kind kind_;
+  std::atomic<uint64_t> value_{0};
+};
+
+/// RAII stopwatch for a Kind::kTimer metric: adds the elapsed nanoseconds on
+/// destruction. Null-safe, so call sites need no metrics-enabled branch.
+class ScopedMetricTimer {
+ public:
+  explicit ScopedMetricTimer(Metric* metric)
+      : metric_(metric), start_(std::chrono::steady_clock::now()) {}
+  ScopedMetricTimer(const ScopedMetricTimer&) = delete;
+  ScopedMetricTimer& operator=(const ScopedMetricTimer&) = delete;
+  ~ScopedMetricTimer() {
+    if (metric_ == nullptr) return;
+    auto nanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now() - start_)
+                     .count();
+    metric_->Add(static_cast<uint64_t>(nanos));
+  }
+
+ private:
+  Metric* metric_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// A per-run registry of named counters, gauges, and timers.
+///
+/// Design goals (DESIGN.md §8): cheap enough for hot paths — registration
+/// takes one mutex acquisition, every subsequent update is a single relaxed
+/// atomic op on a stable `Metric*` — and safe when HyFD's thread pool is
+/// active (updates are atomics; registration is serialized). One registry
+/// lives per discovery run and is exported into that run's RunReport.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registration: returns the stable cell for `name`, creating it with the
+  /// given kind on first use. Re-registering an existing name returns the
+  /// existing cell regardless of kind (first registration wins).
+  Metric* GetCounter(std::string_view name) { return FindOrCreate(name, Metric::Kind::kCounter); }
+  Metric* GetGauge(std::string_view name) { return FindOrCreate(name, Metric::Kind::kGauge); }
+  Metric* GetTimer(std::string_view name) { return FindOrCreate(name, Metric::Kind::kTimer); }
+
+  /// One-shot conveniences for cold paths (pay the map lookup every call).
+  void Add(std::string_view name, uint64_t delta = 1) { GetCounter(name)->Add(delta); }
+  void Set(std::string_view name, uint64_t value) { GetGauge(name)->Set(value); }
+
+  /// All metrics as (name, value), sorted by name — the RunReport's
+  /// `counters` section. Timer values are accumulated nanoseconds.
+  std::vector<std::pair<std::string, uint64_t>> Export() const;
+
+  /// Zeroes every value; registrations (and handed-out pointers) survive.
+  void Reset();
+
+  size_t size() const;
+
+ private:
+  Metric* FindOrCreate(std::string_view name, Metric::Kind kind);
+
+  mutable std::mutex mu_;
+  /// Node-based map: Metric cells never move, so raw pointers stay valid.
+  std::map<std::string, std::unique_ptr<Metric>, std::less<>> metrics_;
+};
+
+}  // namespace hyfd
+
+#endif  // HYFD_UTIL_METRICS_H_

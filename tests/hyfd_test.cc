@@ -94,6 +94,131 @@ TEST(HyFdTest, MemoryGuardianCapsLhsSize) {
   }
 }
 
+// Regression for the silent-truncation bug: a guardian-pruned run used to
+// be indistinguishable from a complete run with fewer FDs. It must now be
+// machine-detectable through stats().complete and the run report.
+TEST(HyFdTest, GuardianTruncationIsReported) {
+  Relation r = GenerateFdReduced(150, 8, 4, 19);
+  RunReport report;
+  HyFdConfig config;
+  config.memory_limit_bytes = 1;
+  config.run_report = &report;
+  HyFd algo(config);
+  FDSet pruned = algo.Discover(r);
+
+  EXPECT_FALSE(algo.stats().complete);
+  EXPECT_GE(algo.stats().guardian_prunes, 1);
+  EXPECT_GE(algo.stats().pruned_lhs_cap, 1);
+
+  EXPECT_FALSE(report.complete);
+  ASSERT_FALSE(report.degradation_reasons.empty());
+  EXPECT_NE(report.degradation_reasons[0].find("guardian"), std::string::npos);
+  EXPECT_EQ(report.pruned_lhs_cap, algo.stats().pruned_lhs_cap);
+  EXPECT_TRUE(RunReport::ValidateJsonSchema(report.ToJson()).empty());
+
+  // The pruned result is a STRICT subset of the complete answer.
+  FDSet complete = DiscoverFdsBruteForce(r);
+  EXPECT_LT(pruned.size(), complete.size());
+  for (const FD& fd : pruned) {
+    EXPECT_TRUE(complete.Contains(fd)) << fd.ToString();
+  }
+}
+
+TEST(HyFdTest, GenerousMemoryLimitStaysComplete) {
+  Relation r = GenerateFdReduced(150, 8, 4, 19);
+  RunReport report;
+  HyFdConfig config;
+  config.memory_limit_bytes = size_t{1} << 32;  // 4 GiB: never triggers
+  config.run_report = &report;
+  HyFd algo(config);
+  FDSet fds = algo.Discover(r);
+
+  EXPECT_TRUE(algo.stats().complete);
+  EXPECT_EQ(algo.stats().pruned_lhs_cap, -1);
+  EXPECT_EQ(algo.stats().guardian_prunes, 0);
+  EXPECT_TRUE(report.complete);
+  EXPECT_TRUE(report.degradation_reasons.empty());
+  testing::ExpectSameFds(DiscoverFds(r), fds, "generous memory limit");
+}
+
+// Regression for the shadowed-cache bug: an external PliCache that does not
+// describe the relation was silently ignored; it must now be reported.
+TEST(HyFdTest, RejectsExternalCacheWithWrongShape) {
+  Relation r = testing::RandomRelation(5, 100, 11, 3);
+  Relation other = testing::RandomRelation(4, 100, 12, 3);  // wrong width
+  PliCache cache = PliCache::FromRelation(other);
+
+  RunReport report;
+  HyFdConfig config;
+  config.pli_cache = &cache;
+  config.run_report = &report;
+  HyFd algo(config);
+  FDSet fds = algo.Discover(r);
+
+  EXPECT_TRUE(algo.stats().external_cache_rejected);
+  EXPECT_NE(algo.stats().external_cache_rejection_reason.find("attribute"),
+            std::string::npos);
+  EXPECT_TRUE(report.external_cache_rejected);
+  EXPECT_EQ(report.external_cache_rejection_reason,
+            algo.stats().external_cache_rejection_reason);
+  // The run itself must still be correct and complete.
+  EXPECT_TRUE(algo.stats().complete);
+  testing::ExpectSameFds(DiscoverFdsBruteForce(r), fds, "rejected cache");
+}
+
+TEST(HyFdTest, RejectsExternalCacheWithWrongRowCountOrNulls) {
+  Relation r = testing::RandomRelation(4, 100, 13, 3);
+
+  Relation fewer = testing::RandomRelation(4, 60, 13, 3);  // wrong row count
+  PliCache short_cache = PliCache::FromRelation(fewer);
+  HyFdConfig config;
+  config.pli_cache = &short_cache;
+  HyFd algo(config);
+  testing::ExpectSameFds(DiscoverFdsBruteForce(r), algo.Discover(r),
+                         "short cache");
+  EXPECT_TRUE(algo.stats().external_cache_rejected);
+  EXPECT_NE(algo.stats().external_cache_rejection_reason.find("record"),
+            std::string::npos);
+
+  PliCache null_cache =
+      PliCache::FromRelation(r, {}, NullSemantics::kNullUnequal);
+  HyFdConfig null_config;  // defaults to kNullEqualsNull: mismatch
+  null_config.pli_cache = &null_cache;
+  HyFd null_algo(null_config);
+  testing::ExpectSameFds(DiscoverFdsBruteForce(r), null_algo.Discover(r),
+                         "null-semantics cache");
+  EXPECT_TRUE(null_algo.stats().external_cache_rejected);
+  EXPECT_NE(null_algo.stats().external_cache_rejection_reason.find("null"),
+            std::string::npos);
+}
+
+TEST(HyFdTest, RejectsNonThreadSafeCacheWhenParallel) {
+  Relation r = testing::RandomRelation(5, 120, 17, 3);
+  PliCache cache = PliCache::FromRelation(r);  // thread_safe = false
+  HyFdConfig config;
+  config.pli_cache = &cache;
+  config.num_threads = 4;
+  HyFd algo(config);
+  testing::ExpectSameFds(DiscoverFds(r), algo.Discover(r),
+                         "non-thread-safe cache, 4 threads");
+  EXPECT_TRUE(algo.stats().external_cache_rejected);
+  EXPECT_NE(algo.stats().external_cache_rejection_reason.find("thread"),
+            std::string::npos);
+}
+
+TEST(HyFdTest, CompatibleExternalCacheIsAccepted) {
+  Relation r = testing::RandomRelation(5, 120, 19, 3);
+  PliCache::Config cache_config;
+  cache_config.thread_safe = true;
+  PliCache cache = PliCache::FromRelation(r, cache_config);
+  HyFdConfig config;
+  config.pli_cache = &cache;
+  HyFd algo(config);
+  testing::ExpectSameFds(DiscoverFds(r), algo.Discover(r), "shared cache");
+  EXPECT_FALSE(algo.stats().external_cache_rejected);
+  EXPECT_TRUE(algo.stats().external_cache_rejection_reason.empty());
+}
+
 TEST(HyFdTest, MultiThreadedMatchesSingleThreaded) {
   Relation r = testing::RandomRelation(6, 150, 23, 3);
   HyFdConfig mt;

@@ -86,6 +86,63 @@ TEST(ValidatorTest, EmitsComparisonSuggestionsForViolations) {
   }
 }
 
+// Collects every Run()'s suggestion batch until the validator finishes.
+std::vector<std::vector<std::pair<RecordId, RecordId>>> CollectSuggestionBatches(
+    const PreprocessedData& data, ThreadPool* pool = nullptr) {
+  FDTree tree(data.num_attributes);
+  Inductor inductor(&tree);
+  inductor.Update({});
+  Validator validator(&data, &tree, 0.0, pool);
+  std::vector<std::vector<std::pair<RecordId, RecordId>>> batches;
+  while (true) {
+    ValidatorResult vr = validator.Run();
+    batches.push_back(vr.comparison_suggestions);
+    if (vr.done) break;
+  }
+  return batches;
+}
+
+TEST(ValidatorTest, SuggestionsAreDedupedAndSorted) {
+  // Many colliding clusters => the per-RHS passes would witness the same
+  // record pair repeatedly without deduplication.
+  Relation r = testing::RandomRelation(5, 120, 77, 2);
+  PreprocessedData data = Preprocess(r);
+  for (const auto& batch : CollectSuggestionBatches(data)) {
+    for (size_t i = 1; i < batch.size(); ++i) {
+      EXPECT_LT(batch[i - 1], batch[i])  // strictly increasing: sorted + unique
+          << "duplicate or out-of-order suggestion at index " << i;
+    }
+  }
+}
+
+TEST(ValidatorTest, SuggestionsAreDeterministicAcrossRunsAndThreads) {
+  Relation r = testing::RandomRelation(5, 120, 78, 2);
+  PreprocessedData data = Preprocess(r);
+  auto first = CollectSuggestionBatches(data);
+  auto second = CollectSuggestionBatches(data);
+  EXPECT_EQ(first, second) << "sequential validator suggestions not stable";
+
+  ThreadPool pool(4);
+  auto parallel = CollectSuggestionBatches(data, &pool);
+  EXPECT_EQ(first, parallel)
+      << "parallel validator suggestions differ from sequential";
+}
+
+TEST(ValidatorTest, LevelsValidatedCountsProcessedLevels) {
+  Relation r = testing::RandomRelation(4, 60, 41, 3);
+  PreprocessedData data = Preprocess(r);
+  FDTree tree(data.num_attributes);
+  Inductor inductor(&tree);
+  inductor.Update({});
+  Validator validator(&data, &tree, 1e18);
+  while (!validator.Run().done) {
+  }
+  // Level 0 (empty LHS) always runs; the deepest validated LHS size is
+  // levels_validated() - 1 and can never exceed the attribute count.
+  EXPECT_GE(validator.levels_validated(), 1);
+  EXPECT_LE(validator.levels_validated() - 1, data.num_attributes);
+}
+
 TEST(ValidatorTest, ParallelMatchesSequential) {
   Relation r = testing::RandomRelation(5, 80, 55, 3);
   PreprocessedData data = Preprocess(r);
