@@ -16,31 +16,6 @@
 #include "util/timer.h"
 
 namespace hyfd {
-namespace {
-
-/// FNV-1a over every cluster id of the compressed records (plus the shape).
-/// Same relation + same null semantics → same PLIs → same fingerprint, so an
-/// owned PLI cache can be kept warm across Discover() calls and safely
-/// dropped when the data changed. One O(n·m) pass — noise next to a single
-/// validation level.
-uint64_t FingerprintRecords(const CompressedRecords& records) {
-  uint64_t h = 1469598103934665603ull;
-  auto mix = [&h](uint64_t v) {
-    h ^= v;
-    h *= 1099511628211ull;
-  };
-  mix(records.num_records());
-  mix(static_cast<uint64_t>(records.num_attributes()));
-  const size_t n = records.num_records();
-  const int m = records.num_attributes();
-  for (size_t r = 0; r < n; ++r) {
-    const ClusterId* rec = records.Record(static_cast<RecordId>(r));
-    for (int a = 0; a < m; ++a) mix(static_cast<uint32_t>(rec[a]));
-  }
-  return h;
-}
-
-}  // namespace
 
 void HyFd::ResetPliCache() {
   owned_cache_.reset();
@@ -93,7 +68,11 @@ FDSet HyFd::Discover(const Relation& relation) {
     }
   }
   if (cache == nullptr && config_.enable_pli_cache) {
-    uint64_t fingerprint = FingerprintRecords(data.records);
+    // Same relation + same null semantics → same PLIs → same fingerprint, so
+    // the owned PLI cache can be kept warm across Discover() calls and is
+    // safely dropped when the data changed. One O(n·m) pass — noise next to
+    // a single validation level.
+    uint64_t fingerprint = data.records.Fingerprint();
     if (owned_cache_ == nullptr ||
         owned_cache_fingerprint_ != fingerprint ||
         owned_cache_->num_attributes() != data.num_attributes ||

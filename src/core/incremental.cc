@@ -1,0 +1,388 @@
+#include "core/incremental.h"
+
+#include <algorithm>
+#include <string>
+
+#include "core/sampler.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace hyfd {
+
+IncrementalHyFd::IncrementalHyFd(Relation relation, IncrementalConfig config)
+    : config_(config),
+      relation_(std::move(relation)),
+      tree_(relation_.num_columns()) {
+  HYFD_CHECK(relation_.num_columns() > 0,
+             "IncrementalHyFd: relation must have at least one column");
+  HYFD_AUDIT_ONLY(relation_.CheckInvariants());
+
+  Timer total_timer;
+  data_ = Preprocess(relation_, config_.null_semantics);
+
+  if (config_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(
+        static_cast<size_t>(config_.num_threads));
+  }
+  if (config_.enable_pli_cache) {
+    PliCache::Config cache_config;
+    cache_config.budget_bytes = config_.pli_cache_budget_bytes;
+    cache_config.thread_safe = config_.num_threads > 1;
+    // Singles-less shape (as HyFd's owned cache): only Validator-assembled
+    // LHS partitions are stored, and — unlike a pinned-singles cache — it
+    // can legally re-bind to the grown data after every batch.
+    cache_ = std::make_unique<PliCache>(data_.num_attributes,
+                                        data_.num_records, cache_config,
+                                        config_.null_semantics);
+    cache_->Rebind(data_.records.Fingerprint(), data_.num_records);
+  }
+  inductor_ = std::make_unique<Inductor>(&tree_);
+
+  PliCache::Counters cache_before;
+  if (cache_ != nullptr) cache_before = cache_->counters();
+  RunInitialDiscovery();
+  BuildColumnStates();
+
+  stats_ = IncrementalBatchStats{};
+  stats_.num_fds = fds_.size();
+  FillReport(total_timer.ElapsedSeconds(), cache_before);
+}
+
+void IncrementalHyFd::RunInitialDiscovery() {
+  // The hybrid loop of HyFd::Discover, minus the memory guardian (a pruned
+  // tree would silently break the incremental equivalence guarantee, so the
+  // session never prunes). The persistent Inductor seeds ∅ → A on its first
+  // Update; the Validator stamps `confirmed` on everything it proves, which
+  // is exactly the seed state ApplyBatch needs.
+  Timer timer;
+  Sampler sampler(&data_, config_.efficiency_threshold,
+                  SamplingStrategy::kClusterWindowing, pool_.get());
+  Validator validator(&data_, &tree_, config_.efficiency_threshold,
+                      pool_.get(), cache_.get());
+  std::vector<std::pair<RecordId, RecordId>> suggestions;
+  while (true) {
+    timer.Restart();
+    auto new_non_fds = sampler.Run(suggestions);
+    for (const AttributeSet& non_fd : new_non_fds) {
+      negative_cover_.insert(non_fd);
+    }
+    inductor_->Update(std::move(new_non_fds));
+    stats_.sampling_seconds += timer.ElapsedSeconds();
+    HYFD_AUDIT_ONLY(tree_.CheckInvariants());
+
+    timer.Restart();
+    ValidatorResult vr = validator.Run();
+    stats_.validation_seconds += timer.ElapsedSeconds();
+    HYFD_AUDIT_ONLY(tree_.CheckInvariants());
+    if (vr.done) break;
+    ++stats_.phase_switches;
+    suggestions = std::move(vr.comparison_suggestions);
+  }
+  stats_.comparisons = sampler.total_comparisons();
+  stats_.validations = validator.total_validations();
+
+  // The Validator confirmed every node it settled; make the seed state
+  // explicit (and audited) regardless of the path that produced it.
+  tree_.ConfirmAll();
+  fds_ = tree_.ToFdSet();
+}
+
+void IncrementalHyFd::BuildColumnStates() {
+  const int m = data_.num_attributes;
+  const size_t n = data_.num_records;
+  column_states_.assign(static_cast<size_t>(m), ColumnState{});
+  for (int c = 0; c < m; ++c) {
+    ColumnState& state = column_states_[static_cast<size_t>(c)];
+    const std::vector<ClusterId> probing =
+        data_.plis[static_cast<size_t>(c)].BuildProbingTable();
+    for (size_t r = 0; r < n; ++r) {
+      const ClusterId cid = probing[r];
+      if (relation_.IsNull(r, static_cast<int>(c))) {
+        // Under kNullUnequal every NULL stays a stripped singleton forever:
+        // no future row can join it, so it needs no index entry.
+        if (config_.null_semantics == NullSemantics::kNullUnequal) continue;
+        if (cid != kUniqueCluster) {
+          state.has_null_cluster = true;
+          state.null_cluster = static_cast<uint32_t>(cid);
+        } else {
+          state.has_null_singleton = true;
+          state.null_record = static_cast<RecordId>(r);
+        }
+        continue;
+      }
+      const std::string& value = relation_.Value(r, static_cast<int>(c));
+      if (cid != kUniqueCluster) {
+        state.cluster_of[value] = static_cast<uint32_t>(cid);
+      } else {
+        state.singleton_of[value] = static_cast<RecordId>(r);
+      }
+    }
+  }
+}
+
+void IncrementalHyFd::GrowDerivedState(size_t old_n, size_t new_n,
+                                       Validator::ClusterDelta* delta) {
+  const int m = data_.num_attributes;
+  delta->first_new_record = static_cast<RecordId>(old_n);
+  delta->touched.assign(static_cast<size_t>(m), {});
+  data_.records.Append(new_n);
+
+  for (int c = 0; c < m; ++c) {
+    ColumnState& state = column_states_[static_cast<size_t>(c)];
+    Pli& pli = data_.plis[static_cast<size_t>(c)];
+    const size_t old_cluster_count = pli.clusters().size();
+
+    std::vector<std::pair<uint32_t, RecordId>> appends;
+    std::vector<std::vector<RecordId>> new_clusters;
+    std::vector<uint32_t>& touched = delta->touched[static_cast<size_t>(c)];
+
+    // Routes new record `r` into cluster `ci` — a pre-existing cluster goes
+    // through Pli::AppendRows' append list, a cluster created earlier in
+    // this same batch is still local and grows directly.
+    auto join = [&](uint32_t ci, RecordId r) {
+      if (ci < old_cluster_count) {
+        appends.emplace_back(ci, r);
+      } else {
+        new_clusters[ci - old_cluster_count].push_back(r);
+      }
+      touched.push_back(ci);
+    };
+    // Promotes `partner` (an old or in-batch singleton) and `r` into a brand
+    // new cluster; returns its index.
+    auto promote = [&](RecordId partner, RecordId r) {
+      const uint32_t ci =
+          static_cast<uint32_t>(old_cluster_count + new_clusters.size());
+      new_clusters.push_back({partner, r});
+      touched.push_back(ci);
+      return ci;
+    };
+
+    for (size_t r = old_n; r < new_n; ++r) {
+      const RecordId rid = static_cast<RecordId>(r);
+      if (relation_.IsNull(r, c)) {
+        if (config_.null_semantics == NullSemantics::kNullUnequal) continue;
+        if (state.has_null_cluster) {
+          join(state.null_cluster, rid);
+        } else if (state.has_null_singleton) {
+          state.null_cluster = promote(state.null_record, rid);
+          state.has_null_cluster = true;
+          state.has_null_singleton = false;
+        } else {
+          state.has_null_singleton = true;
+          state.null_record = rid;
+        }
+        continue;
+      }
+      const std::string& value = relation_.Value(r, c);
+      if (auto it = state.cluster_of.find(value); it != state.cluster_of.end()) {
+        join(it->second, rid);
+      } else if (auto single = state.singleton_of.find(value);
+                 single != state.singleton_of.end()) {
+        state.cluster_of.emplace(value, promote(single->second, rid));
+        state.singleton_of.erase(single);
+      } else {
+        state.singleton_of.emplace(value, rid);
+      }
+    }
+
+    // Stamp the compressed records before the clusters are moved out: new
+    // rows joining pre-existing clusters, plus every member of a new cluster
+    // (covering old singletons promoted by a matching new row, whose cell
+    // still reads kUniqueCluster).
+    for (const auto& [ci, rid] : appends) {
+      data_.records.SetCluster(rid, c, static_cast<ClusterId>(ci));
+    }
+    for (size_t i = 0; i < new_clusters.size(); ++i) {
+      const ClusterId ci = static_cast<ClusterId>(old_cluster_count + i);
+      for (RecordId member : new_clusters[i]) {
+        data_.records.SetCluster(member, c, ci);
+      }
+    }
+    pli.AppendRows(new_n, appends, std::move(new_clusters));
+
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+    stats_.touched_clusters += touched.size();
+  }
+
+  data_.num_records = new_n;
+  data_.source_version = relation_.version();
+  // Appends can reorder the cluster-count ranking the pivot choice uses.
+  data_.RecomputeRanks();
+  HYFD_AUDIT_ONLY({
+    for (const Pli& pli : data_.plis) pli.CheckInvariants();
+    data_.records.CheckInvariants(data_.plis);
+  });
+}
+
+std::vector<AttributeSet> IncrementalHyFd::MatchPairs(
+    std::vector<std::pair<RecordId, RecordId>> pairs) {
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  std::vector<AttributeSet> new_non_fds;
+  AttributeSet agree(data_.num_attributes);
+  for (const auto& [a, b] : pairs) {
+    data_.records.MatchInto(a, b, &agree);
+    ++stats_.comparisons;
+    if (negative_cover_.insert(agree).second) new_non_fds.push_back(agree);
+  }
+  return new_non_fds;
+}
+
+const FDSet& IncrementalHyFd::ApplyBatch(
+    const std::vector<std::vector<std::optional<std::string>>>& rows) {
+  // Reject the whole batch before appending anything: a mid-batch width
+  // failure would leave the relation half-grown.
+  for (const auto& row : rows) {
+    HYFD_CHECK(row.size() == static_cast<size_t>(relation_.num_columns()),
+               "IncrementalHyFd::ApplyBatch: row width does not match the "
+               "schema");
+  }
+  // Detect out-of-band mutation of the owned relation (or derived state)
+  // before building on top of it.
+  data_.CheckSyncedWith(relation_);
+
+  Timer total_timer;
+  Timer timer;
+  ++num_batches_;
+  stats_ = IncrementalBatchStats{};
+  stats_.batch_rows = rows.size();
+  PliCache::Counters cache_before;
+  if (cache_ != nullptr) cache_before = cache_->counters();
+
+  if (rows.empty()) {
+    stats_.num_fds = fds_.size();
+    FillReport(total_timer.ElapsedSeconds(), cache_before);
+    return fds_;
+  }
+
+  // --- 1. Append rows and grow the derived state in place. -----------------
+  const size_t old_n = data_.num_records;
+  for (const auto& row : rows) relation_.AppendRow(row);
+  const size_t new_n = relation_.num_rows();
+
+  Validator::ClusterDelta delta;
+  GrowDerivedState(old_n, new_n, &delta);
+  if (cache_ != nullptr) {
+    // Every cached partition describes the pre-batch rows; the fingerprint
+    // changed, so Rebind drops them all (Counters::stale_drops).
+    cache_->Rebind(data_.records.Fingerprint(), new_n);
+  }
+  stats_.append_seconds = timer.ElapsedSeconds();
+
+  // --- 2. Targeted sampling: only pairs involving a new row. ---------------
+  // Within each touched cluster, every new member (ids ≥ old_n sort to the
+  // tail) is matched against its predecessor and against the cluster's first
+  // record — the same neighbor heuristic cluster-windowing starts from, here
+  // restricted to windows that contain a new row. Completeness of the final
+  // FD set never depends on this selection (the Validator settles every
+  // candidate); it only seeds the negative cover cheaply.
+  timer.Restart();
+  std::vector<std::pair<RecordId, RecordId>> pairs;
+  for (int c = 0; c < data_.num_attributes; ++c) {
+    const auto& clusters = data_.plis[static_cast<size_t>(c)].clusters();
+    for (uint32_t ci : delta.touched[static_cast<size_t>(c)]) {
+      const std::vector<RecordId>& cluster = clusters[ci];
+      const auto first_new =
+          std::lower_bound(cluster.begin(), cluster.end(),
+                           static_cast<RecordId>(old_n));
+      for (auto it = first_new; it != cluster.end(); ++it) {
+        const size_t i = static_cast<size_t>(it - cluster.begin());
+        if (i == 0) continue;  // a cluster of only-new rows: no predecessor
+        pairs.emplace_back(cluster[i - 1], cluster[i]);
+        if (i > 1) pairs.emplace_back(cluster[0], cluster[i]);
+      }
+    }
+  }
+  size_t confirmed_before = tree_.CountConfirmedFds();
+  inductor_->Update(MatchPairs(std::move(pairs)));
+  stats_.fds_invalidated += confirmed_before - tree_.CountConfirmedFds();
+  stats_.sampling_seconds += timer.ElapsedSeconds();
+  HYFD_AUDIT_ONLY(tree_.CheckInvariants());
+
+  // --- 3. Hybrid loop seeded from the previous tree. ------------------------
+  // Previously-confirmed FDs take the restricted touched-clusters check;
+  // candidates the Inductor just specialized get the full check. Phase
+  // switches replay the Validator's violation suggestions through the
+  // Inductor instead of a fresh sampling sweep — the suggestions already
+  // pinpoint the disagreeing pairs.
+  Validator validator(&data_, &tree_, config_.efficiency_threshold,
+                      pool_.get(), cache_.get());
+  validator.set_delta(&delta);
+  while (true) {
+    timer.Restart();
+    ValidatorResult vr = validator.Run();
+    stats_.validation_seconds += timer.ElapsedSeconds();
+    HYFD_AUDIT_ONLY(tree_.CheckInvariants());
+    if (vr.done) break;
+    ++stats_.phase_switches;
+    timer.Restart();
+    confirmed_before = tree_.CountConfirmedFds();
+    inductor_->Update(MatchPairs(std::move(vr.comparison_suggestions)));
+    stats_.fds_invalidated += confirmed_before - tree_.CountConfirmedFds();
+    stats_.sampling_seconds += timer.ElapsedSeconds();
+    HYFD_AUDIT_ONLY(tree_.CheckInvariants());
+  }
+  stats_.fds_invalidated += validator.delta_invalidated();
+  stats_.fds_revalidated = validator.restricted_validations();
+  stats_.validations = validator.total_validations();
+  HYFD_AUDIT_ONLY(if (cache_ != nullptr) cache_->CheckInvariants());
+
+  fds_ = tree_.ToFdSet();
+  stats_.num_fds = fds_.size();
+  FillReport(total_timer.ElapsedSeconds(), cache_before);
+  return fds_;
+}
+
+const FDSet& IncrementalHyFd::ApplyBatchStrings(
+    const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::vector<std::optional<std::string>>> converted;
+  converted.reserve(rows.size());
+  for (const auto& row : rows) {
+    converted.emplace_back(row.begin(), row.end());
+  }
+  return ApplyBatch(converted);
+}
+
+void IncrementalHyFd::FillReport(double total_seconds,
+                                 const PliCache::Counters& cache_before) {
+  report_ = RunReport{};
+  report_.algorithm = "hyfd_incremental";
+  report_.rows = data_.num_records;
+  report_.columns = data_.num_attributes;
+  report_.result_kind = "fds";
+  report_.result_count = fds_.size();
+  report_.total_seconds = total_seconds;
+  report_.AddPhase("append", stats_.append_seconds);
+  report_.AddPhase("sampling", stats_.sampling_seconds);
+  report_.AddPhase("validation", stats_.validation_seconds);
+  // No guardian and no result pruning in a session: the answer is complete
+  // by construction (the equivalence guarantee depends on it).
+  if (cache_ != nullptr) {
+    const PliCache::Counters after = cache_->counters();
+    report_.pli_cache_hits = after.hits - cache_before.hits;
+    report_.pli_cache_misses = after.misses - cache_before.misses;
+    report_.pli_cache_evictions = after.evictions - cache_before.evictions;
+    report_.SetCounter("incremental.cache_stale_drops",
+                       after.stale_drops - cache_before.stale_drops);
+  }
+  report_.SetCounter("incremental.batches",
+                     static_cast<uint64_t>(num_batches_));
+  report_.SetCounter("incremental.batch_rows", stats_.batch_rows);
+  report_.SetCounter("incremental.touched_clusters", stats_.touched_clusters);
+  report_.SetCounter("incremental.fds_invalidated", stats_.fds_invalidated);
+  report_.SetCounter("incremental.fds_revalidated", stats_.fds_revalidated);
+  report_.SetCounter("incremental.validations", stats_.validations);
+  report_.SetCounter("incremental.comparisons", stats_.comparisons);
+  report_.SetCounter("incremental.phase_switches",
+                     static_cast<uint64_t>(stats_.phase_switches));
+  if (config_.run_report != nullptr) {
+    // Preserve harness-owned labeling (dataset name) across the overwrite.
+    std::string dataset = std::move(config_.run_report->dataset);
+    *config_.run_report = report_;
+    config_.run_report->dataset = std::move(dataset);
+    report_.dataset = config_.run_report->dataset;
+  }
+}
+
+}  // namespace hyfd

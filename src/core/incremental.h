@@ -1,0 +1,181 @@
+#ifndef HYFD_CORE_INCREMENTAL_H_
+#define HYFD_CORE_INCREMENTAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/inductor.h"
+#include "core/preprocessor.h"
+#include "core/validator.h"
+#include "data/relation.h"
+#include "fd/fd_set.h"
+#include "fd/fd_tree.h"
+#include "pli/pli_builder.h"
+#include "pli/pli_cache.h"
+#include "util/attribute_set.h"
+#include "util/run_report.h"
+#include "util/thread_pool.h"
+
+namespace hyfd {
+
+/// Tuning knobs of an incremental discovery session. A deliberate subset of
+/// HyFdConfig: the session owns its relation and derived state, so the
+/// external-cache and memory-guardian channels do not apply.
+struct IncrementalConfig {
+  NullSemantics null_semantics = NullSemantics::kNullEqualsNull;
+  /// Phase-switch threshold, as in HyFdConfig (paper Figure 8).
+  double efficiency_threshold = 0.01;
+  /// > 1 parallelizes sampling and validation on one shared pool.
+  int num_threads = 1;
+  /// Keep a session-owned budgeted PliCache warm across the phase switches
+  /// of each batch; it is re-bound (stale entries dropped) after every
+  /// append via the compressed-records fingerprint.
+  bool enable_pli_cache = true;
+  size_t pli_cache_budget_bytes = PliCache::kDefaultBudgetBytes;
+  /// If set, every ApplyBatch() mirrors its structured report here (the
+  /// same document `report()` exposes).
+  RunReport* run_report = nullptr;
+};
+
+/// Counters and timings of the last ApplyBatch() call.
+struct IncrementalBatchStats {
+  size_t batch_rows = 0;
+  /// Stripped clusters (summed over attributes) that received a new row —
+  /// the restricted validation scope.
+  size_t touched_clusters = 0;
+  /// Previously-proven FDs this batch broke (removed by the Inductor on a
+  /// new agree set, or failed their restricted re-validation).
+  size_t fds_invalidated = 0;
+  /// Previously-proven FDs re-checked via the restricted touched-clusters
+  /// scan instead of a full pass.
+  size_t fds_revalidated = 0;
+  size_t validations = 0;   ///< candidate checks performed by the Validator
+  size_t comparisons = 0;   ///< record pairs matched by targeted sampling
+  int phase_switches = 0;   ///< validation pauses back into sampling
+  size_t num_fds = 0;       ///< minimal FDs after the batch
+  double append_seconds = 0;
+  double sampling_seconds = 0;
+  double validation_seconds = 0;
+};
+
+/// EAIFD-style incremental FD discovery session (the direction reserved by
+/// HyFdConfig::enable_pli_cache's documentation).
+///
+/// The session owns a Relation plus everything HyFD derives from it — the
+/// single-column PLIs, the compressed records, the candidate FDTree with its
+/// per-node `confirmed` proofs, and a budgeted PliCache — and keeps all of
+/// it consistent across row-batch inserts:
+///
+///   IncrementalHyFd session(initial_relation);
+///   const FDSet& fds0 = session.fds();            // full HyFD discovery
+///   const FDSet& fds1 = session.ApplyBatch(rows); // incremental update
+///
+/// ApplyBatch() appends the rows, grows each single-column PLI and the
+/// compressed records *in place* (Pli::AppendRows / CompressedRecords::
+/// Append), samples only record pairs that involve new rows (every pair
+/// inside an untouched cluster was matched — or deliberately skipped — when
+/// its rows arrived), and re-runs the Inductor/Validator loop seeded from
+/// the previous tree: FDs proven before the batch take a restricted
+/// re-validation over only the clusters the batch touched (sound because a
+/// newly-violating pair must involve a new row and shares its pivot cluster
+/// with it — Validator::ClusterDelta), while candidates specialized during
+/// this batch get the standard full check.
+///
+/// Equivalence guarantee: after every batch, fds() equals what a from-
+/// scratch HyFD run on the concatenated relation returns. Rows only ever
+/// break FDs (an FD invalid on a prefix stays invalid on every extension),
+/// so the seeded tree is a superset-closure starting point, and the
+/// exhaustive Validator — not sampling completeness — is what settles every
+/// candidate. tests/incremental_test.cc enforces this differentially.
+class IncrementalHyFd {
+ public:
+  /// Takes ownership of `relation` and runs one full discovery to seed the
+  /// session (available immediately via fds()).
+  explicit IncrementalHyFd(Relation relation, IncrementalConfig config = {});
+
+  // The session owns mutable derived state keyed to `this`; not copyable.
+  IncrementalHyFd(const IncrementalHyFd&) = delete;
+  IncrementalHyFd& operator=(const IncrementalHyFd&) = delete;
+
+  /// Minimal FDs of the current relation (after all applied batches).
+  const FDSet& fds() const { return fds_; }
+
+  /// Appends `rows` (std::nullopt cells become NULL) and returns the updated
+  /// FD set. Row widths must match the schema; the whole batch is rejected
+  /// before any row is appended on a width mismatch. An empty batch is a
+  /// no-op that still refreshes stats()/report().
+  const FDSet& ApplyBatch(
+      const std::vector<std::vector<std::optional<std::string>>>& rows);
+
+  /// Convenience for all-non-NULL batches.
+  const FDSet& ApplyBatchStrings(
+      const std::vector<std::vector<std::string>>& rows);
+
+  /// The owned relation, including every applied batch. Mutating the
+  /// relation behind the session's back is detected: the next ApplyBatch()
+  /// throws ContractViolation (PreprocessedData::CheckSyncedWith).
+  const Relation& relation() const { return relation_; }
+
+  const IncrementalBatchStats& last_batch_stats() const { return stats_; }
+  /// Structured report of the last ApplyBatch() (or of the seeding run).
+  const RunReport& report() const { return report_; }
+  /// Batches applied so far (the seeding discovery is not a batch).
+  int num_batches() const { return num_batches_; }
+
+ private:
+  /// Per-column value index for classifying new rows in O(1): which stripped
+  /// cluster (by index) or singleton record currently holds each value.
+  /// NULLs are tracked separately — a NULL cell stores the empty string, so
+  /// keying it through the value maps would conflate NULL with "".
+  struct ColumnState {
+    std::unordered_map<std::string, uint32_t> cluster_of;
+    std::unordered_map<std::string, RecordId> singleton_of;
+    bool has_null_cluster = false;
+    uint32_t null_cluster = 0;
+    bool has_null_singleton = false;
+    RecordId null_record = 0;
+  };
+
+  void RunInitialDiscovery();
+  void BuildColumnStates();
+  /// Grows PLIs + compressed records for rows [old_n, new_n) and fills the
+  /// touched-cluster delta.
+  void GrowDerivedState(size_t old_n, size_t new_n,
+                        Validator::ClusterDelta* delta);
+  /// Matches record pairs (deduplicated) against the compressed records and
+  /// returns the agree sets not yet in the session's negative cover.
+  std::vector<AttributeSet> MatchPairs(
+      std::vector<std::pair<RecordId, RecordId>> pairs);
+  void FillReport(double total_seconds,
+                  const PliCache::Counters& cache_before);
+
+  IncrementalConfig config_;
+  Relation relation_;
+  PreprocessedData data_;
+  FDTree tree_;
+  FDSet fds_;
+  /// Persistent across batches: its initialized_ flag must survive so a
+  /// batch Update() never re-adds the most general FDs over a seeded tree.
+  std::unique_ptr<Inductor> inductor_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<PliCache> cache_;
+  /// All agree sets ever fed to the Inductor; duplicates are sound but
+  /// wasted work, so batches only forward fresh ones.
+  std::unordered_set<AttributeSet> negative_cover_;
+  std::vector<ColumnState> column_states_;
+
+  IncrementalBatchStats stats_;
+  RunReport report_;
+  int num_batches_ = 0;
+};
+
+}  // namespace hyfd
+
+#endif  // HYFD_CORE_INCREMENTAL_H_

@@ -13,24 +13,37 @@ size_t PreprocessedData::MemoryBytes() const {
   return bytes;
 }
 
+void PreprocessedData::RecomputeRanks() {
+  by_rank.resize(static_cast<size_t>(num_attributes));
+  std::iota(by_rank.begin(), by_rank.end(), 0);
+  std::stable_sort(by_rank.begin(), by_rank.end(), [&](int a, int b) {
+    return plis[static_cast<size_t>(a)].NumClusters() >
+           plis[static_cast<size_t>(b)].NumClusters();
+  });
+  rank.resize(static_cast<size_t>(num_attributes));
+  for (int pos = 0; pos < num_attributes; ++pos) {
+    rank[static_cast<size_t>(by_rank[static_cast<size_t>(pos)])] = pos;
+  }
+}
+
+void PreprocessedData::CheckSyncedWith(const Relation& relation) const {
+  HYFD_CHECK(num_records == relation.num_rows(),
+             "PreprocessedData: relation row count changed since the PLIs "
+             "were built — derived state is stale");
+  HYFD_CHECK(source_version == relation.version(),
+             "PreprocessedData: relation mutated since the PLIs were built — "
+             "derived state is stale");
+}
+
 PreprocessedData Preprocess(const Relation& relation, NullSemantics nulls) {
   PreprocessedData data;
   data.num_records = relation.num_rows();
   data.num_attributes = relation.num_columns();
+  data.source_version = relation.version();
   HYFD_AUDIT_ONLY(relation.CheckInvariants());
   data.plis = BuildAllColumnPlis(relation, nulls);
   data.records = CompressedRecords(data.plis, data.num_records);
-
-  data.by_rank.resize(static_cast<size_t>(data.num_attributes));
-  std::iota(data.by_rank.begin(), data.by_rank.end(), 0);
-  std::stable_sort(data.by_rank.begin(), data.by_rank.end(), [&](int a, int b) {
-    return data.plis[static_cast<size_t>(a)].NumClusters() >
-           data.plis[static_cast<size_t>(b)].NumClusters();
-  });
-  data.rank.resize(static_cast<size_t>(data.num_attributes));
-  for (int pos = 0; pos < data.num_attributes; ++pos) {
-    data.rank[static_cast<size_t>(data.by_rank[static_cast<size_t>(pos)])] = pos;
-  }
+  data.RecomputeRanks();
   return data;
 }
 

@@ -27,6 +27,23 @@ struct PreprocessedData {
   size_t num_records = 0;
   int num_attributes = 0;
 
+  /// Relation::version() at the time the PLIs/records were built (or last
+  /// grown by IncrementalHyFd). Guards against silently consuming stale
+  /// derived state after the relation mutated underneath it.
+  uint64_t source_version = 0;
+
+  /// Recomputes by_rank/rank from the current plis' cluster counts. Called
+  /// by Preprocess() and again after IncrementalHyFd grows the PLIs in place
+  /// (appends can reorder the cluster-count ranking).
+  void RecomputeRanks();
+
+  /// Throws ContractViolation unless `relation` still has the row count and
+  /// mutation version this derived state was built from. Every
+  /// IncrementalHyFd batch starts with this check, so appending to the
+  /// relation behind the session's back throws instead of silently
+  /// discovering FDs over stale partitions.
+  void CheckSyncedWith(const Relation& relation) const;
+
   /// Bytes held by PLIs + compressed records (Table 3 accounting).
   size_t MemoryBytes() const;
 };

@@ -22,6 +22,22 @@ Validator::Validator(const PreprocessedData* data, FDTree* tree,
              "Validator: FD tree and data disagree on the attribute count");
 }
 
+void Validator::set_delta(const ClusterDelta* delta) {
+  if (delta != nullptr) {
+    HYFD_CHECK(delta->touched.size() ==
+                   static_cast<size_t>(data_->num_attributes),
+               "Validator: delta touched-cluster lists do not cover every "
+               "attribute");
+    for (size_t attr = 0; attr < delta->touched.size(); ++attr) {
+      for (uint32_t ci : delta->touched[attr]) {
+        HYFD_CHECK(ci < data_->plis[attr].clusters().size(),
+                   "Validator: delta references a nonexistent cluster");
+      }
+    }
+  }
+  delta_ = delta;
+}
+
 Validator::RefineOutcome Validator::RefinesWithPli(
     const Pli& lhs_pli, const std::vector<int>& rhs_attrs) const {
   RefineOutcome out;
@@ -57,12 +73,16 @@ Validator::RefineOutcome Validator::RefinesWithPli(
 }
 
 Validator::RefineOutcome Validator::Refines(const AttributeSet& lhs,
-                                            const AttributeSet& rhss) const {
+                                            const AttributeSet& rhss,
+                                            bool restricted) const {
+  HYFD_DCHECK(!restricted || delta_ != nullptr,
+              "Validator: restricted refinement without a cluster delta");
   RefineOutcome out;
   out.valid_rhss = AttributeSet(data_->num_attributes);
 
   if (lhs.Empty()) {
-    // ∅ → A holds iff column A is constant.
+    // ∅ → A holds iff column A is constant (O(1) either way, so the
+    // restricted mode just rechecks in full).
     ForEachBit(rhss, [&](int rhs) {
       if (data_->plis[static_cast<size_t>(rhs)].IsConstant()) {
         out.valid_rhss.Set(rhs);
@@ -73,8 +93,12 @@ Validator::RefineOutcome Validator::Refines(const AttributeSet& lhs,
 
   // A cached LHS partition (from an earlier discovery pass or a sibling
   // algorithm sharing the cache) replaces the hash-grouping pass entirely.
+  // Never in restricted mode: cached partitions describe the *whole*
+  // relation, which is correct but defeats the touched-only savings — and
+  // more importantly the restricted scan must never *create* cache entries
+  // (see below), so the cache is bypassed symmetrically.
   const bool multi_lhs = lhs.Count() >= 2;
-  if (cache_ != nullptr && multi_lhs) {
+  if (cache_ != nullptr && multi_lhs && !restricted) {
     if (auto cached = cache_->Probe(lhs)) {
       return RefinesWithPli(*cached, rhss.ToIndexes());
     }
@@ -116,7 +140,10 @@ Validator::RefineOutcome Validator::Refines(const AttributeSet& lhs,
   // With a cache attached, the grouping pass doubles as a builder for π_lhs:
   // every group that receives a second record becomes one of its stripped
   // clusters. Abandoned on early exit (partial partitions are never cached).
-  const bool collect = cache_ != nullptr && multi_lhs;
+  // Disabled in restricted mode: a touched-only scan sees a *subset* of the
+  // pivot clusters, so the partition it would assemble is partial by
+  // construction and caching it would corrupt every later full-data probe.
+  const bool collect = cache_ != nullptr && multi_lhs && !restricted;
   std::vector<std::vector<RecordId>> collected;
 
   // Compares record `r` against its group (creating the group on first
@@ -157,10 +184,22 @@ Validator::RefineOutcome Validator::Refines(const AttributeSet& lhs,
 
   const auto& pivot_clusters = data_->plis[static_cast<size_t>(pivot)].clusters();
 
+  // Restricted mode scans only the pivot clusters the batch touched; any
+  // newly-violating pair shares its pivot cluster with a new row, so no
+  // violation hides in an untouched cluster (see ClusterDelta).
+  const std::vector<uint32_t>* visit =
+      restricted ? &delta_->touched[static_cast<size_t>(pivot)] : nullptr;
+  const size_t num_visit = visit != nullptr ? visit->size()
+                                            : pivot_clusters.size();
+  auto cluster_at = [&](size_t idx) -> const std::vector<RecordId>& {
+    return pivot_clusters[visit != nullptr ? (*visit)[idx] : idx];
+  };
+
   if (other_lhs.empty()) {
     // Single-attribute LHS: each pivot cluster IS the group; compare every
     // record against the cluster's first (no hashing at all).
-    for (const auto& cluster : pivot_clusters) {
+    for (size_t ci = 0; ci < num_visit; ++ci) {
+      const auto& cluster = cluster_at(ci);
       const ClusterId* first = data_->records.Record(cluster[0]);
       for (size_t i = 1; i < cluster.size(); ++i) {
         const ClusterId* rec = data_->records.Record(cluster[i]);
@@ -180,7 +219,8 @@ Validator::RefineOutcome Validator::Refines(const AttributeSet& lhs,
     // Two-attribute LHS: group by a single cluster id (cheap integer map).
     const int other = other_lhs[0];
     std::unordered_map<ClusterId, GroupInfo> groups;
-    for (const auto& cluster : pivot_clusters) {
+    for (size_t ci = 0; ci < num_visit; ++ci) {
+      const auto& cluster = cluster_at(ci);
       groups.clear();
       rhs_storage.clear();
       for (RecordId r : cluster) {
@@ -195,7 +235,8 @@ Validator::RefineOutcome Validator::Refines(const AttributeSet& lhs,
     std::unordered_map<std::vector<ClusterId>, GroupInfo, ClusterVectorHash>
         groups;
     std::vector<ClusterId> key(other_lhs.size());
-    for (const auto& cluster : pivot_clusters) {
+    for (size_t ci = 0; ci < num_visit; ++ci) {
+      const auto& cluster = cluster_at(ci);
       groups.clear();
       rhs_storage.clear();
       for (RecordId r : cluster) {
@@ -262,7 +303,30 @@ ValidatorResult Validator::Run() {
     auto validate_one = [&](size_t i) {
       const auto& entry = level[i];
       if (entry.node->fds.Empty()) return;
-      outcomes[i] = Refines(entry.lhs, entry.node->fds);
+      if (delta_ == nullptr) {
+        outcomes[i] = Refines(entry.lhs, entry.node->fds);
+        return;
+      }
+      // Incremental mode: candidates proven on the pre-batch data only need
+      // the restricted touched-clusters scan; candidates the Inductor added
+      // this batch get the full check. confirmed ⊆ fds, so the two RHS sets
+      // partition the node's candidates.
+      const AttributeSet& inherited = entry.node->confirmed;
+      AttributeSet fresh = entry.node->fds;
+      fresh.AndNot(inherited);
+      RefineOutcome merged;
+      merged.valid_rhss = AttributeSet(data_->num_attributes);
+      if (!inherited.Empty()) {
+        merged = Refines(entry.lhs, inherited, /*restricted=*/true);
+      }
+      if (!fresh.Empty()) {
+        RefineOutcome full = Refines(entry.lhs, fresh);
+        merged.valid_rhss |= full.valid_rhss;
+        merged.suggestions.insert(merged.suggestions.end(),
+                                  full.suggestions.begin(),
+                                  full.suggestions.end());
+      }
+      outcomes[i] = std::move(merged);
     };
     if (pool_ != nullptr && level.size() > 1) {
       // Dynamic chunking: nodes on one level vary wildly in refinement cost
@@ -283,7 +347,20 @@ ValidatorResult Validator::Run() {
       AttributeSet invalid_rhss = entry.node->fds;
       invalid_rhss.AndNot(outcomes[i].valid_rhss);
       num_valid += static_cast<size_t>(outcomes[i].valid_rhss.Count());
+      if (delta_ != nullptr) {
+        // Counters must read `confirmed` before the node is overwritten; the
+        // pool-parallel pass above leaves it untouched for exactly this.
+        restricted_validations_ +=
+            static_cast<size_t>(entry.node->confirmed.Count());
+        AttributeSet broken = entry.node->confirmed;
+        broken.AndNot(outcomes[i].valid_rhss);
+        delta_invalidated_ += static_cast<size_t>(broken.Count());
+      }
       entry.node->fds = outcomes[i].valid_rhss;
+      // Everything that survived this pass is now proven on the full current
+      // data (restricted survivors by the ClusterDelta soundness argument),
+      // so the node is fully confirmed either way.
+      entry.node->confirmed = entry.node->fds;
       ForEachBit(invalid_rhss,
                  [&](int rhs) { invalid_fds.emplace_back(entry.lhs, rhs); });
       for (auto& suggestion : outcomes[i].suggestions) {

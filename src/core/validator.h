@@ -39,6 +39,19 @@ struct ValidatorResult {
 /// and hands control back to the sampling phase.
 class Validator {
  public:
+  /// Which stripped clusters a row batch touched — the restricted-validation
+  /// input of IncrementalHyFd. `touched[attr]` holds the (ascending) indexes
+  /// of the stripped clusters of π_attr that contain at least one record id
+  /// ≥ `first_new_record`. Soundness of re-validating a previously-proven FD
+  /// over touched pivot clusters only: a pair that *newly* violates lhs → rhs
+  /// must involve a new row (old-old pairs are unchanged), and both members
+  /// of a violating pair share the pivot cluster — so that cluster is
+  /// touched.
+  struct ClusterDelta {
+    RecordId first_new_record = 0;
+    std::vector<std::vector<uint32_t>> touched;
+  };
+
   /// `data` and `tree` must outlive the Validator. A non-null `pool`
   /// parallelizes the per-node refinement checks (paper §10.4). A non-null
   /// `cache` is probed for each multi-attribute LHS partition — a hit skips
@@ -51,10 +64,23 @@ class Validator {
             double efficiency_threshold, ThreadPool* pool = nullptr,
             PliCache* cache = nullptr, MetricsRegistry* metrics = nullptr);
 
+  /// Enables incremental mode: candidates already proven on the pre-batch
+  /// data (FDTree::Node::confirmed) are re-checked only over the delta's
+  /// touched pivot clusters; fresh candidates still get the full check. The
+  /// delta must outlive the Validator and describe the *current* grown
+  /// `data` (restricted-mode refinement never probes or fills the PliCache —
+  /// a touched-only scan yields partial partitions that must not be cached).
+  void set_delta(const ClusterDelta* delta);
+
   /// Continues the level-wise traversal from where it last stopped.
   ValidatorResult Run();
 
   size_t total_validations() const { return total_validations_; }
+  /// Candidate (lhs → rhs) checks served by the restricted touched-clusters
+  /// scan instead of a full pass (incremental mode only).
+  size_t restricted_validations() const { return restricted_validations_; }
+  /// Previously-confirmed FDs the current batch invalidated.
+  size_t delta_invalidated() const { return delta_invalidated_; }
   /// The lattice level the next Run() call would validate first — also the
   /// count of levels fully validated so far, since validation starts at
   /// level 0 (LHS size 0) and the cursor advances only after a level
@@ -74,7 +100,10 @@ class Validator {
   };
 
   /// Simultaneously checks lhs → rhs for every rhs in `rhss` (Figure 5).
-  RefineOutcome Refines(const AttributeSet& lhs, const AttributeSet& rhss) const;
+  /// With `restricted`, only the delta's touched pivot clusters are scanned
+  /// (sound for previously-confirmed candidates; see ClusterDelta).
+  RefineOutcome Refines(const AttributeSet& lhs, const AttributeSet& rhss,
+                        bool restricted = false) const;
 
   /// Fast path for a cached LHS partition: checks every rhs cluster-by-
   /// cluster, no hashing.
@@ -87,9 +116,12 @@ class Validator {
   ThreadPool* pool_;
   PliCache* cache_;
   MetricsRegistry* metrics_;
+  const ClusterDelta* delta_ = nullptr;
   int current_level_number_ = 0;
   int levels_validated_ = 0;
   size_t total_validations_ = 0;
+  size_t restricted_validations_ = 0;
+  size_t delta_invalidated_ = 0;
 };
 
 }  // namespace hyfd

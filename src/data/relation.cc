@@ -37,6 +37,7 @@ void Relation::AppendRow(const std::vector<std::optional<std::string>>& row) {
       nulls_[c].push_back(1);
     }
   }
+  ++version_;
 }
 
 void Relation::SetValue(size_t row, int col, std::string value) {
@@ -44,6 +45,7 @@ void Relation::SetValue(size_t row, int col, std::string value) {
               "Relation::SetValue: cell out of range");
   columns_[static_cast<size_t>(col)][row] = std::move(value);
   nulls_[static_cast<size_t>(col)][row] = 0;
+  ++version_;
 }
 
 void Relation::SetNull(size_t row, int col) {
@@ -51,6 +53,7 @@ void Relation::SetNull(size_t row, int col) {
               "Relation::SetNull: cell out of range");
   columns_[static_cast<size_t>(col)][row].clear();
   nulls_[static_cast<size_t>(col)][row] = 1;
+  ++version_;
 }
 
 void Relation::Resize(size_t n) {
@@ -58,6 +61,7 @@ void Relation::Resize(size_t n) {
     columns_[static_cast<size_t>(c)].resize(n);
     nulls_[static_cast<size_t>(c)].resize(n, 1);
   }
+  ++version_;
 }
 
 Relation Relation::HeadRows(size_t n) const {

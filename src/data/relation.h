@@ -2,6 +2,7 @@
 #define HYFD_DATA_RELATION_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -47,6 +48,13 @@ class Relation {
   /// Appends one row; the row size must match the schema.
   void AppendRow(const std::vector<std::optional<std::string>>& row);
 
+  /// Mutation counter: bumped by every AppendRow/SetValue/SetNull/Resize.
+  /// Derived state (PLIs, compressed records) records the version it was
+  /// built from, so using it against a since-mutated relation throws instead
+  /// of silently reading stale partitions (see
+  /// PreprocessedData::CheckSyncedWith).
+  uint64_t version() const { return version_; }
+
   /// Direct cell write used by the generators (rows must exist already).
   void SetValue(size_t row, int col, std::string value);
   void SetNull(size_t row, int col);
@@ -74,6 +82,7 @@ class Relation {
   Schema schema_;
   std::vector<std::vector<std::string>> columns_;
   std::vector<std::vector<uint8_t>> nulls_;
+  uint64_t version_ = 0;
 };
 
 }  // namespace hyfd

@@ -75,6 +75,21 @@ size_t CountFdsRec(const FDTree::Node* node) {
   return n;
 }
 
+size_t CountConfirmedFdsRec(const FDTree::Node* node) {
+  size_t n = static_cast<size_t>(node->confirmed.Count());
+  for (const auto& child : node->children) {
+    if (child) n += CountConfirmedFdsRec(child.get());
+  }
+  return n;
+}
+
+void ConfirmAllRec(FDTree::Node* node) {
+  node->confirmed = node->fds;
+  for (const auto& child : node->children) {
+    if (child) ConfirmAllRec(child.get());
+  }
+}
+
 size_t CountNodesRec(const FDTree::Node* node) {
   size_t n = 1;
   for (const auto& child : node->children) {
@@ -93,7 +108,7 @@ int DepthRec(const FDTree::Node* node) {
 
 size_t MemoryBytesRec(const FDTree::Node* node) {
   size_t bytes = sizeof(FDTree::Node) + node->fds.MemoryBytes() +
-                 node->rhs_attrs.MemoryBytes() +
+                 node->rhs_attrs.MemoryBytes() + node->confirmed.MemoryBytes() +
                  node->children.capacity() * sizeof(std::unique_ptr<FDTree::Node>);
   for (const auto& child : node->children) {
     if (child) bytes += MemoryBytesRec(child.get());
@@ -113,6 +128,10 @@ void CheckNodeInvariants(const FDTree::Node* node, int num_attributes,
              "FDTree: rhs_attrs bitset ranges over the wrong attribute count");
   HYFD_CHECK(node->fds.IsSubsetOf(node->rhs_attrs),
              "FDTree: stored RHS missing from the node's rhs_attrs superset");
+  HYFD_CHECK(node->confirmed.size() == num_attributes,
+             "FDTree: confirmed bitset ranges over the wrong attribute count");
+  HYFD_CHECK(node->confirmed.IsSubsetOf(node->fds),
+             "FDTree: confirmed RHS that is not a stored FD");
   HYFD_CHECK(node->children.empty() ||
                  node->children.size() == static_cast<size_t>(num_attributes),
              "FDTree: child slots outside the attribute range");
@@ -205,6 +224,7 @@ void FDTree::RemoveFd(const AttributeSet& lhs, int rhs) {
     if (node == nullptr) return;
   }
   node->fds.Reset(rhs);
+  node->confirmed.Reset(rhs);
   // rhs_attrs along the path may now over-approximate; that only costs lookup
   // time, never correctness, so we do not recompute it here.
 }
@@ -246,6 +266,10 @@ FDSet FDTree::ToFdSet() const {
 }
 
 size_t FDTree::CountFds() const { return CountFdsRec(root_.get()); }
+size_t FDTree::CountConfirmedFds() const {
+  return CountConfirmedFdsRec(root_.get());
+}
+void FDTree::ConfirmAll() { ConfirmAllRec(root_.get()); }
 size_t FDTree::CountNodes() const { return CountNodesRec(root_.get()); }
 int FDTree::Depth() const { return DepthRec(root_.get()); }
 size_t FDTree::MemoryBytes() const { return MemoryBytesRec(root_.get()); }

@@ -25,12 +25,20 @@ class FDTree {
  public:
   struct Node {
     explicit Node(int num_attributes)
-        : fds(num_attributes), rhs_attrs(num_attributes) {}
+        : fds(num_attributes),
+          rhs_attrs(num_attributes),
+          confirmed(num_attributes) {}
 
     /// RHS attributes whose FD ends at this node.
     AttributeSet fds;
     /// Superset of RHS attributes stored anywhere in this subtree.
     AttributeSet rhs_attrs;
+    /// Subset of `fds` that a completed Validator pass proved to hold on the
+    /// data (vs. merely candidate after Inductor specialization). The
+    /// incremental session uses this to route previously-proven FDs through
+    /// the cheap restricted re-check (only clusters touched by new rows)
+    /// while fresh candidates get the full check. Invariant: confirmed ⊆ fds.
+    AttributeSet confirmed;
     /// Children indexed by attribute; allocated lazily.
     std::vector<std::unique_ptr<Node>> children;
 
@@ -86,6 +94,11 @@ class FDTree {
   FDSet ToFdSet() const;
 
   size_t CountFds() const;
+  /// FDs marked validated-on-data (Node::confirmed bits).
+  size_t CountConfirmedFds() const;
+  /// Marks every stored FD as validated-on-data (confirmed = fds everywhere);
+  /// used when seeding an incremental session from a completed discovery.
+  void ConfirmAll();
   size_t CountNodes() const;
   /// Depth of the deepest node (longest stored LHS).
   int Depth() const;

@@ -47,6 +47,31 @@ class CompressedRecords {
   /// mismatch; every word is overwritten, so no Clear() is needed.
   void MatchInto(RecordId a, RecordId b, AttributeSet* agree) const;
 
+  /// Grows the matrix to `new_num_records` rows, every new cell initialised
+  /// to kUniqueCluster (IncrementalHyFd::ApplyBatch then stamps cluster ids
+  /// via SetCluster as the per-column PLIs grow). Shrinking throws.
+  void Append(size_t new_num_records);
+
+  /// Overwrites one cell; used only while replaying a batch append so the
+  /// matrix tracks the grown PLIs (new rows joining clusters, old singletons
+  /// promoted into fresh clusters).
+  void SetCluster(RecordId r, int attr, ClusterId c) {
+    values_[static_cast<size_t>(r) * num_attributes_ + attr] = c;
+  }
+
+  /// FNV-1a fingerprint over the matrix shape and every cluster id. Keys the
+  /// PliCache binding (HyFd's owned cross-run cache, PliCache::Rebind): equal
+  /// fingerprints ⇒ identical compressed input, so cached partitions remain
+  /// valid; any append or edit changes the fingerprint.
+  uint64_t Fingerprint() const;
+
+  /// Deep audit for the grown state: rebuilds the matrix from `plis` (which
+  /// must be the per-attribute PLIs in schema order, already grown to the
+  /// same record count) and checks cell-for-cell agreement. Throws
+  /// ContractViolation on the first mismatch. O(num_records × attributes);
+  /// intended for audit builds and tests, not the hot path.
+  void CheckInvariants(const std::vector<Pli>& plis) const;
+
   size_t MemoryBytes() const { return values_.capacity() * sizeof(ClusterId); }
 
  private:

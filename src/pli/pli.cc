@@ -47,6 +47,36 @@ void Pli::CheckInvariants() const {
              "Pli: cached total cluster count drifted from clusters");
 }
 
+void Pli::AppendRows(size_t new_num_records,
+                     const std::vector<std::pair<uint32_t, RecordId>>& appends,
+                     std::vector<std::vector<RecordId>> new_clusters) {
+  HYFD_CHECK(new_num_records >= num_records_,
+             "Pli::AppendRows: record count may only grow");
+  for (const auto& [cluster_idx, record] : appends) {
+    HYFD_CHECK(cluster_idx < clusters_.size(),
+               "Pli::AppendRows: append targets a nonexistent cluster");
+    auto& cluster = clusters_[cluster_idx];
+    HYFD_CHECK(record > cluster.back(),
+               "Pli::AppendRows: appended id must exceed the cluster tail");
+    HYFD_CHECK(static_cast<size_t>(record) >= num_records_ &&
+                   static_cast<size_t>(record) < new_num_records,
+               "Pli::AppendRows: appended id outside the new-row range");
+    cluster.push_back(record);
+    ++size_;
+  }
+  for (auto& cluster : new_clusters) {
+    HYFD_CHECK(cluster.size() >= 2,
+               "Pli::AppendRows: new cluster smaller than two records");
+    size_ += cluster.size();
+    clusters_.push_back(std::move(cluster));
+  }
+  num_records_ = new_num_records;
+  // Total classes = stripped clusters + implicit singletons; both cached
+  // counts are re-derivable, so re-derive instead of patching incrementally.
+  num_clusters_total_ = clusters_.size() + (num_records_ - size_);
+  HYFD_AUDIT_ONLY(CheckInvariants());
+}
+
 std::vector<ClusterId> Pli::BuildProbingTable() const {
   std::vector<ClusterId> table(num_records_, kUniqueCluster);
   for (size_t c = 0; c < clusters_.size(); ++c) {

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace hyfd {
@@ -67,6 +68,19 @@ class Pli {
   /// TANE's partition error e(X): (non-unique records − stripped clusters).
   /// e(X) == e(X∪A) is equivalent to X→A (Huhtala et al., 1999).
   size_t Error() const { return size_ - clusters_.size(); }
+
+  /// Grows the partition in place after a batch of rows was appended to the
+  /// underlying relation (IncrementalHyFd::ApplyBatch). `appends` lists
+  /// (existing stripped-cluster index, new record id) pairs for new rows
+  /// whose value joins a pre-existing cluster; `new_clusters` holds brand-new
+  /// clusters of size ≥ 2 (e.g. an old singleton promoted by a matching new
+  /// row, or several equal new rows). Every appended id must exceed the
+  /// cluster's current tail and be ≥ the old num_records(); `new_num_records`
+  /// becomes the new record count. Throws ContractViolation on malformed
+  /// input.
+  void AppendRows(size_t new_num_records,
+                  const std::vector<std::pair<uint32_t, RecordId>>& appends,
+                  std::vector<std::vector<RecordId>> new_clusters);
 
   /// Builds the probing table: record → cluster id, kUniqueCluster for
   /// singletons.

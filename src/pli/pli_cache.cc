@@ -225,6 +225,24 @@ void PliCache::ChargeTrackerLocked() {
   }
 }
 
+void PliCache::Rebind(uint64_t data_fingerprint, size_t num_records) {
+  auto lock = ExclusiveLock();
+  if (data_fingerprint_ == data_fingerprint && num_records_ == num_records) {
+    return;  // same data: cached partitions stay warm
+  }
+  HYFD_CHECK(singles_.empty(),
+             "PliCache::Rebind: a cache with pinned singles cannot re-bind — "
+             "the pinned single-column PLIs would be stale");
+  stale_drops_.fetch_add(lru_.size(), std::memory_order_relaxed);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+  data_fingerprint_ = data_fingerprint;
+  num_records_ = num_records;
+  ChargeTrackerLocked();
+  HYFD_AUDIT_ONLY(CheckInvariantsLocked());
+}
+
 void PliCache::set_budget_bytes(size_t budget_bytes) {
   auto lock = ExclusiveLock();
   config_.budget_bytes = budget_bytes;
@@ -293,6 +311,7 @@ PliCache::Counters PliCache::counters() const {
   c.evictions = evictions_.load(std::memory_order_relaxed);
   c.derivations = derivations_.load(std::memory_order_relaxed);
   c.inserts = inserts_.load(std::memory_order_relaxed);
+  c.stale_drops = stale_drops_.load(std::memory_order_relaxed);
   c.bytes = bytes_;
   c.entries = lru_.size();
   return c;
@@ -304,6 +323,7 @@ void PliCache::ResetCounters() {
   evictions_.store(0, std::memory_order_relaxed);
   derivations_.store(0, std::memory_order_relaxed);
   inserts_.store(0, std::memory_order_relaxed);
+  stale_drops_.store(0, std::memory_order_relaxed);
 }
 
 size_t PliCache::TotalBytes() const {

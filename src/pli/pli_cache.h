@@ -82,6 +82,7 @@ class PliCache {
     size_t evictions = 0;
     size_t derivations = 0;  ///< PLI intersections performed on miss paths
     size_t inserts = 0;
+    size_t stale_drops = 0;  ///< entries dropped by Rebind() re-binding
     size_t bytes = 0;
     size_t entries = 0;
   };
@@ -146,6 +147,20 @@ class PliCache {
   void Put(const AttributeSet& attrs, Pli pli);
   void Put(const AttributeSet& attrs, std::shared_ptr<const Pli> pli);
 
+  /// Fingerprint of the dataset the cached partitions were built from
+  /// (CompressedRecords::Fingerprint); 0 until the first Rebind().
+  uint64_t data_fingerprint() const { return data_fingerprint_; }
+
+  /// Binds the cache to a dataset fingerprint + record count. A no-op when
+  /// both already match (the cached partitions stay warm — the cross-batch
+  /// reuse path of IncrementalHyFd). On any mismatch every derived entry is
+  /// dropped (counted under Counters::stale_drops, not evictions) and the
+  /// record count is updated, so a later Put()/Probe() can never serve a
+  /// partition computed over the old rows. Caches with pinned singles refuse
+  /// to re-bind to different data (the pinned inputs themselves would be
+  /// stale): ContractViolation.
+  void Rebind(uint64_t data_fingerprint, size_t num_records);
+
   /// Re-budgets the cache, evicting immediately if the new budget is lower.
   void set_budget_bytes(size_t budget_bytes);
 
@@ -205,6 +220,7 @@ class PliCache {
   NullSemantics nulls_;
   int num_attributes_ = 0;
   size_t num_records_ = 0;
+  uint64_t data_fingerprint_ = 0;
   size_t singles_bytes_ = 0;
 
   std::vector<std::shared_ptr<const Pli>> singles_;
@@ -220,6 +236,7 @@ class PliCache {
   std::atomic<size_t> evictions_{0};
   std::atomic<size_t> derivations_{0};
   std::atomic<size_t> inserts_{0};
+  std::atomic<size_t> stale_drops_{0};
 };
 
 }  // namespace hyfd

@@ -15,6 +15,7 @@
 #include "baselines/registry.h"
 #include "core/hyfd.h"
 #include "core/hyucc.h"
+#include "core/preprocessor.h"
 #include "data/generators.h"
 #include "fd/fd_tree.h"
 #include "fd/reference.h"
@@ -217,6 +218,104 @@ TEST(AttributeSetAuditTest, SizeMismatchFiresUnderDchecks) {
   EXPECT_THROW(a |= b, ContractViolation);
   EXPECT_THROW(a.IsSubsetOf(b), ContractViolation);
   EXPECT_THROW(a.Intersects(b), ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// Stale derived state: mutating a Relation after its PLIs / compressed
+// records were built must be detectable, not silently wrong (the
+// Relation::version fingerprint behind IncrementalHyFd's batch entry check).
+// ---------------------------------------------------------------------------
+
+TEST(StaleDerivedStateAuditTest, AppendRowAfterPreprocessFires) {
+  Relation r = testing::RandomRelation(4, 30, 9, 3);
+  PreprocessedData data = Preprocess(r, NullSemantics::kNullEqualsNull);
+  EXPECT_NO_THROW(data.CheckSyncedWith(r));
+  r.AppendRow({std::string("x"), std::string("y"), std::string("z"),
+               std::string("w")});
+  // The PLIs still describe 30 rows; consuming them now would silently
+  // discover FDs over stale partitions.
+  EXPECT_THROW(data.CheckSyncedWith(r), ContractViolation);
+}
+
+TEST(StaleDerivedStateAuditTest, InPlaceEditFiresEvenWithSameRowCount) {
+  Relation r = testing::RandomRelation(4, 30, 10, 3);
+  PreprocessedData data = Preprocess(r, NullSemantics::kNullEqualsNull);
+  r.SetValue(5, 2, "edited");  // row count unchanged — version must catch it
+  EXPECT_THROW(data.CheckSyncedWith(r), ContractViolation);
+  Relation fresh = testing::RandomRelation(4, 30, 10, 3);
+  EXPECT_NO_THROW(Preprocess(fresh, NullSemantics::kNullEqualsNull)
+                      .CheckSyncedWith(fresh));
+}
+
+TEST(PliAppendAuditTest, MalformedAppendsFire) {
+  Relation r = testing::RandomRelation(1, 20, 12, 2);
+  {
+    Pli pli = BuildColumnPli(r, 0);
+    const auto bad_cluster = static_cast<uint32_t>(pli.clusters().size());
+    EXPECT_THROW(pli.AppendRows(21, {{bad_cluster, RecordId{20}}}, {}),
+                 ContractViolation);
+  }
+  {
+    Pli pli = BuildColumnPli(r, 0);
+    // Appended id must exceed the cluster tail AND sit in the new-row range.
+    EXPECT_THROW(pli.AppendRows(21, {{0, RecordId{0}}}, {}),
+                 ContractViolation);
+    EXPECT_THROW(pli.AppendRows(21, {{0, RecordId{25}}}, {}),
+                 ContractViolation);
+  }
+  {
+    Pli pli = BuildColumnPli(r, 0);
+    // A stripped cluster of one record is malformed by definition.
+    EXPECT_THROW(pli.AppendRows(21, {}, {{RecordId{20}}}), ContractViolation);
+  }
+}
+
+TEST(PliAppendAuditTest, WellFormedAppendMatchesFromScratchBuild) {
+  Relation full = testing::RandomRelation(1, 40, 13, 3);
+  Relation head = full.HeadRows(30);
+  Pli grown = BuildColumnPli(head, 0);
+  Pli expected = BuildColumnPli(full, 0);
+  // Route each appended row exactly as IncrementalHyFd does, driven here by
+  // diffing against the from-scratch clusters.
+  std::vector<std::pair<uint32_t, RecordId>> appends;
+  std::vector<std::vector<RecordId>> new_clusters;
+  const size_t old_clusters = grown.clusters().size();
+  for (size_t ci = 0; ci < expected.clusters().size(); ++ci) {
+    std::vector<RecordId> old_members;
+    std::vector<RecordId> new_members;
+    for (RecordId id : expected.clusters()[ci]) {
+      (id < RecordId{30} ? old_members : new_members).push_back(id);
+    }
+    if (new_members.empty()) continue;
+    if (!old_members.empty() && old_members.size() >= 2) {
+      // The old part must be one of grown's clusters; find its index.
+      for (uint32_t gi = 0; gi < old_clusters; ++gi) {
+        if (grown.clusters()[gi] == old_members) {
+          for (RecordId id : new_members) appends.emplace_back(gi, id);
+          break;
+        }
+      }
+    } else {
+      old_members.insert(old_members.end(), new_members.begin(),
+                         new_members.end());
+      new_clusters.push_back(std::move(old_members));
+    }
+  }
+  grown.AppendRows(40, appends, std::move(new_clusters));
+  EXPECT_NO_THROW(grown.CheckInvariants());
+  EXPECT_EQ(grown.num_records(), expected.num_records());
+  EXPECT_EQ(grown.NumClusters(), expected.NumClusters());
+  EXPECT_EQ(grown.Error(), expected.Error());
+}
+
+TEST(FdTreeAuditTest, ConfirmedWithoutStoredFdFires) {
+  FDTree tree(3);
+  tree.AddFd(AttributeSet(3, {0}), 2);
+  tree.ConfirmAll();
+  EXPECT_NO_THROW(tree.CheckInvariants());
+  // A `confirmed` bit with no matching stored FD breaks confirmed ⊆ fds.
+  tree.root()->confirmed.Set(1);
+  EXPECT_THROW(tree.CheckInvariants(), ContractViolation);
 }
 
 TEST(AuditHooksTest, ConstructorSeamFiresOnlyInAuditBuilds) {

@@ -1,0 +1,322 @@
+// Differential sweep for IncrementalHyFd (the "incremental" ctest label):
+// for seeded generated relations, apply k random row batches and assert the
+// incremental FD set is identical to a from-scratch HyFD run on the
+// concatenated relation — and to the brute-force oracle on small inputs —
+// after EVERY batch, under thread counts {1, 8} and with the session's PLI
+// cache on and off. This is the equivalence guarantee DESIGN.md §9 promises.
+
+#include "core/incremental.h"
+
+#include <algorithm>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/hyfd.h"
+#include "data/generators.h"
+#include "fd/reference.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "util/check.h"
+
+namespace hyfd {
+namespace {
+
+std::vector<std::optional<std::string>> RowOf(const Relation& r, size_t row) {
+  std::vector<std::optional<std::string>> out(
+      static_cast<size_t>(r.num_columns()));
+  for (int c = 0; c < r.num_columns(); ++c) {
+    if (r.IsNull(row, c)) {
+      out[static_cast<size_t>(c)] = std::nullopt;
+    } else {
+      out[static_cast<size_t>(c)] = r.Value(row, c);
+    }
+  }
+  return out;
+}
+
+/// Rows [from, to) of `full` as one batch.
+std::vector<std::vector<std::optional<std::string>>> Slice(const Relation& full,
+                                                           size_t from,
+                                                           size_t to) {
+  std::vector<std::vector<std::optional<std::string>>> rows;
+  rows.reserve(to - from);
+  for (size_t r = from; r < to; ++r) rows.push_back(RowOf(full, r));
+  return rows;
+}
+
+/// Splits `total` into `k` random positive parts (deterministic in rng).
+std::vector<size_t> RandomSplit(size_t total, size_t k, std::mt19937_64& rng) {
+  HYFD_CHECK(total >= k, "RandomSplit: not enough rows for the batch count");
+  std::vector<size_t> sizes(k, 1);
+  for (size_t left = total - k; left > 0; --left) ++sizes[rng() % k];
+  return sizes;
+}
+
+/// The full differential schedule: seed a session from a prefix of `full`,
+/// apply the remaining rows in `num_batches` random batches, and after every
+/// batch compare against from-scratch HyFD (and optionally brute force) on
+/// the concatenated prefix.
+void RunDifferentialSchedule(const Relation& full, size_t initial_rows,
+                             size_t num_batches, IncrementalConfig config,
+                             uint64_t seed, bool check_brute_force,
+                             const std::string& context) {
+  std::mt19937_64 rng(seed * 1013904223u + 12345u);
+  IncrementalHyFd session(full.HeadRows(initial_rows), config);
+
+  HyFdConfig scratch_config;
+  scratch_config.null_semantics = config.null_semantics;
+  {
+    FDSet scratch = DiscoverFds(full.HeadRows(initial_rows), scratch_config);
+    testing::ExpectSameFds(scratch, session.fds(), context + " seed run");
+  }
+
+  size_t applied = initial_rows;
+  const std::vector<size_t> sizes =
+      RandomSplit(full.num_rows() - initial_rows, num_batches, rng);
+  for (size_t b = 0; b < sizes.size(); ++b) {
+    const FDSet& incremental =
+        session.ApplyBatch(Slice(full, applied, applied + sizes[b]));
+    applied += sizes[b];
+
+    const std::string batch_context =
+        context + " batch " + std::to_string(b + 1) + "/" +
+        std::to_string(sizes.size()) + " (rows=" + std::to_string(applied) +
+        ")";
+    FDSet scratch = DiscoverFds(full.HeadRows(applied), scratch_config);
+    testing::ExpectSameFds(scratch, incremental, batch_context);
+    if (check_brute_force) {
+      FDSet brute = DiscoverFdsBruteForce(full.HeadRows(applied),
+                                          config.null_semantics);
+      testing::ExpectSameFds(brute, incremental, batch_context + " vs oracle");
+    }
+  }
+  EXPECT_EQ(applied, full.num_rows());
+  EXPECT_EQ(session.num_batches(), static_cast<int>(num_batches));
+  EXPECT_EQ(session.relation().num_rows(), full.num_rows());
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance-criteria matrix: seeds × threads {1, 8} × cache {on, off}.
+// ---------------------------------------------------------------------------
+
+class IncrementalDifferentialTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(IncrementalDifferentialTest, MatchesFromScratchAfterEveryBatch) {
+  const uint64_t seed = GetParam();
+  Relation full = testing::RandomRelation(5, 120, seed, 3);
+  for (int threads : {1, 8}) {
+    for (bool cache : {true, false}) {
+      IncrementalConfig config;
+      config.num_threads = threads;
+      config.enable_pli_cache = cache;
+      RunDifferentialSchedule(
+          full, /*initial_rows=*/60, /*num_batches=*/4, config, seed,
+          /*check_brute_force=*/true,
+          "threads=" + std::to_string(threads) +
+              " cache=" + (cache ? std::string("on") : std::string("off")));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalDifferentialTest,
+                         ::testing::Range(uint64_t{700}, uint64_t{708}));
+
+// NULL handling: the batch classifier must keep NULL apart from "" and honor
+// both null semantics (NULL == NULL clusters grow; NULL ≠ NULL stays a
+// stripped singleton forever).
+class IncrementalNullSemanticsTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(IncrementalNullSemanticsTest, BothSemanticsMatchFromScratch) {
+  const uint64_t seed = GetParam();
+  Relation full = testing::RandomRelation(4, 90, seed, 3, /*null_rate=*/0.2);
+  for (NullSemantics nulls :
+       {NullSemantics::kNullEqualsNull, NullSemantics::kNullUnequal}) {
+    IncrementalConfig config;
+    config.null_semantics = nulls;
+    RunDifferentialSchedule(
+        full, /*initial_rows=*/40, /*num_batches=*/3, config, seed,
+        /*check_brute_force=*/true,
+        nulls == NullSemantics::kNullEqualsNull ? "null==null" : "null!=null");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalNullSemanticsTest,
+                         ::testing::Range(uint64_t{720}, uint64_t{726}));
+
+// Generated data with planted FDs, skew, and a key column — closer to the
+// bench ladder's shape than the uniform RandomRelation.
+class IncrementalGeneratedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IncrementalGeneratedTest, PlantedFdDataMatchesFromScratch) {
+  GeneratorConfig gen;
+  gen.rows = 300;
+  gen.seed = GetParam();
+  gen.columns = {
+      {.cardinality = 6},
+      {.cardinality = 9, .distribution = Distribution::kZipf},
+      {.cardinality = 4, .null_rate = 0.05},
+      {.cardinality = 0},  // key column
+      {.cardinality = 5, .sources = {0, 1}},
+      {.cardinality = 7, .sources = {2}},
+  };
+  Relation full = Generate(gen);
+  IncrementalConfig config;
+  config.num_threads = 8;
+  RunDifferentialSchedule(full, /*initial_rows=*/200, /*num_batches=*/5,
+                          config, GetParam(), /*check_brute_force=*/false,
+                          "generated");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalGeneratedTest,
+                         ::testing::Range(uint64_t{740}, uint64_t{744}));
+
+// ---------------------------------------------------------------------------
+// Edge cases and session bookkeeping.
+// ---------------------------------------------------------------------------
+
+TEST(IncrementalEdgeTest, EmptyBatchIsANoOp) {
+  Relation r = testing::RandomRelation(4, 50, 11, 3);
+  IncrementalHyFd session(r);
+  FDSet before = session.fds();
+  const FDSet& after = session.ApplyBatch({});
+  testing::ExpectSameFds(before, after, "empty batch");
+  EXPECT_EQ(session.num_batches(), 1);
+  EXPECT_EQ(session.last_batch_stats().batch_rows, 0u);
+  EXPECT_EQ(session.relation().num_rows(), 50u);
+}
+
+TEST(IncrementalEdgeTest, DuplicateRowBatchLeavesFdsUnchanged) {
+  Relation r = testing::RandomRelation(4, 50, 12, 3);
+  IncrementalHyFd session(r);
+  FDSet before = session.fds();
+  // Exact copies of existing rows agree on every attribute with their twin,
+  // so they can never break an FD: the set must survive bit-identically.
+  const FDSet& after = session.ApplyBatch(Slice(r, 10, 20));
+  testing::ExpectSameFds(before, after, "duplicate rows");
+  Relation grown = r;
+  for (size_t row = 10; row < 20; ++row) grown.AppendRow(RowOf(r, row));
+  testing::ExpectSameFds(DiscoverFds(grown), after,
+                         "duplicate rows vs from-scratch");
+}
+
+TEST(IncrementalEdgeTest, SingleRowInitialRelation) {
+  Relation full = testing::RandomRelation(4, 40, 13, 3);
+  IncrementalConfig config;
+  RunDifferentialSchedule(full, /*initial_rows=*/1, /*num_batches=*/3, config,
+                          13, /*check_brute_force=*/true, "1-row seed");
+}
+
+TEST(IncrementalEdgeTest, SingleRowBatches) {
+  Relation full = testing::RandomRelation(4, 30, 14, 3);
+  IncrementalConfig config;
+  // Every batch is exactly one row — the heaviest invalidation churn per
+  // appended row the session can see.
+  RunDifferentialSchedule(full, /*initial_rows=*/25, /*num_batches=*/5, config,
+                          14, /*check_brute_force=*/true, "1-row batches");
+}
+
+TEST(IncrementalEdgeTest, AllDistinctBatchValues) {
+  Relation r = testing::RandomRelation(3, 30, 15, 2);
+  IncrementalHyFd session(r);
+  // Brand-new values everywhere: every appended cell stays a singleton and
+  // no cluster is touched. The only FDs such a batch can break are the
+  // empty-LHS ones — a constant column stops being constant (the restricted
+  // empty-LHS check is a full IsConstant recheck, not cluster-driven).
+  size_t constant_columns = 0;
+  for (const FD& fd : session.fds()) {
+    if (fd.lhs.Empty()) ++constant_columns;
+  }
+  std::vector<std::vector<std::optional<std::string>>> batch;
+  for (int i = 0; i < 5; ++i) {
+    batch.push_back({std::string("fresh") + std::to_string(3 * i),
+                     std::string("fresh") + std::to_string(3 * i + 1),
+                     std::string("fresh") + std::to_string(3 * i + 2)});
+  }
+  const FDSet& got = session.ApplyBatch(batch);
+  EXPECT_EQ(session.last_batch_stats().touched_clusters, 0u);
+  EXPECT_EQ(session.last_batch_stats().fds_invalidated, constant_columns);
+  Relation grown = r;
+  for (const auto& row : batch) grown.AppendRow(row);
+  testing::ExpectSameFds(DiscoverFds(grown), got, "all-distinct batch");
+}
+
+TEST(IncrementalEdgeTest, WidthMismatchRejectsWholeBatch) {
+  Relation r = testing::RandomRelation(3, 20, 16, 3);
+  IncrementalHyFd session(r);
+  std::vector<std::vector<std::optional<std::string>>> batch = {
+      {std::string("a"), std::string("b"), std::string("c")},
+      {std::string("a"), std::string("b")},  // too narrow
+  };
+  EXPECT_THROW(session.ApplyBatch(batch), ContractViolation);
+  // Nothing was appended: the session still answers for the original rows.
+  EXPECT_EQ(session.relation().num_rows(), 20u);
+  testing::ExpectSameFds(DiscoverFds(r), session.fds(), "after rejected batch");
+  // And the session is still usable.
+  session.ApplyBatchStrings({{"a", "b", "c"}});
+  EXPECT_EQ(session.relation().num_rows(), 21u);
+}
+
+TEST(IncrementalEdgeTest, BatchScheduleOrderInvariance) {
+  // The same rows partitioned into different batch schedules end at the same
+  // FD set (each schedule equals the from-scratch answer; comparing the two
+  // sessions pins the user-visible consequence directly).
+  Relation full = testing::RandomRelation(4, 60, 17, 3);
+  IncrementalHyFd one(full.HeadRows(20));
+  one.ApplyBatch(Slice(full, 20, 60));
+  IncrementalHyFd many(full.HeadRows(20));
+  for (size_t from = 20; from < 60; from += 8) {
+    many.ApplyBatch(Slice(full, from, std::min<size_t>(from + 8, 60)));
+  }
+  testing::ExpectSameFds(one.fds(), many.fds(), "one batch vs five");
+}
+
+TEST(IncrementalStatsTest, CountersAndReportTrackTheBatch) {
+  Relation full = testing::RandomRelation(5, 100, 18, 3);
+  RunReport mirror;
+  mirror.dataset = "unit";
+  IncrementalConfig config;
+  config.run_report = &mirror;
+  IncrementalHyFd session(full.HeadRows(80), config);
+  EXPECT_EQ(session.report().algorithm, "hyfd_incremental");
+  EXPECT_EQ(mirror.dataset, "unit");  // harness label survives the overwrite
+
+  session.ApplyBatch(Slice(full, 80, 100));
+  const IncrementalBatchStats& stats = session.last_batch_stats();
+  EXPECT_EQ(stats.batch_rows, 20u);
+  EXPECT_EQ(stats.num_fds, session.fds().size());
+  // Low-domain columns guarantee value collisions, so the batch must have
+  // touched clusters and re-proven inherited FDs via the restricted path.
+  EXPECT_GT(stats.touched_clusters, 0u);
+  EXPECT_GT(stats.fds_revalidated, 0u);
+  const RunReport& report = session.report();
+  EXPECT_EQ(report.rows, 100u);
+  EXPECT_EQ(report.result_count, session.fds().size());
+  EXPECT_TRUE(RunReport::ValidateJsonSchema(report.ToJson()).empty());
+  EXPECT_EQ(mirror.ToJson(), report.ToJson());
+}
+
+TEST(IncrementalStatsTest, CacheRebindsAcrossBatches) {
+  Relation full = testing::RandomRelation(5, 120, 19, 3);
+  IncrementalConfig config;
+  config.enable_pli_cache = true;
+  IncrementalHyFd session(full.HeadRows(100), config);
+  session.ApplyBatch(Slice(full, 100, 110));
+  session.ApplyBatch(Slice(full, 110, 120));
+  // Each batch re-binds the session cache to the grown fingerprint; the
+  // report carries the stale-drop delta (≥ 0 — zero only when the Validator
+  // never assembled a multi-attribute partition worth caching).
+  const RunReport& report = session.report();
+  bool found = false;
+  for (const auto& [name, value] : report.counters) {
+    if (name == "incremental.cache_stale_drops") found = true;
+  }
+  EXPECT_TRUE(found);
+  testing::ExpectSameFds(DiscoverFds(full), session.fds(), "two batches");
+}
+
+}  // namespace
+}  // namespace hyfd
