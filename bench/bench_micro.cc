@@ -5,10 +5,14 @@
 #include <benchmark/benchmark.h>
 
 #include <random>
+#include <string>
 #include <vector>
 
 #include "core/preprocessor.h"
+#include "data/csv.h"
+#include "data/datasets.h"
 #include "data/generators.h"
+#include "data/table_io.h"
 #include "fd/fd_tree.h"
 #include "pli/pli_builder.h"
 #include "pli/pli_cache.h"
@@ -163,6 +167,56 @@ void BM_PliCacheEvictionChurn(benchmark::State& state) {
   ExportCacheCounters(state, cache);
 }
 BENCHMARK(BM_PliCacheEvictionChurn)->Arg(64 << 10)->Arg(1 << 20);
+
+// ---- Storage ladder: CSV parse vs binary table write/load -----------------
+// The load-time cost the binary table cache (data/table_io.h) removes. Rows
+// scale up to the largest bundled dataset's default size (poly-seq, 80000).
+
+Relation StorageRelation(size_t rows) {
+  return MakeDataset("poly-seq", rows);
+}
+
+void BM_CsvParse(benchmark::State& state) {
+  Relation r = StorageRelation(static_cast<size_t>(state.range(0)));
+  const std::string csv = WriteCsvString(r);
+  for (auto _ : state) {
+    Relation parsed = ReadCsvString(csv);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(csv.size()));
+}
+BENCHMARK(BM_CsvParse)->Arg(10000)->Arg(80000)->Unit(benchmark::kMillisecond);
+
+void BM_BinaryWrite(benchmark::State& state) {
+  Relation r = StorageRelation(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::string bytes = SerializeTable(r);
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BinaryWrite)
+    ->Arg(10000)
+    ->Arg(80000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BinaryLoad(benchmark::State& state) {
+  Relation r = StorageRelation(static_cast<size_t>(state.range(0)));
+  const std::string bytes = SerializeTable(r);
+  for (auto _ : state) {
+    Relation loaded = ParseTable(bytes);
+    benchmark::DoNotOptimize(loaded);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(bytes.size()));
+}
+BENCHMARK(BM_BinaryLoad)
+    ->Arg(10000)
+    ->Arg(80000)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_FdTreeAddAndLookup(benchmark::State& state) {
   const int m = 32;

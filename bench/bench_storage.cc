@@ -1,0 +1,121 @@
+// Storage benchmark + CI gate for the binary table cache (data/table_io.h):
+// writes the largest bundled dataset stand-in as CSV, times a cold CSV parse
+// against a warm binary-cache load of the same file, asserts the two
+// relations produce IDENTICAL HyFD results (exits non-zero on any mismatch),
+// and emits BENCH_storage.json with csv_parse / binary_write / binary_load
+// phase timings for the artifact archive.
+//
+// Flags: --dataset=NAME (default poly-seq, the largest default shape),
+//        --rows=N (0 = the dataset's default), --outdir=DIR,
+//        --min-speedup=X (fail unless warm load is ≥X times faster than the
+//        cold parse; 0 disables the gate for noisy CI runners).
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "bench_util.h"
+#include "core/hyfd.h"
+#include "data/csv.h"
+#include "data/datasets.h"
+#include "data/table_io.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace hyfd;
+  using namespace hyfd::bench;
+  namespace fs = std::filesystem;
+
+  Flags flags(argc, argv);
+  const std::string dataset = flags.GetString("dataset", "poly-seq");
+  const size_t rows = static_cast<size_t>(flags.GetInt("rows", 0));
+  const std::string outdir = flags.GetString("outdir", ".");
+  const double min_speedup = flags.GetDouble("min-speedup", 0);
+
+  const fs::path dir = fs::temp_directory_path() / "hyfd_bench_storage";
+  fs::create_directories(dir);
+  const std::string csv_path = (dir / (dataset + ".csv")).string();
+
+  Relation original = MakeDataset(dataset, rows);
+  WriteCsvFile(original, csv_path);
+  std::printf("%s: %zu rows x %d columns, csv %ju bytes\n", dataset.c_str(),
+              original.num_rows(), original.num_columns(),
+              static_cast<uintmax_t>(fs::file_size(csv_path)));
+
+  // Cold: a pure CSV parse (cache bypassed).
+  Timer timer;
+  TableCacheStats stats;
+  Relation cold = LoadCsvWithCache(csv_path, {}, /*force_cold=*/true, &stats);
+  const double csv_parse_seconds = timer.ElapsedSeconds();
+
+  // Prime the cache, timing the binary write.
+  timer.Restart();
+  Relation primed = LoadCsvWithCache(csv_path, {}, false, &stats);
+  const double prime_seconds = timer.ElapsedSeconds();
+  bool ok = true;
+  if (!stats.cache_written) {
+    std::fprintf(stderr, "FAIL: priming load did not write %s\n",
+                 stats.cache_path.c_str());
+    ok = false;
+  }
+
+  // Warm: served from the binary cache.
+  timer.Restart();
+  Relation warm = LoadCsvWithCache(csv_path, {}, false, &stats);
+  const double binary_load_seconds = timer.ElapsedSeconds();
+  if (!stats.cache_hit) {
+    std::fprintf(stderr, "FAIL: warm load missed the cache\n");
+    ok = false;
+  }
+
+  const double speedup =
+      binary_load_seconds > 0 ? csv_parse_seconds / binary_load_seconds : 0;
+  std::printf("cold csv parse  %.4fs\nprime (+write)  %.4fs\n"
+              "warm bin load   %.4fs  (%.1fx faster than the parse)\n",
+              csv_parse_seconds, prime_seconds, binary_load_seconds, speedup);
+  if (min_speedup > 0 && speedup < min_speedup) {
+    std::fprintf(stderr, "FAIL: warm load speedup %.1fx < required %.1fx\n",
+                 speedup, min_speedup);
+    ok = false;
+  }
+
+  // The gate that matters: cold-parsed and cache-loaded input must be
+  // indistinguishable to discovery.
+  HyFd hyfd_cold, hyfd_warm;
+  FDSet fds_cold = hyfd_cold.Discover(cold);
+  FDSet fds_warm = hyfd_warm.Discover(warm);
+  if (!(fds_cold == fds_warm)) {
+    std::fprintf(stderr,
+                 "FAIL: FD sets differ between CSV parse (%zu FDs) and "
+                 "binary cache load (%zu FDs)\n",
+                 fds_cold.size(), fds_warm.size());
+    ok = false;
+  } else {
+    std::printf("FD sets identical on both paths (%zu FDs)\n",
+                fds_cold.size());
+  }
+
+  ReportSink sink("storage");
+  RunReport report;
+  report.algorithm = "storage_cache";
+  report.dataset = dataset;
+  report.rows = original.num_rows();
+  report.columns = original.num_columns();
+  report.result_kind = "fds";
+  report.result_count = fds_cold.size();
+  report.total_seconds = csv_parse_seconds + prime_seconds + binary_load_seconds;
+  report.AddPhase("csv_parse", csv_parse_seconds);
+  report.AddPhase("binary_write", prime_seconds);
+  report.AddPhase("binary_load", binary_load_seconds);
+  report.SetCounter("storage.cache_hit", stats.cache_hit ? 1 : 0);
+  report.SetCounter("storage.speedup_x100",
+                    static_cast<uint64_t>(speedup * 100));
+  report.SetCounter("storage.csv_bytes",
+                    static_cast<uint64_t>(fs::file_size(csv_path)));
+  sink.Add(report);
+  ok = sink.WriteJson(outdir + "/BENCH_storage.json") && ok;
+
+  fs::remove_all(dir);
+  std::printf(ok ? "storage bench: OK\n" : "storage bench: FAILURES\n");
+  return ok ? 0 : 1;
+}

@@ -70,9 +70,12 @@ FDSet HyFd::Discover(const Relation& relation) {
   if (cache == nullptr && config_.enable_pli_cache) {
     // Same relation + same null semantics → same PLIs → same fingerprint, so
     // the owned PLI cache can be kept warm across Discover() calls and is
-    // safely dropped when the data changed. One O(n·m) pass — noise next to
-    // a single validation level.
-    uint64_t fingerprint = data.records.Fingerprint();
+    // safely dropped when the data changed. The fingerprint covers the
+    // storage layer too (dictionaries, types, format version), not just the
+    // cluster structure: a reload whose clusters coincide but whose values
+    // differ must still invalidate. One O(n·m) pass — noise next to a single
+    // validation level.
+    uint64_t fingerprint = DataFingerprint(relation, data.records);
     if (owned_cache_ == nullptr ||
         owned_cache_fingerprint_ != fingerprint ||
         owned_cache_->num_attributes() != data.num_attributes ||

@@ -34,7 +34,8 @@ IncrementalHyFd::IncrementalHyFd(Relation relation, IncrementalConfig config)
     cache_ = std::make_unique<PliCache>(data_.num_attributes,
                                         data_.num_records, cache_config,
                                         config_.null_semantics);
-    cache_->Rebind(data_.records.Fingerprint(), data_.num_records);
+    cache_->Rebind(DataFingerprint(relation_, data_.records),
+                   data_.num_records);
   }
   inductor_ = std::make_unique<Inductor>(&tree_);
 
@@ -93,11 +94,13 @@ void IncrementalHyFd::BuildColumnStates() {
   column_states_.assign(static_cast<size_t>(m), ColumnState{});
   for (int c = 0; c < m; ++c) {
     ColumnState& state = column_states_[static_cast<size_t>(c)];
+    const std::vector<uint32_t>& codes = relation_.segment(c).codes();
     const std::vector<ClusterId> probing =
         data_.plis[static_cast<size_t>(c)].BuildProbingTable();
     for (size_t r = 0; r < n; ++r) {
       const ClusterId cid = probing[r];
-      if (relation_.IsNull(r, static_cast<int>(c))) {
+      const uint32_t code = codes[r];
+      if (code == kNullCode) {
         // Under kNullUnequal every NULL stays a stripped singleton forever:
         // no future row can join it, so it needs no index entry.
         if (config_.null_semantics == NullSemantics::kNullUnequal) continue;
@@ -110,11 +113,10 @@ void IncrementalHyFd::BuildColumnStates() {
         }
         continue;
       }
-      const std::string& value = relation_.Value(r, static_cast<int>(c));
       if (cid != kUniqueCluster) {
-        state.cluster_of[value] = static_cast<uint32_t>(cid);
+        state.cluster_of[code] = static_cast<uint32_t>(cid);
       } else {
-        state.singleton_of[value] = static_cast<RecordId>(r);
+        state.singleton_of[code] = static_cast<RecordId>(r);
       }
     }
   }
@@ -157,9 +159,11 @@ void IncrementalHyFd::GrowDerivedState(size_t old_n, size_t new_n,
       return ci;
     };
 
+    const std::vector<uint32_t>& codes = relation_.segment(c).codes();
     for (size_t r = old_n; r < new_n; ++r) {
       const RecordId rid = static_cast<RecordId>(r);
-      if (relation_.IsNull(r, c)) {
+      const uint32_t code = codes[r];
+      if (code == kNullCode) {
         if (config_.null_semantics == NullSemantics::kNullUnequal) continue;
         if (state.has_null_cluster) {
           join(state.null_cluster, rid);
@@ -173,15 +177,14 @@ void IncrementalHyFd::GrowDerivedState(size_t old_n, size_t new_n,
         }
         continue;
       }
-      const std::string& value = relation_.Value(r, c);
-      if (auto it = state.cluster_of.find(value); it != state.cluster_of.end()) {
+      if (auto it = state.cluster_of.find(code); it != state.cluster_of.end()) {
         join(it->second, rid);
-      } else if (auto single = state.singleton_of.find(value);
+      } else if (auto single = state.singleton_of.find(code);
                  single != state.singleton_of.end()) {
-        state.cluster_of.emplace(value, promote(single->second, rid));
+        state.cluster_of.emplace(code, promote(single->second, rid));
         state.singleton_of.erase(single);
       } else {
-        state.singleton_of.emplace(value, rid);
+        state.singleton_of.emplace(code, rid);
       }
     }
 
@@ -266,7 +269,7 @@ const FDSet& IncrementalHyFd::ApplyBatch(
   if (cache_ != nullptr) {
     // Every cached partition describes the pre-batch rows; the fingerprint
     // changed, so Rebind drops them all (Counters::stale_drops).
-    cache_->Rebind(data_.records.Fingerprint(), new_n);
+    cache_->Rebind(DataFingerprint(relation_, data_.records), new_n);
   }
   stats_.append_seconds = timer.ElapsedSeconds();
 

@@ -132,11 +132,14 @@ class IncrementalHyFd {
  private:
   /// Per-column value index for classifying new rows in O(1): which stripped
   /// cluster (by index) or singleton record currently holds each value.
-  /// NULLs are tracked separately — a NULL cell stores the empty string, so
-  /// keying it through the value maps would conflate NULL with "".
+  /// Keyed by the column segment's dictionary code, not the lexeme — value
+  /// identity is code identity, and codes are stable under type widening
+  /// while canonical lexemes are re-rendered (int "1000000000000000" becomes
+  /// double "1e+15" when a later batch widens the column). NULLs (kNullCode)
+  /// are tracked separately so they never collide with a real code.
   struct ColumnState {
-    std::unordered_map<std::string, uint32_t> cluster_of;
-    std::unordered_map<std::string, RecordId> singleton_of;
+    std::unordered_map<uint32_t, uint32_t> cluster_of;
+    std::unordered_map<uint32_t, RecordId> singleton_of;
     bool has_null_cluster = false;
     uint32_t null_cluster = 0;
     bool has_null_singleton = false;

@@ -35,6 +35,17 @@ void PreprocessedData::CheckSyncedWith(const Relation& relation) const {
              "derived state is stale");
 }
 
+uint64_t DataFingerprint(const Relation& relation,
+                         const CompressedRecords& records) {
+  uint64_t h = relation.ContentFingerprint();
+  const uint64_t r = records.Fingerprint();
+  for (size_t i = 0; i < sizeof(r); ++i) {
+    h ^= (r >> (8 * i)) & 0xFF;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 PreprocessedData Preprocess(const Relation& relation, NullSemantics nulls) {
   PreprocessedData data;
   data.num_records = relation.num_rows();

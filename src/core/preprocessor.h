@@ -56,6 +56,15 @@ struct PreprocessedData {
 PreprocessedData Preprocess(const Relation& relation,
                             NullSemantics nulls = NullSemantics::kNullEqualsNull);
 
+/// Fingerprint used to bind PliCache entries to their source data. Combines
+/// the relation's storage-layer ContentFingerprint (format version, types,
+/// dictionaries, codes) with the compressed records' cluster-structure
+/// fingerprint: two datasets whose cluster structure coincides but whose
+/// values differ (e.g. a CSV edited behind its binary cache) must not alias
+/// each other's cached partitions.
+uint64_t DataFingerprint(const Relation& relation,
+                         const CompressedRecords& records);
+
 }  // namespace hyfd
 
 #endif  // HYFD_CORE_PREPROCESSOR_H_

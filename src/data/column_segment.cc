@@ -1,0 +1,384 @@
+#include "data/column_segment.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace hyfd {
+namespace {
+
+/// Largest integer magnitude that survives an int → double widening exactly.
+constexpr int64_t kMaxExactInt = int64_t{1} << 53;
+
+bool ParseInt(const std::string& lexeme, int64_t* value) {
+  if (lexeme.empty()) return false;
+  const char* first = lexeme.data();
+  const char* last = first + lexeme.size();
+  auto [ptr, ec] = std::from_chars(first, last, *value);
+  return ec == std::errc() && ptr == last;
+}
+
+bool ParseDouble(const std::string& lexeme, double* value) {
+  if (lexeme.empty()) return false;
+  const char* first = lexeme.data();
+  const char* last = first + lexeme.size();
+  auto [ptr, ec] = std::from_chars(first, last, *value);
+  return ec == std::errc() && ptr == last && std::isfinite(*value);
+}
+
+bool IsDigits(const std::string& s, size_t begin, size_t end) {
+  for (size_t i = begin; i < end; ++i) {
+    if (s[i] < '0' || s[i] > '9') return false;
+  }
+  return true;
+}
+
+/// Strict ISO date: "YYYY-MM-DD" with month 01–12 and day 01–31. Strictness
+/// keeps canonicalization the identity and chronological order lexicographic.
+bool IsDate(const std::string& s) {
+  if (s.size() != 10 || s[4] != '-' || s[7] != '-') return false;
+  if (!IsDigits(s, 0, 4) || !IsDigits(s, 5, 7) || !IsDigits(s, 8, 10)) {
+    return false;
+  }
+  const int month = (s[5] - '0') * 10 + (s[6] - '0');
+  const int day = (s[8] - '0') * 10 + (s[9] - '0');
+  return month >= 1 && month <= 12 && day >= 1 && day <= 31;
+}
+
+std::string RenderInt(int64_t value) { return std::to_string(value); }
+
+std::string RenderDouble(double value) {
+  if (value == 0.0) return "0";  // fold -0 into 0: they are value-equal
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  HYFD_CHECK(ec == std::errc(), "ColumnSegment: double rendering overflow");
+  return std::string(buf, ptr);
+}
+
+uint64_t FoldBytes(uint64_t h, const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+uint64_t FoldValue(uint64_t h, uint64_t v) { return FoldBytes(h, &v, sizeof(v)); }
+
+}  // namespace
+
+const char* ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kString:
+      return "string";
+    case ColumnType::kInt:
+      return "int";
+    case ColumnType::kDouble:
+      return "double";
+    case ColumnType::kDate:
+      return "date";
+  }
+  return "?";
+}
+
+ColumnType LexemeType(const std::string& lexeme) {
+  int64_t i;
+  if (ParseInt(lexeme, &i)) {
+    return (i >= -kMaxExactInt && i <= kMaxExactInt) ? ColumnType::kInt
+                                                     : ColumnType::kString;
+  }
+  if (IsDate(lexeme)) return ColumnType::kDate;
+  double d;
+  if (ParseDouble(lexeme, &d)) return ColumnType::kDouble;
+  return ColumnType::kString;
+}
+
+ColumnType WidenType(ColumnType a, ColumnType b) {
+  if (a == b) return a;
+  if (a == ColumnType::kString || b == ColumnType::kString) {
+    return ColumnType::kString;
+  }
+  const bool numeric_a = a == ColumnType::kInt || a == ColumnType::kDouble;
+  const bool numeric_b = b == ColumnType::kInt || b == ColumnType::kDouble;
+  if (numeric_a && numeric_b) return ColumnType::kDouble;
+  return ColumnType::kString;  // numeric vs date: no common supertype but string
+}
+
+std::string CanonicalForm(ColumnType type, const std::string& lexeme) {
+  switch (type) {
+    case ColumnType::kInt: {
+      int64_t v;
+      HYFD_CHECK(ParseInt(lexeme, &v),
+                 "CanonicalForm: lexeme is not an integer");
+      return RenderInt(v);
+    }
+    case ColumnType::kDouble: {
+      double v;
+      HYFD_CHECK(ParseDouble(lexeme, &v),
+                 "CanonicalForm: lexeme is not a finite double");
+      return RenderDouble(v);
+    }
+    case ColumnType::kDate:
+    case ColumnType::kString:
+      return lexeme;
+  }
+  return lexeme;
+}
+
+bool TypedLess(ColumnType type, const std::string& a, const std::string& b) {
+  switch (type) {
+    case ColumnType::kInt: {
+      int64_t va = 0;
+      int64_t vb = 0;
+      ParseInt(a, &va);
+      ParseInt(b, &vb);
+      return va < vb;
+    }
+    case ColumnType::kDouble: {
+      double va = 0;
+      double vb = 0;
+      ParseDouble(a, &va);
+      ParseDouble(b, &vb);
+      if (va != vb) return va < vb;
+      return a < b;  // canonical forms make ties impossible; keep total order
+    }
+    case ColumnType::kDate:
+    case ColumnType::kString:
+      return a < b;
+  }
+  return a < b;
+}
+
+const std::string& ColumnSegment::EmptyValue() {
+  static const std::string* empty = new std::string();
+  return *empty;
+}
+
+ColumnSegment ColumnSegment::FromParts(ColumnType type,
+                                       std::vector<std::string> dictionary,
+                                       std::vector<uint32_t> codes) {
+  HYFD_CHECK(dictionary.size() < kNullCode,
+             "ColumnSegment: dictionary too large (the NULL code is reserved)");
+  ColumnSegment segment;
+  segment.type_ = type;
+  segment.has_values_ = !dictionary.empty();
+  segment.sorted_ = true;
+  segment.dictionary_ = std::move(dictionary);
+  segment.codes_ = std::move(codes);
+  // The encode index is built lazily on the first Encode() — a loaded
+  // segment that is only ever read never pays for it.
+  for (uint32_t i = 0; i < segment.dictionary_.size(); ++i) {
+    const std::string& entry = segment.dictionary_[i];
+    // Canonical-form check, specialized by type: for strings the canonical
+    // form is the identity (nothing to check), which keeps the hot loader
+    // path free of per-entry allocations.
+    switch (type) {
+      case ColumnType::kString:
+        break;
+      case ColumnType::kDate:
+        HYFD_CHECK(IsDate(entry),
+                   "ColumnSegment: dictionary entry is not an ISO date");
+        break;
+      case ColumnType::kInt:
+      case ColumnType::kDouble:
+        HYFD_CHECK(CanonicalForm(type, entry) == entry,
+                   "ColumnSegment: dictionary entry is not in canonical form");
+        break;
+    }
+    if (i > 0) {
+      HYFD_CHECK(TypedLess(type, segment.dictionary_[i - 1], entry),
+                 "ColumnSegment: dictionary is not sorted-unique");
+    }
+  }
+  std::vector<uint8_t> referenced(segment.dictionary_.size(), 0);
+  for (uint32_t code : segment.codes_) {
+    if (code == kNullCode) continue;
+    HYFD_CHECK(code < segment.dictionary_.size(),
+               "ColumnSegment: code out of dictionary range");
+    referenced[code] = 1;
+  }
+  for (size_t i = 0; i < referenced.size(); ++i) {
+    HYFD_CHECK(referenced[i] != 0,
+               "ColumnSegment: dictionary entry referenced by no code");
+  }
+  return segment;
+}
+
+void ColumnSegment::RebuildEncodeIndex() {
+  encode_.clear();
+  encode_.reserve(dictionary_.size());
+  for (uint32_t i = 0; i < dictionary_.size(); ++i) {
+    encode_.emplace(dictionary_[i], i);
+  }
+}
+
+uint32_t ColumnSegment::Encode(const std::string& lexeme) {
+  if (encode_.size() != dictionary_.size()) RebuildEncodeIndex();
+  const ColumnType narrowest = LexemeType(lexeme);
+  if (!has_values_) {
+    has_values_ = true;
+    type_ = narrowest;
+  } else if (WidenType(type_, narrowest) != type_) {
+    Widen(WidenType(type_, narrowest));
+  }
+  std::string canonical = CanonicalForm(type_, lexeme);
+  if (auto it = encode_.find(canonical); it != encode_.end()) {
+    return it->second;
+  }
+  HYFD_CHECK(dictionary_.size() + 1 < kNullCode,
+             "ColumnSegment: dictionary overflow (the NULL code is reserved)");
+  const auto code = static_cast<uint32_t>(dictionary_.size());
+  // First-occurrence order: appending at the end breaks the canonical sorted
+  // layout unless the new value happens to extend it.
+  if (sorted_ && !dictionary_.empty() &&
+      !TypedLess(type_, dictionary_.back(), canonical)) {
+    sorted_ = false;
+  }
+  dictionary_.push_back(canonical);
+  encode_.emplace(std::move(canonical), code);
+  return code;
+}
+
+void ColumnSegment::Widen(ColumnType wider) {
+  type_ = wider;
+  encode_.clear();
+  encode_.reserve(dictionary_.size());
+  for (uint32_t i = 0; i < dictionary_.size(); ++i) {
+    // Injective re-render: exact ints map to distinct doubles, and widening
+    // to string keeps the (already unique) canonical lexemes verbatim — so
+    // codes never merge and stay valid identity.
+    dictionary_[i] = CanonicalForm(wider, dictionary_[i]);
+    const bool inserted = encode_.emplace(dictionary_[i], i).second;
+    HYFD_CHECK(inserted, "ColumnSegment: type widening merged two values");
+  }
+  sorted_ = false;
+}
+
+void ColumnSegment::Append(const std::string& lexeme) {
+  codes_.push_back(Encode(lexeme));
+}
+
+void ColumnSegment::AppendNull() { codes_.push_back(kNullCode); }
+
+void ColumnSegment::Set(size_t row, const std::string& lexeme) {
+  codes_[row] = Encode(lexeme);
+  sorted_ = false;
+}
+
+ColumnSegment ColumnSegment::Head(size_t n) const {
+  ColumnSegment head = *this;
+  head.codes_.resize(std::min(n, codes_.size()));
+  head.sorted_ = false;  // truncation may orphan dictionary entries
+  return head;
+}
+
+size_t ColumnSegment::DistinctCount() const {
+  std::vector<uint8_t> seen(dictionary_.size(), 0);
+  size_t distinct = 0;
+  for (uint32_t code : codes_) {
+    if (code == kNullCode || seen[code] != 0) continue;
+    seen[code] = 1;
+    ++distinct;
+  }
+  return distinct;
+}
+
+ColumnSegment::NormalizationPlan ColumnSegment::PlanNormalization() const {
+  NormalizationPlan plan;
+  std::vector<uint8_t> referenced(dictionary_.size(), 0);
+  for (uint32_t code : codes_) {
+    if (code != kNullCode) referenced[code] = 1;
+  }
+  plan.slots.reserve(dictionary_.size());
+  for (uint32_t i = 0; i < dictionary_.size(); ++i) {
+    if (referenced[i] != 0) plan.slots.push_back(i);
+  }
+  std::sort(plan.slots.begin(), plan.slots.end(), [&](uint32_t a, uint32_t b) {
+    return TypedLess(type_, dictionary_[a], dictionary_[b]);
+  });
+  plan.old_to_new.assign(dictionary_.size(), kNullCode);
+  for (uint32_t new_code = 0; new_code < plan.slots.size(); ++new_code) {
+    plan.old_to_new[plan.slots[new_code]] = new_code;
+  }
+  return plan;
+}
+
+void ColumnSegment::Normalize() {
+  const NormalizationPlan plan = PlanNormalization();
+  std::vector<std::string> sorted_dictionary;
+  sorted_dictionary.reserve(plan.slots.size());
+  for (uint32_t old_code : plan.slots) {
+    sorted_dictionary.push_back(std::move(dictionary_[old_code]));
+  }
+  dictionary_ = std::move(sorted_dictionary);
+  for (uint32_t& code : codes_) {
+    if (code != kNullCode) code = plan.old_to_new[code];
+  }
+  RebuildEncodeIndex();
+  sorted_ = true;
+}
+
+uint64_t ColumnSegment::FoldFingerprint(uint64_t h) const {
+  h = FoldValue(h, static_cast<uint64_t>(type_));
+  h = FoldValue(h, dictionary_.size());
+  for (const std::string& entry : dictionary_) {
+    h = FoldValue(h, entry.size());
+    h = FoldBytes(h, entry.data(), entry.size());
+  }
+  h = FoldValue(h, codes_.size());
+  h = FoldBytes(h, codes_.data(), codes_.size() * sizeof(uint32_t));
+  return h;
+}
+
+size_t ColumnSegment::MemoryBytes() const {
+  size_t bytes = codes_.capacity() * sizeof(uint32_t);
+  for (const std::string& entry : dictionary_) {
+    bytes += sizeof(std::string) + entry.capacity();
+  }
+  // The encode index roughly doubles the dictionary footprint.
+  bytes += encode_.size() * (sizeof(std::string) + sizeof(uint32_t) * 2);
+  return bytes;
+}
+
+void ColumnSegment::CheckInvariants() const {
+  HYFD_CHECK(dictionary_.size() < kNullCode,
+             "ColumnSegment: dictionary size collides with the NULL code");
+  HYFD_CHECK(encode_.empty() || encode_.size() == dictionary_.size(),
+             "ColumnSegment: encode index size disagrees with the dictionary");
+  for (uint32_t i = 0; i < dictionary_.size(); ++i) {
+    const std::string& entry = dictionary_[i];
+    HYFD_CHECK(CanonicalForm(type_, entry) == entry,
+               "ColumnSegment: dictionary entry is not in canonical form");
+    if (!encode_.empty()) {
+      auto it = encode_.find(entry);
+      HYFD_CHECK(it != encode_.end() && it->second == i,
+                 "ColumnSegment: encode index does not map entry to its code");
+    }
+  }
+  for (uint32_t code : codes_) {
+    HYFD_CHECK(code == kNullCode || code < dictionary_.size(),
+               "ColumnSegment: code out of dictionary range");
+  }
+  if (sorted_) {
+    for (size_t i = 1; i < dictionary_.size(); ++i) {
+      HYFD_CHECK(TypedLess(type_, dictionary_[i - 1], dictionary_[i]),
+                 "ColumnSegment: sorted segment has an unsorted or duplicate "
+                 "dictionary");
+    }
+    std::vector<uint8_t> referenced(dictionary_.size(), 0);
+    for (uint32_t code : codes_) {
+      if (code != kNullCode) referenced[code] = 1;
+    }
+    for (size_t i = 0; i < referenced.size(); ++i) {
+      HYFD_CHECK(referenced[i] != 0,
+                 "ColumnSegment: sorted segment has an unreferenced "
+                 "dictionary entry");
+    }
+  }
+}
+
+}  // namespace hyfd

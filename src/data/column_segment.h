@@ -1,0 +1,183 @@
+#ifndef HYFD_DATA_COLUMN_SEGMENT_H_
+#define HYFD_DATA_COLUMN_SEGMENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace hyfd {
+
+/// Inferred value type of a column. The lattice is
+///
+///     kInt ⊂ kDouble ⊂ kString      kDate ⊂ kString
+///
+/// and a column's type is the join of its non-NULL lexemes' narrowest types:
+/// it only ever widens as values are appended, never narrows. Typed columns
+/// compare by *value*, not lexeme — "07" and "7" share one dictionary code in
+/// an int column — which is the identity FD discovery actually wants for
+/// numeric data (and what type-aware error/ranking extensions assume).
+enum class ColumnType : uint8_t {
+  kString = 0,
+  kInt = 1,     ///< int64 lexemes within ±2^53 (so widening to double is exact)
+  kDouble = 2,  ///< finite doubles; canonical form is the shortest round-trip
+  kDate = 3,    ///< strict ISO YYYY-MM-DD
+};
+
+const char* ColumnTypeName(ColumnType type);
+
+/// Narrowest type of a single lexeme. Integers outside ±2^53 classify as
+/// kString (their exactness would not survive an int→double widening).
+ColumnType LexemeType(const std::string& lexeme);
+
+/// Join of two types in the widening lattice (kInt ∪ kDate = kString, ...).
+ColumnType WidenType(ColumnType a, ColumnType b);
+
+/// Canonical dictionary form of `lexeme` under `type`: "007" → "7" (int),
+/// "2.50" → "2.5" and "-0.0" → "0" (double), identity for strings and dates.
+/// `lexeme` must be of `type` or a narrowing of it.
+std::string CanonicalForm(ColumnType type, const std::string& lexeme);
+
+/// Dictionary order of canonical forms under `type`: numeric for kInt and
+/// kDouble, lexicographic (= chronological for ISO dates) otherwise.
+bool TypedLess(ColumnType type, const std::string& a, const std::string& b);
+
+/// Code stored for a NULL cell. NULLs never enter the dictionary, so every
+/// dictionary must stay smaller than this sentinel.
+inline constexpr uint32_t kNullCode = 0xFFFFFFFFu;
+
+/// One dictionary-encoded column: a dictionary of canonical lexemes plus one
+/// dense u32 code per row (kNullCode for NULL cells), in the spirit of
+/// hyrise's dictionary segments.
+///
+/// Codes are assigned in first-occurrence order while a column is being
+/// built, which keeps Append() O(1) amortized; `Normalize()` (or the binary
+/// table writer, which normalizes on the fly) re-sorts the dictionary into
+/// typed order, drops unreferenced entries, and remaps the codes — the
+/// canonical layout the on-disk format stores and `sorted()` advertises.
+///
+/// Within one segment, value identity and code identity coincide: two cells
+/// are equal iff their codes are equal. Type widening re-renders the
+/// dictionary's canonical forms but never merges or renumbers codes, so code
+/// identity is stable across the segment's whole lifetime — derived state
+/// (PLIs, incremental column indexes) may key on codes safely.
+class ColumnSegment {
+ public:
+  ColumnSegment() = default;
+
+  /// Rebuilds a segment from its serialized parts (the binary table loader).
+  /// Validates everything the format promises — canonical forms, typed
+  /// sorted-unique dictionary, codes in range — and throws ContractViolation
+  /// on the first violation.
+  static ColumnSegment FromParts(ColumnType type,
+                                 std::vector<std::string> dictionary,
+                                 std::vector<uint32_t> codes);
+
+  size_t size() const { return codes_.size(); }
+  bool IsNull(size_t row) const { return codes_[row] == kNullCode; }
+
+  /// Canonical lexeme of row `row`; the empty string for NULL cells. The
+  /// reference is invalidated by any mutation of the segment.
+  const std::string& Value(size_t row) const {
+    const uint32_t code = codes_[row];
+    return code == kNullCode ? EmptyValue() : dictionary_[code];
+  }
+
+  uint32_t code(size_t row) const { return codes_[row]; }
+  const std::vector<uint32_t>& codes() const { return codes_; }
+  const std::vector<std::string>& dictionary() const { return dictionary_; }
+  ColumnType type() const { return type_; }
+  /// True when the dictionary is in canonical layout: typed sorted order
+  /// with every entry referenced by at least one code (the on-disk layout).
+  bool sorted() const { return sorted_; }
+
+  /// Appends one cell.
+  void Append(const std::string& lexeme);
+  void AppendNull();
+
+  /// Overwrites one cell (the generators' build path). Overwrites can orphan
+  /// the previous value's dictionary entry, so they drop the canonical-layout
+  /// claim (`sorted()` becomes false) until the next Normalize().
+  void Set(size_t row, const std::string& lexeme);
+  void SetNull(size_t row) {
+    codes_[row] = kNullCode;
+    sorted_ = false;
+  }
+
+  /// Grows (new cells NULL) or truncates to `n` rows.
+  void Resize(size_t n) {
+    if (n < codes_.size()) sorted_ = false;  // truncation can orphan entries
+    codes_.resize(n, kNullCode);
+  }
+
+  /// Copy of the first `n` rows (dictionary kept as-is, possibly with
+  /// entries the retained codes no longer reference).
+  ColumnSegment Head(size_t n) const;
+
+  /// Number of distinct non-NULL values actually referenced by the codes.
+  size_t DistinctCount() const;
+
+  /// Re-sorts the dictionary into typed order, drops unreferenced entries,
+  /// and remaps every code to the canonical layout (`sorted()` afterwards).
+  void Normalize();
+
+  /// The permutation Normalize() would apply: `slots[new_code]` is the old
+  /// code, `old_to_new[old_code]` the new one (kNullCode for unreferenced
+  /// entries). Lets the binary writer serialize a const segment in canonical
+  /// layout without mutating it.
+  struct NormalizationPlan {
+    std::vector<uint32_t> slots;
+    std::vector<uint32_t> old_to_new;
+  };
+  NormalizationPlan PlanNormalization() const;
+
+  /// Folds the segment's logical content — type, dictionary, codes — into a
+  /// running FNV-1a hash (Relation::ContentFingerprint).
+  uint64_t FoldFingerprint(uint64_t h) const;
+
+  size_t MemoryBytes() const;
+
+  /// Deep structural audit: every code in range or kNullCode, dictionary
+  /// entries unique and canonical under the column type, the encode index
+  /// (when built — it is lazy after FromParts) a bijection onto the
+  /// dictionary, and — when sorted() — typed sorted order with no
+  /// unreferenced entries. Throws ContractViolation on the first violation.
+  void CheckInvariants() const;
+
+  /// Test-only corruption hooks proving the audit negatives actually fire.
+  /// Never called by library code.
+  void CorruptCodeForTest(size_t row, uint32_t code) { codes_[row] = code; }
+  void CorruptDictionaryForTest(size_t slot, std::string lexeme) {
+    dictionary_[slot] = std::move(lexeme);
+  }
+  void MarkSortedForTest() { sorted_ = true; }
+
+ private:
+  static const std::string& EmptyValue();
+
+  /// Encodes `lexeme`, widening the column type first if needed; returns the
+  /// (possibly fresh) dictionary code.
+  uint32_t Encode(const std::string& lexeme);
+  /// Rebuilds the canonical → code index from the dictionary. The index is
+  /// built lazily: FromParts() leaves it empty (read-only loads never pay for
+  /// it) and the first Encode() afterwards restores it.
+  void RebuildEncodeIndex();
+  /// Re-renders every dictionary entry under a widened type and rebuilds the
+  /// encode index. Codes are untouched (widening is injective: exact ints
+  /// map to distinct doubles, and falling back to string keeps the already
+  /// unique canonical lexemes).
+  void Widen(ColumnType wider);
+
+  ColumnType type_ = ColumnType::kString;
+  bool has_values_ = false;  ///< type_ is meaningless until the first non-NULL
+  bool sorted_ = true;       ///< vacuously canonical while empty
+  std::vector<std::string> dictionary_;
+  std::vector<uint32_t> codes_;
+  std::unordered_map<std::string, uint32_t> encode_;  ///< canonical → code
+                                                      ///< (lazy; may be empty)
+};
+
+}  // namespace hyfd
+
+#endif  // HYFD_DATA_COLUMN_SEGMENT_H_

@@ -1,9 +1,14 @@
 #include "data/datasets.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <stdexcept>
 
 #include "data/generators.h"
+#include "data/table_io.h"
+#include "util/check.h"
 
 namespace hyfd {
 namespace {
@@ -165,6 +170,79 @@ Relation MakeDataset(const std::string& name, size_t rows, int columns) {
     return Generate(config);
   }
   throw std::out_of_range("unknown dataset: " + name);
+}
+
+Relation MakeDatasetCached(const std::string& name, size_t rows, int columns,
+                           DatasetCacheStats* stats) {
+  const Entry* entry = nullptr;
+  for (const auto& e : Registry()) {
+    if (e.spec.name == name) {
+      entry = &e;
+      break;
+    }
+  }
+  if (entry == nullptr) throw std::out_of_range("unknown dataset: " + name);
+  const size_t effective_rows = rows == 0 ? entry->spec.default_rows : rows;
+  const int effective_columns = columns == 0 ? entry->spec.columns : columns;
+
+  const char* disabled = std::getenv("HYFD_TABLE_CACHE");
+  const bool cache_enabled =
+      disabled == nullptr ||
+      (std::strcmp(disabled, "0") != 0 && std::strcmp(disabled, "off") != 0 &&
+       std::strcmp(disabled, "OFF") != 0);
+  if (!cache_enabled) {
+    if (stats != nullptr) *stats = DatasetCacheStats{};
+    return MakeDataset(name, rows, columns);
+  }
+
+  // The provenance key covers everything that determines the generated
+  // bytes: name, shape, generator seed, and (via FingerprintBytes over the
+  // serialized form — which embeds kTableFormatVersion in its header checksum
+  // contract) the storage format version.
+  const std::string recipe = name + "|" + std::to_string(effective_rows) +
+                             "|" + std::to_string(effective_columns) + "|" +
+                             std::to_string(entry->seed) + "|fmt" +
+                             std::to_string(kTableFormatVersion);
+  const uint64_t recipe_fingerprint = FingerprintBytes(recipe);
+
+  const char* dir_env = std::getenv("HYFD_TABLE_CACHE_DIR");
+  const std::filesystem::path dir =
+      dir_env != nullptr ? std::filesystem::path(dir_env)
+                         : std::filesystem::path(".hyfd-table-cache");
+  const std::filesystem::path path =
+      dir / (name + "-" + std::to_string(effective_rows) + "x" +
+             std::to_string(effective_columns) + kTableCacheSuffix);
+
+  DatasetCacheStats local;
+  local.cache_path = path.string();
+  std::error_code ec;
+  if (std::filesystem::exists(path, ec)) {
+    try {
+      uint64_t stored = 0;
+      Relation relation = ReadTableFile(path.string(), &stored);
+      if (stored == recipe_fingerprint) {
+        local.cache_hit = true;
+        if (stats != nullptr) *stats = std::move(local);
+        return relation;
+      }
+      // Stale recipe (registry/seed/format changed): regenerate below.
+    } catch (const ContractViolation&) {
+      // Corrupt cache file: regenerate and overwrite.
+    } catch (const std::runtime_error&) {
+      // Unreadable cache file: regenerate.
+    }
+  }
+
+  Relation relation = MakeDataset(name, rows, columns);
+  std::filesystem::create_directories(dir, ec);  // best-effort
+  try {
+    WriteTableFile(relation, path.string(), recipe_fingerprint);
+    local.cache_written = true;
+  } catch (const std::runtime_error&) {
+    // Unwritable cache directory: degrade to regeneration every call.
+  }
+  if (stats != nullptr) *stats = std::move(local);
+  return relation;
 }
 
 }  // namespace hyfd

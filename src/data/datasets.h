@@ -36,6 +36,24 @@ const DatasetSpec& FindDataset(const std::string& name);
 /// allowed for scaling experiments (extra columns repeat the profile).
 Relation MakeDataset(const std::string& name, size_t rows = 0, int columns = 0);
 
+/// Outcome of a MakeDatasetCached call (mirrors TableCacheStats).
+struct DatasetCacheStats {
+  bool cache_hit = false;
+  bool cache_written = false;
+  std::string cache_path;
+};
+
+/// MakeDataset with a transparent binary table cache: the generated relation
+/// is serialized once (src/data/table_io.h) into a cache directory and
+/// served from there on subsequent calls. The cache key covers the dataset
+/// name, requested shape, generator seed, and storage format version, so a
+/// registry or format change can never serve stale data. The directory is
+/// `$HYFD_TABLE_CACHE_DIR` if set, else `.hyfd-table-cache` under the
+/// current directory; HYFD_TABLE_CACHE=0 disables caching entirely.
+Relation MakeDatasetCached(const std::string& name, size_t rows = 0,
+                           int columns = 0,
+                           DatasetCacheStats* stats = nullptr);
+
 }  // namespace hyfd
 
 #endif  // HYFD_DATA_DATASETS_H_

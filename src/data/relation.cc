@@ -1,10 +1,19 @@
 #include "data/relation.h"
 
-#include <unordered_set>
+#include <algorithm>
 
 #include "util/check.h"
 
 namespace hyfd {
+namespace {
+
+/// Storage format version folded into ContentFingerprint(): a format bump
+/// must invalidate every fingerprint-keyed consumer (PliCache bindings) even
+/// if the logical data is unchanged. Kept in lockstep with
+/// table_io.h's kTableFormatVersion by a static_assert there.
+constexpr uint64_t kStorageFingerprintVersion = 1;
+
+}  // namespace
 
 Relation Relation::FromRows(
     Schema schema,
@@ -25,51 +34,56 @@ Relation Relation::FromStringRows(
   return r;
 }
 
+Relation Relation::FromSegments(Schema schema,
+                                std::vector<ColumnSegment> segments) {
+  HYFD_CHECK(segments.size() == static_cast<size_t>(schema.num_columns()),
+             "Relation::FromSegments: segment count disagrees with the schema");
+  for (const ColumnSegment& segment : segments) {
+    HYFD_CHECK(segment.size() == segments[0].size(),
+               "Relation::FromSegments: ragged segments");
+  }
+  Relation r;
+  r.schema_ = std::move(schema);
+  r.segments_ = std::move(segments);
+  return r;
+}
+
 void Relation::AppendRow(const std::vector<std::optional<std::string>>& row) {
   HYFD_CHECK(row.size() == static_cast<size_t>(num_columns()),
              "Relation::AppendRow: row width does not match the schema");
   for (size_t c = 0; c < row.size(); ++c) {
     if (row[c].has_value()) {
-      columns_[c].push_back(*row[c]);
-      nulls_[c].push_back(0);
+      segments_[c].Append(*row[c]);
     } else {
-      columns_[c].emplace_back();
-      nulls_[c].push_back(1);
+      segments_[c].AppendNull();
     }
   }
   ++version_;
 }
 
-void Relation::SetValue(size_t row, int col, std::string value) {
+void Relation::SetValue(size_t row, int col, const std::string& value) {
   HYFD_DCHECK(col >= 0 && col < num_columns() && row < num_rows(),
               "Relation::SetValue: cell out of range");
-  columns_[static_cast<size_t>(col)][row] = std::move(value);
-  nulls_[static_cast<size_t>(col)][row] = 0;
+  segments_[static_cast<size_t>(col)].Set(row, value);
   ++version_;
 }
 
 void Relation::SetNull(size_t row, int col) {
   HYFD_DCHECK(col >= 0 && col < num_columns() && row < num_rows(),
               "Relation::SetNull: cell out of range");
-  columns_[static_cast<size_t>(col)][row].clear();
-  nulls_[static_cast<size_t>(col)][row] = 1;
+  segments_[static_cast<size_t>(col)].SetNull(row);
   ++version_;
 }
 
 void Relation::Resize(size_t n) {
-  for (int c = 0; c < num_columns(); ++c) {
-    columns_[static_cast<size_t>(c)].resize(n);
-    nulls_[static_cast<size_t>(c)].resize(n, 1);
-  }
+  for (ColumnSegment& segment : segments_) segment.Resize(n);
   ++version_;
 }
 
 Relation Relation::HeadRows(size_t n) const {
   Relation r(schema_);
-  size_t keep = std::min(n, num_rows());
-  for (size_t c = 0; c < columns_.size(); ++c) {
-    r.columns_[c].assign(columns_[c].begin(), columns_[c].begin() + keep);
-    r.nulls_[c].assign(nulls_[c].begin(), nulls_[c].begin() + keep);
+  for (size_t c = 0; c < segments_.size(); ++c) {
+    r.segments_[c] = segments_[c].Head(n);
   }
   return r;
 }
@@ -80,37 +94,53 @@ Relation Relation::HeadColumns(int k) const {
                                  schema_.names().begin() + k);
   Relation r{Schema(std::move(names))};
   for (int c = 0; c < k; ++c) {
-    r.columns_[static_cast<size_t>(c)] = columns_[static_cast<size_t>(c)];
-    r.nulls_[static_cast<size_t>(c)] = nulls_[static_cast<size_t>(c)];
+    r.segments_[static_cast<size_t>(c)] = segments_[static_cast<size_t>(c)];
   }
   return r;
 }
 
-void Relation::CheckInvariants() const {
-  HYFD_CHECK(columns_.size() == static_cast<size_t>(schema_.num_columns()),
-             "Relation: column count disagrees with the schema");
-  HYFD_CHECK(nulls_.size() == columns_.size(),
-             "Relation: null-flag column count disagrees with value columns");
-  const size_t rows = num_rows();
-  for (size_t c = 0; c < columns_.size(); ++c) {
-    HYFD_CHECK(columns_[c].size() == rows, "Relation: ragged value column");
-    HYFD_CHECK(nulls_[c].size() == rows, "Relation: ragged null-flag column");
-    for (size_t r = 0; r < rows; ++r) {
-      HYFD_CHECK(nulls_[c][r] <= 1, "Relation: null flag outside {0,1}");
-      HYFD_CHECK(nulls_[c][r] == 0 || columns_[c][r].empty(),
-                 "Relation: NULL cell carries a non-empty value");
-    }
-  }
+size_t Relation::DistinctCount(int col) const {
+  return segments_[static_cast<size_t>(col)].DistinctCount();
 }
 
-size_t Relation::DistinctCount(int col) const {
-  std::unordered_set<std::string> seen;
-  const auto& values = columns_[static_cast<size_t>(col)];
-  const auto& nulls = nulls_[static_cast<size_t>(col)];
-  for (size_t r = 0; r < values.size(); ++r) {
-    if (!nulls[r]) seen.insert(values[r]);
+void Relation::Normalize() {
+  for (ColumnSegment& segment : segments_) segment.Normalize();
+  ++version_;
+}
+
+uint64_t Relation::ContentFingerprint() const {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  auto fold = [&h](uint64_t v) {
+    for (size_t i = 0; i < sizeof(v); ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  };
+  auto fold_string = [&](const std::string& s) {
+    fold(s.size());
+    for (unsigned char ch : s) {
+      h ^= ch;
+      h *= 1099511628211ull;
+    }
+  };
+  fold(kStorageFingerprintVersion);
+  fold(static_cast<uint64_t>(num_columns()));
+  fold(num_rows());
+  for (const std::string& name : schema_.names()) fold_string(name);
+  for (const ColumnSegment& segment : segments_) {
+    h = segment.FoldFingerprint(h);
   }
-  return seen.size();
+  return h;
+}
+
+void Relation::CheckInvariants() const {
+  HYFD_CHECK(segments_.size() == static_cast<size_t>(schema_.num_columns()),
+             "Relation: column count disagrees with the schema");
+  const size_t rows = num_rows();
+  for (const ColumnSegment& segment : segments_) {
+    HYFD_CHECK(segment.size() == rows, "Relation: ragged value column");
+    segment.CheckInvariants();
+  }
 }
 
 }  // namespace hyfd

@@ -7,23 +7,28 @@
 #include <string>
 #include <vector>
 
+#include "data/column_segment.h"
 #include "data/schema.h"
 
 namespace hyfd {
 
-/// A relational instance: a column-major table of string values with NULLs.
+/// A relational instance: a column-major table of dictionary-encoded, typed
+/// column segments with NULLs.
 ///
 /// The Relation is the sole input to every discovery algorithm in this
-/// library. Values are opaque strings — FD discovery only needs value
-/// *identity* per column (paper §4: "The values itself, however, must not be
-/// known"), which the Preprocessor turns into position list indexes.
+/// library. FD discovery only needs value *identity* per column (paper §4:
+/// "The values itself, however, must not be known"), and the segments make
+/// that identity explicit: each column stores a dictionary of canonical
+/// lexemes plus one dense u32 code per row, so PLI construction is a
+/// counting pass over codes and two cells are equal iff their codes are.
+/// `Value()` renders the canonical lexeme (typed columns compare by value,
+/// so "07" and "7" in an int column are one value rendered "7").
 class Relation {
  public:
   Relation() = default;
   explicit Relation(Schema schema)
       : schema_(std::move(schema)),
-        columns_(static_cast<size_t>(schema_.num_columns())),
-        nulls_(static_cast<size_t>(schema_.num_columns())) {}
+        segments_(static_cast<size_t>(schema_.num_columns())) {}
 
   /// Builds a relation row-wise; `std::nullopt` cells become NULL.
   static Relation FromRows(
@@ -34,29 +39,41 @@ class Relation {
   static Relation FromStringRows(Schema schema,
                                  const std::vector<std::vector<std::string>>& rows);
 
+  /// Reassembles a relation from loaded segments (the binary table reader).
+  /// Throws ContractViolation on schema/segment arity or length mismatch.
+  static Relation FromSegments(Schema schema,
+                               std::vector<ColumnSegment> segments);
+
   const Schema& schema() const { return schema_; }
   int num_columns() const { return schema_.num_columns(); }
-  size_t num_rows() const { return columns_.empty() ? 0 : columns_[0].size(); }
+  size_t num_rows() const { return segments_.empty() ? 0 : segments_[0].size(); }
 
   const std::string& Value(size_t row, int col) const {
-    return columns_[static_cast<size_t>(col)][row];
+    return segments_[static_cast<size_t>(col)].Value(row);
   }
   bool IsNull(size_t row, int col) const {
-    return nulls_[static_cast<size_t>(col)][row] != 0;
+    return segments_[static_cast<size_t>(col)].IsNull(row);
+  }
+
+  /// The dictionary-encoded segment backing column `col` — codes,
+  /// dictionary, and inferred type. PLI builders and the incremental session
+  /// work on codes directly instead of re-hashing strings.
+  const ColumnSegment& segment(int col) const {
+    return segments_[static_cast<size_t>(col)];
   }
 
   /// Appends one row; the row size must match the schema.
   void AppendRow(const std::vector<std::optional<std::string>>& row);
 
-  /// Mutation counter: bumped by every AppendRow/SetValue/SetNull/Resize.
-  /// Derived state (PLIs, compressed records) records the version it was
-  /// built from, so using it against a since-mutated relation throws instead
-  /// of silently reading stale partitions (see
+  /// Mutation counter: bumped by every AppendRow/SetValue/SetNull/Resize/
+  /// Normalize. Derived state (PLIs, compressed records) records the version
+  /// it was built from, so using it against a since-mutated relation throws
+  /// instead of silently reading stale partitions (see
   /// PreprocessedData::CheckSyncedWith).
   uint64_t version() const { return version_; }
 
   /// Direct cell write used by the generators (rows must exist already).
-  void SetValue(size_t row, int col, std::string value);
+  void SetValue(size_t row, int col, const std::string& value);
   void SetNull(size_t row, int col);
 
   /// Appends `n` empty (all-NULL) rows.
@@ -70,18 +87,31 @@ class Relation {
   /// Number of distinct non-NULL values in column `col` (for stats/tests).
   size_t DistinctCount(int col) const;
 
-  /// Deep structural audit: schema/column/null-flag arity agreement,
-  /// rectangular columns, null flags in {0,1}, and the NULL representation
-  /// invariant (a NULL cell stores the empty string). Throws
-  /// ContractViolation on the first violation. Invoked automatically at the
-  /// discovery seams in audit builds (-DHYFD_AUDIT=ON); callable from any
-  /// build.
+  /// Re-sorts every column dictionary into its canonical typed layout (the
+  /// on-disk binary layout) and remaps the codes. Logical content is
+  /// unchanged, but the physical encoding mutates, so the version is bumped
+  /// like any other mutation.
+  void Normalize();
+
+  /// FNV-1a fingerprint over the relation's logical content *and* physical
+  /// encoding contract: binary storage format version, schema names, column
+  /// types, dictionaries, and code vectors. Two relations share a
+  /// fingerprint only if they are byte-identical at the storage layer, so a
+  /// binary-cache reload of a changed CSV can never alias the old data even
+  /// when the cluster structure happens to match (see PliCache::Rebind).
+  uint64_t ContentFingerprint() const;
+
+  /// Deep structural audit: schema/segment arity agreement, rectangular
+  /// columns, and every segment's own invariants (codes in dictionary range
+  /// or the NULL sentinel, canonical unique dictionaries, sorted layout
+  /// where claimed). Throws ContractViolation on the first violation.
+  /// Invoked automatically at the discovery seams in audit builds
+  /// (-DHYFD_AUDIT=ON); callable from any build.
   void CheckInvariants() const;
 
  private:
   Schema schema_;
-  std::vector<std::vector<std::string>> columns_;
-  std::vector<std::vector<uint8_t>> nulls_;
+  std::vector<ColumnSegment> segments_;
   uint64_t version_ = 0;
 };
 

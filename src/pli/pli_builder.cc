@@ -1,30 +1,56 @@
 #include "pli/pli_builder.h"
 
-#include <string>
+#include <cstdint>
 #include <unordered_map>
+#include <utility>
 
 namespace hyfd {
 
 Pli BuildColumnPli(const Relation& relation, int col, NullSemantics nulls) {
-  std::unordered_map<std::string, std::vector<RecordId>> groups;
-  std::vector<RecordId> null_group;
-  const size_t n = relation.num_rows();
-  for (size_t r = 0; r < n; ++r) {
-    if (relation.IsNull(r, col)) {
-      if (nulls == NullSemantics::kNullEqualsNull) {
-        null_group.push_back(static_cast<RecordId>(r));
-      }
-      // kNullUnequal: NULL rows stay singletons (stripped).
-      continue;
+  // Hash-free counting pass over the column's dictionary codes: value
+  // identity is code identity, so one bucket per code suffices. NULLs (the
+  // kNullCode sentinel) get the extra trailing bucket under kNullEqualsNull
+  // and are stripped singletons under kNullUnequal.
+  const ColumnSegment& segment = relation.segment(col);
+  const std::vector<uint32_t>& codes = segment.codes();
+  const size_t n = codes.size();
+  const size_t num_values = segment.dictionary().size();
+  const bool group_nulls = nulls == NullSemantics::kNullEqualsNull;
+  const size_t num_buckets = num_values + (group_nulls ? 1 : 0);
+
+  std::vector<uint32_t> counts(num_buckets, 0);
+  for (uint32_t code : codes) {
+    if (code == kNullCode) {
+      if (group_nulls) ++counts[num_values];
+    } else {
+      ++counts[code];
     }
-    groups[relation.Value(r, col)].push_back(static_cast<RecordId>(r));
   }
+
+  // Each bucket with 2+ rows becomes a cluster; the bucket-to-cluster map
+  // reuses `counts` as a cursor after clusters are sized.
+  std::vector<uint32_t> cluster_of(num_buckets, UINT32_MAX);
   std::vector<std::vector<RecordId>> clusters;
-  clusters.reserve(groups.size() + 1);
-  for (auto& [_, records] : groups) {
-    if (records.size() >= 2) clusters.push_back(std::move(records));
+  for (size_t b = 0; b < num_buckets; ++b) {
+    if (counts[b] >= 2) {
+      cluster_of[b] = static_cast<uint32_t>(clusters.size());
+      clusters.emplace_back();
+      clusters.back().reserve(counts[b]);
+    }
   }
-  if (null_group.size() >= 2) clusters.push_back(std::move(null_group));
+  for (size_t r = 0; r < n; ++r) {
+    const uint32_t code = codes[r];
+    size_t bucket;
+    if (code == kNullCode) {
+      if (!group_nulls) continue;
+      bucket = num_values;
+    } else {
+      bucket = code;
+    }
+    if (cluster_of[bucket] != UINT32_MAX) {
+      clusters[cluster_of[bucket]].push_back(static_cast<RecordId>(r));
+    }
+  }
   return Pli(std::move(clusters), n);
 }
 
@@ -36,31 +62,51 @@ Pli BuildPli(const Relation& relation, const AttributeSet& attrs,
     for (size_t r = 0; r < n; ++r) all[0].push_back(static_cast<RecordId>(r));
     return Pli(std::move(all), n);
   }
-  std::unordered_map<std::string, std::vector<RecordId>> groups;
-  std::string key;
-  for (size_t r = 0; r < n; ++r) {
-    key.clear();
-    bool unique = false;
-    for (int c = attrs.First(); c != AttributeSet::kNpos; c = attrs.NextAfter(c)) {
-      if (relation.IsNull(r, c)) {
-        if (nulls == NullSemantics::kNullUnequal) {
-          // Every NULL is its own value: the row is a stripped singleton.
-          unique = true;
-          break;
-        }
-        key += '\x01';  // shared NULL token
-      } else {
-        key += relation.Value(r, c);
+
+  // Group rows by their code tuple across X's columns via iterative
+  // refinement: after column k every row holds a dense group id that is
+  // exact equality on the first k code values — the (group, code) pair key
+  // fits one u64, so the grouping is collision-free by construction (the old
+  // implementation concatenated value strings instead). Under kNullUnequal a
+  // NULL anywhere in the tuple makes the row a stripped singleton.
+  std::vector<uint32_t> group(n, 0);
+  std::vector<char> stripped(n, 0);
+  uint32_t num_groups = 1;
+  for (int c = attrs.First(); c != AttributeSet::kNpos; c = attrs.NextAfter(c)) {
+    const std::vector<uint32_t>& codes = relation.segment(c).codes();
+    std::unordered_map<uint64_t, uint32_t> remap;
+    remap.reserve(num_groups);
+    for (size_t r = 0; r < n; ++r) {
+      if (stripped[r]) continue;
+      const uint32_t code = codes[r];
+      if (code == kNullCode && nulls == NullSemantics::kNullUnequal) {
+        stripped[r] = 1;
+        continue;
       }
-      key += '\x02';  // column separator
+      const uint64_t key = (static_cast<uint64_t>(group[r]) << 32) | code;
+      group[r] = remap.emplace(key, static_cast<uint32_t>(remap.size()))
+                     .first->second;
     }
-    if (unique) continue;
-    groups[key].push_back(static_cast<RecordId>(r));
+    num_groups = static_cast<uint32_t>(remap.size());
   }
+
+  std::vector<uint32_t> counts(num_groups, 0);
+  for (size_t r = 0; r < n; ++r) {
+    if (!stripped[r]) ++counts[group[r]];
+  }
+  std::vector<uint32_t> cluster_of(num_groups, UINT32_MAX);
   std::vector<std::vector<RecordId>> clusters;
-  clusters.reserve(groups.size());
-  for (auto& [_, records] : groups) {
-    if (records.size() >= 2) clusters.push_back(std::move(records));
+  for (uint32_t g = 0; g < num_groups; ++g) {
+    if (counts[g] >= 2) {
+      cluster_of[g] = static_cast<uint32_t>(clusters.size());
+      clusters.emplace_back();
+      clusters.back().reserve(counts[g]);
+    }
+  }
+  for (size_t r = 0; r < n; ++r) {
+    if (!stripped[r] && cluster_of[group[r]] != UINT32_MAX) {
+      clusters[cluster_of[group[r]]].push_back(static_cast<RecordId>(r));
+    }
   }
   return Pli(std::move(clusters), n);
 }

@@ -1,0 +1,301 @@
+#include "data/column_segment.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/relation.h"
+#include "data/schema.h"
+#include "gtest/gtest.h"
+#include "pli/pli_builder.h"
+#include "util/check.h"
+
+namespace hyfd {
+namespace {
+
+// ---- Type inference -------------------------------------------------------
+
+TEST(ColumnTypeTest, LexemeClassification) {
+  EXPECT_EQ(LexemeType("7"), ColumnType::kInt);
+  EXPECT_EQ(LexemeType("-42"), ColumnType::kInt);
+  EXPECT_EQ(LexemeType("2.5"), ColumnType::kDouble);
+  EXPECT_EQ(LexemeType("1e3"), ColumnType::kDouble);
+  EXPECT_EQ(LexemeType("2024-02-29"), ColumnType::kDate);
+  EXPECT_EQ(LexemeType("hello"), ColumnType::kString);
+  EXPECT_EQ(LexemeType(""), ColumnType::kString);
+  EXPECT_EQ(LexemeType("7a"), ColumnType::kString);
+  EXPECT_EQ(LexemeType("nan"), ColumnType::kString);  // non-finite
+  EXPECT_EQ(LexemeType("inf"), ColumnType::kString);
+}
+
+TEST(ColumnTypeTest, HugeIntegersStayStrings) {
+  // 2^53 + 1 would not survive an int→double widening exactly.
+  EXPECT_EQ(LexemeType("9007199254740993"), ColumnType::kString);
+  EXPECT_EQ(LexemeType("9007199254740992"), ColumnType::kInt);
+  EXPECT_EQ(LexemeType("-9007199254740993"), ColumnType::kString);
+}
+
+TEST(ColumnTypeTest, WideningLattice) {
+  EXPECT_EQ(WidenType(ColumnType::kInt, ColumnType::kDouble),
+            ColumnType::kDouble);
+  EXPECT_EQ(WidenType(ColumnType::kInt, ColumnType::kDate),
+            ColumnType::kString);
+  EXPECT_EQ(WidenType(ColumnType::kDate, ColumnType::kDate),
+            ColumnType::kDate);
+  EXPECT_EQ(WidenType(ColumnType::kDouble, ColumnType::kString),
+            ColumnType::kString);
+}
+
+// ---- Value identity -------------------------------------------------------
+
+TEST(ColumnSegmentTest, IntColumnComparesByValueNotLexeme) {
+  ColumnSegment s;
+  s.Append("07");
+  s.Append("7");
+  s.Append("8");
+  EXPECT_EQ(s.type(), ColumnType::kInt);
+  EXPECT_EQ(s.code(0), s.code(1));  // "07" and "7" are one value
+  EXPECT_NE(s.code(0), s.code(2));
+  EXPECT_EQ(s.Value(0), "7");  // canonical rendering
+  EXPECT_EQ(s.DistinctCount(), 2u);
+}
+
+TEST(ColumnSegmentTest, DoubleCanonicalization) {
+  ColumnSegment s;
+  s.Append("2.50");
+  s.Append("2.5");
+  s.Append("-0.0");
+  s.Append("0");
+  EXPECT_EQ(s.type(), ColumnType::kDouble);
+  EXPECT_EQ(s.code(0), s.code(1));
+  EXPECT_EQ(s.code(2), s.code(3));  // -0.0 folds to 0
+  EXPECT_EQ(s.Value(0), "2.5");
+  EXPECT_EQ(s.Value(2), "0");
+}
+
+TEST(ColumnSegmentTest, MixedLexemesFallBackToString) {
+  ColumnSegment s;
+  s.Append("7");
+  s.Append("x");
+  EXPECT_EQ(s.type(), ColumnType::kString);
+  // Demotion keeps the already-assigned canonical lexemes distinct.
+  EXPECT_NE(s.code(0), s.code(1));
+  s.Append("07");
+  // In a string column "07" and "7" are different values again — the lexeme
+  // IS the value once no numeric interpretation holds column-wide.
+  EXPECT_NE(s.code(2), s.code(0));
+  EXPECT_EQ(s.DistinctCount(), 3u);
+}
+
+TEST(ColumnSegmentTest, WideningKeepsCodesStable) {
+  ColumnSegment s;
+  s.Append("1000000000000000");  // int canonical
+  const uint32_t code_before = s.code(0);
+  s.Append("0.5");  // widens the column to double
+  EXPECT_EQ(s.type(), ColumnType::kDouble);
+  EXPECT_EQ(s.code(0), code_before);
+  // The canonical rendering changed with the widening...
+  EXPECT_EQ(s.Value(0), "1e+15");
+  // ...but re-appending the original lexeme still hits the same code.
+  s.Append("1000000000000000");
+  EXPECT_EQ(s.code(2), code_before);
+  s.CheckInvariants();
+}
+
+TEST(ColumnSegmentTest, DateColumn) {
+  ColumnSegment s;
+  s.Append("2024-01-31");
+  s.Append("2023-12-01");
+  EXPECT_EQ(s.type(), ColumnType::kDate);
+  s.Append("2024-13-01");  // invalid month → demotes to string
+  EXPECT_EQ(s.type(), ColumnType::kString);
+  EXPECT_EQ(s.DistinctCount(), 3u);
+  s.CheckInvariants();
+}
+
+// ---- NULL handling --------------------------------------------------------
+
+TEST(ColumnSegmentTest, NullsUseSentinelAndSkipDictionary) {
+  ColumnSegment s;
+  s.AppendNull();
+  s.Append("a");
+  s.AppendNull();
+  EXPECT_TRUE(s.IsNull(0));
+  EXPECT_FALSE(s.IsNull(1));
+  EXPECT_EQ(s.code(0), kNullCode);
+  EXPECT_EQ(s.dictionary().size(), 1u);
+  EXPECT_EQ(s.Value(0), "");  // NULL renders empty, but is not the value ""
+  s.Append("");
+  EXPECT_FALSE(s.IsNull(3));
+  EXPECT_NE(s.code(3), kNullCode);
+}
+
+TEST(ColumnSegmentTest, NullsRoundTripUnderBothSemantics) {
+  Relation r = Relation::FromRows(
+      Schema({"a", "b"}),
+      {{std::nullopt, std::string("1")},
+       {std::nullopt, std::string("1")},
+       {std::string("x"), std::nullopt}});
+  // kNullEqualsNull: the two NULLs in column a form one stripped cluster.
+  Pli grouped = BuildColumnPli(r, 0, NullSemantics::kNullEqualsNull);
+  EXPECT_EQ(grouped.clusters().size(), 1u);
+  // kNullUnequal: every NULL is a stripped singleton.
+  Pli stripped = BuildColumnPli(r, 0, NullSemantics::kNullUnequal);
+  EXPECT_EQ(stripped.clusters().size(), 0u);
+  // Column b's non-NULL duplicate survives either way.
+  EXPECT_EQ(
+      BuildColumnPli(r, 1, NullSemantics::kNullUnequal).clusters().size(), 1u);
+}
+
+// ---- Normalization --------------------------------------------------------
+
+TEST(ColumnSegmentTest, NormalizeSortsAndCompacts) {
+  ColumnSegment s;
+  s.Append("10");
+  s.Append("2");
+  s.Append("10");
+  EXPECT_TRUE(TypedLess(ColumnType::kInt, "2", "10"));  // numeric order
+  s.Set(0, "3");  // orphans "10"? no — row 2 still references it
+  s.Set(2, "3");  // now "10" is orphaned
+  EXPECT_FALSE(s.sorted());
+  s.Normalize();
+  EXPECT_TRUE(s.sorted());
+  EXPECT_EQ(s.dictionary(), (std::vector<std::string>{"2", "3"}));
+  EXPECT_EQ(s.Value(0), "3");
+  EXPECT_EQ(s.Value(1), "2");
+  EXPECT_EQ(s.Value(2), "3");
+  s.CheckInvariants();
+}
+
+TEST(ColumnSegmentTest, PlanNormalizationMatchesNormalize) {
+  ColumnSegment s;
+  s.Append("b");
+  s.Append("a");
+  s.Append("c");
+  s.Append("a");
+  const ColumnSegment::NormalizationPlan plan = s.PlanNormalization();
+  ASSERT_EQ(plan.slots.size(), 3u);
+  ColumnSegment copy = s;
+  copy.Normalize();
+  for (size_t row = 0; row < s.size(); ++row) {
+    EXPECT_EQ(plan.old_to_new[s.code(row)], copy.code(row));
+  }
+  for (size_t new_code = 0; new_code < plan.slots.size(); ++new_code) {
+    EXPECT_EQ(s.dictionary()[plan.slots[new_code]],
+              copy.dictionary()[new_code]);
+  }
+}
+
+// ---- Audit negatives: each invariant fires --------------------------------
+
+TEST(ColumnSegmentAuditTest, OutOfRangeCodeFires) {
+  ColumnSegment s;
+  s.Append("a");
+  s.Append("b");
+  s.CorruptCodeForTest(1, 17);
+  EXPECT_THROW(s.CheckInvariants(), ContractViolation);
+}
+
+TEST(ColumnSegmentAuditTest, NonCanonicalDictionaryEntryFires) {
+  ColumnSegment s;
+  s.Append("7");
+  s.Append("9");
+  s.CorruptDictionaryForTest(0, "07");  // not canonical for an int column
+  EXPECT_THROW(s.CheckInvariants(), ContractViolation);
+}
+
+TEST(ColumnSegmentAuditTest, DuplicateDictionaryEntryFires) {
+  ColumnSegment s;
+  s.Append("a");
+  s.Append("b");
+  s.CorruptDictionaryForTest(1, "a");
+  EXPECT_THROW(s.CheckInvariants(), ContractViolation);
+}
+
+TEST(ColumnSegmentAuditTest, FalseSortedClaimFires) {
+  ColumnSegment s;
+  s.Append("b");
+  s.Append("a");  // first-occurrence order: dictionary is ["b", "a"]
+  s.MarkSortedForTest();
+  EXPECT_THROW(s.CheckInvariants(), ContractViolation);
+}
+
+TEST(ColumnSegmentAuditTest, UnreferencedEntryUnderSortedClaimFires) {
+  ColumnSegment s;
+  s.Append("a");
+  s.Append("b");
+  s.SetNull(1);  // orphans "b"; SetNull dropped the sorted claim
+  s.CheckInvariants();
+  s.MarkSortedForTest();  // reassert canonical layout falsely
+  EXPECT_THROW(s.CheckInvariants(), ContractViolation);
+}
+
+// ---- FromParts validation -------------------------------------------------
+
+TEST(ColumnSegmentFromPartsTest, AcceptsCanonicalParts) {
+  ColumnSegment s = ColumnSegment::FromParts(ColumnType::kInt, {"2", "10"},
+                                             {1, 0, kNullCode, 1});
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.Value(0), "10");
+  EXPECT_TRUE(s.IsNull(2));
+  EXPECT_TRUE(s.sorted());
+  s.CheckInvariants();
+}
+
+TEST(ColumnSegmentFromPartsTest, RejectsBadParts) {
+  // Out-of-range code.
+  EXPECT_THROW(ColumnSegment::FromParts(ColumnType::kString, {"a"}, {0, 1}),
+               ContractViolation);
+  // Unsorted dictionary (numeric order for ints: "10" < "2" is wrong).
+  EXPECT_THROW(
+      ColumnSegment::FromParts(ColumnType::kInt, {"10", "2"}, {0, 1}),
+      ContractViolation);
+  // Non-canonical entry.
+  EXPECT_THROW(ColumnSegment::FromParts(ColumnType::kInt, {"07"}, {0}),
+               ContractViolation);
+  // Unreferenced entry (canonical layout stores no dead values).
+  EXPECT_THROW(ColumnSegment::FromParts(ColumnType::kString, {"a", "b"}, {0}),
+               ContractViolation);
+  // Duplicate entry.
+  EXPECT_THROW(
+      ColumnSegment::FromParts(ColumnType::kString, {"a", "a"}, {0, 1}),
+      ContractViolation);
+}
+
+// ---- Relation-level behaviour on the new substrate ------------------------
+
+TEST(RelationSegmentTest, TypedValueIdentityFlowsIntoPlis) {
+  Relation r = Relation::FromStringRows(
+      Schema({"n", "tag"}),
+      {{"07", "x"}, {"7", "y"}, {"8", "x"}});
+  // "07" and "7" are one value in the int column, so rows 0 and 1 cluster.
+  Pli pli = BuildColumnPli(r, 0);
+  ASSERT_EQ(pli.clusters().size(), 1u);
+  EXPECT_EQ(pli.clusters()[0], (std::vector<RecordId>{0, 1}));
+}
+
+TEST(RelationSegmentTest, NormalizeBumpsVersionAndPreservesContent) {
+  Relation r = Relation::FromStringRows(Schema({"a"}), {{"b"}, {"a"}, {"b"}});
+  const uint64_t before = r.version();
+  const uint64_t fp_before = r.ContentFingerprint();
+  r.Normalize();
+  EXPECT_GT(r.version(), before);
+  EXPECT_EQ(r.Value(0, 0), "b");
+  EXPECT_EQ(r.Value(1, 0), "a");
+  // The fingerprint covers the physical encoding, which changed.
+  EXPECT_NE(r.ContentFingerprint(), fp_before);
+  r.CheckInvariants();
+}
+
+TEST(RelationSegmentTest, ContentFingerprintSeesValueChanges) {
+  Relation a = Relation::FromStringRows(Schema({"x"}), {{"1"}, {"1"}});
+  Relation b = Relation::FromStringRows(Schema({"x"}), {{"2"}, {"2"}});
+  // Identical cluster structure, different values: the storage fingerprint
+  // must differ (this is what keeps a PliCache from aliasing a reload).
+  EXPECT_NE(a.ContentFingerprint(), b.ContentFingerprint());
+  Relation c = Relation::FromStringRows(Schema({"x"}), {{"1"}, {"1"}});
+  EXPECT_EQ(a.ContentFingerprint(), c.ContentFingerprint());
+}
+
+}  // namespace
+}  // namespace hyfd

@@ -6,6 +6,7 @@
 #include "pli/pli_cache.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <memory>
 #include <random>
 #include <thread>
@@ -13,7 +14,10 @@
 
 #include "baselines/registry.h"
 #include "core/hyfd.h"
+#include "core/preprocessor.h"
+#include "data/csv.h"
 #include "data/generators.h"
+#include "data/table_io.h"
 #include "fd/reference.h"
 #include "gtest/gtest.h"
 #include "pli/pli_builder.h"
@@ -491,6 +495,55 @@ TEST(PliCacheRebindTest, FingerprintChangeAloneInvalidates) {
   cache.Rebind(2, r.num_rows());
   EXPECT_EQ(cache.Probe(key), nullptr);
   EXPECT_EQ(cache.counters().stale_drops, 1u);
+}
+
+// Regression: a binary-cache reload of a CSV edited behind the cache file
+// can produce a relation whose *cluster structure* is identical to the old
+// data (values renamed consistently) — so a fingerprint of the compressed
+// records alone would alias, leaving stale cached partitions live. The
+// binding fingerprint (DataFingerprint) also covers the storage layer
+// (dictionaries, types, format version), so the Rebind must drop everything.
+TEST(PliCacheRebindTest, ReloadedCsvWithSameClustersDoesNotAliasFingerprint) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "hyfd_rebind_regression";
+  fs::create_directories(dir);
+  const std::string csv_path = (dir / "data.csv").string();
+
+  Relation original = Relation::FromStringRows(
+      Schema({"a", "b"}), {{"x", "p"}, {"x", "q"}, {"y", "p"}, {"y", "q"}});
+  WriteCsvFile(original, csv_path);
+  Relation first = LoadCsvWithCache(csv_path);
+
+  // Edit the CSV behind the cache file: every value renamed consistently, so
+  // the cluster structure (and first-occurrence code layout) is unchanged.
+  Relation renamed = Relation::FromStringRows(
+      Schema({"a", "b"}), {{"u", "r"}, {"u", "s"}, {"v", "r"}, {"v", "s"}});
+  WriteCsvFile(renamed, csv_path);
+  TableCacheStats stats;
+  Relation second = LoadCsvWithCache(csv_path, {}, false, &stats);
+  EXPECT_FALSE(stats.cache_hit);  // the CSV fingerprint changed
+  EXPECT_EQ(second.Value(0, 0), "u");
+
+  PreprocessedData first_data = Preprocess(first);
+  PreprocessedData second_data = Preprocess(second);
+  // The trap this test guards: cluster structure alone cannot tell the two
+  // datasets apart...
+  ASSERT_EQ(first_data.records.Fingerprint(), second_data.records.Fingerprint());
+  // ...but the binding fingerprint must.
+  const uint64_t fp1 = DataFingerprint(first, first_data.records);
+  const uint64_t fp2 = DataFingerprint(second, second_data.records);
+  EXPECT_NE(fp1, fp2);
+
+  // A singles-less cache (HyFd's owned-cache / incremental-session shape)
+  // re-bound across the reload drops its entries as stale.
+  PliCache cache(first.num_columns(), first.num_rows(), PliCache::Config{});
+  cache.Rebind(fp1, first.num_rows());
+  cache.Put(AttributeSet(2, {0, 1}), BuildPli(first, AttributeSet(2, {0, 1})));
+  ASSERT_NE(cache.Probe(AttributeSet(2, {0, 1})), nullptr);
+  cache.Rebind(fp2, second.num_rows());
+  EXPECT_EQ(cache.Probe(AttributeSet(2, {0, 1})), nullptr);
+  EXPECT_EQ(cache.counters().stale_drops, 1u);
+  fs::remove_all(dir);
 }
 
 TEST(PliCacheRebindTest, PinnedSinglesCacheRefusesToRebind) {
