@@ -43,10 +43,27 @@ IncrementalHyFd::IncrementalHyFd(Relation relation, IncrementalConfig config)
   if (cache_ != nullptr) cache_before = cache_->counters();
   RunInitialDiscovery();
   BuildColumnStates();
+  identity_epoch_ = relation_.IdentityEpoch();
 
   stats_ = IncrementalBatchStats{};
   stats_.num_fds = fds_.size();
   FillReport(total_timer.ElapsedSeconds(), cache_before);
+}
+
+void IncrementalHyFd::Reseed() {
+  data_ = Preprocess(relation_, config_.null_semantics);
+  tree_ = FDTree(relation_.num_columns());
+  negative_cover_.clear();
+  // A fresh Inductor re-seeds the most general FDs ∅ → A on its first
+  // Update over the fresh tree.
+  inductor_ = std::make_unique<Inductor>(&tree_);
+  if (cache_ != nullptr) {
+    cache_->Rebind(DataFingerprint(relation_, data_.records),
+                   data_.num_records);
+  }
+  RunInitialDiscovery();
+  BuildColumnStates();
+  identity_epoch_ = relation_.IdentityEpoch();
 }
 
 void IncrementalHyFd::RunInitialDiscovery() {
@@ -263,6 +280,21 @@ const FDSet& IncrementalHyFd::ApplyBatch(
   const size_t old_n = data_.num_records;
   for (const auto& row : rows) relation_.AppendRow(row);
   const size_t new_n = relation_.num_rows();
+
+  if (relation_.IdentityEpoch() != identity_epoch_) {
+    // The batch widened a numeric column to string and split codes of
+    // pre-batch rows ("07" and "7" were one int value, now two lexemes).
+    // Every piece of derived state — PLIs, compressed records, the tree's
+    // confirmed proofs, the negative cover's agree sets — was computed under
+    // the old identity and may be wrong, so grow-in-place is unsound.
+    // Rebuild everything from the (rare) changed relation instead.
+    stats_.reseeded = true;
+    stats_.append_seconds = timer.ElapsedSeconds();
+    Reseed();
+    stats_.num_fds = fds_.size();
+    FillReport(total_timer.ElapsedSeconds(), cache_before);
+    return fds_;
+  }
 
   Validator::ClusterDelta delta;
   GrowDerivedState(old_n, new_n, &delta);

@@ -56,6 +56,11 @@ struct IncrementalBatchStats {
   /// Previously-proven FDs re-checked via the restricted touched-clusters
   /// scan instead of a full pass.
   size_t fds_revalidated = 0;
+  /// True when the batch widened a numeric column to string and split codes
+  /// of existing rows: value identity changed retroactively, so the session
+  /// rebuilt all derived state and re-ran discovery from scratch instead of
+  /// growing in place.
+  bool reseeded = false;
   size_t validations = 0;   ///< candidate checks performed by the Validator
   size_t comparisons = 0;   ///< record pairs matched by targeted sampling
   int phase_switches = 0;   ///< validation pauses back into sampling
@@ -133,10 +138,13 @@ class IncrementalHyFd {
   /// Per-column value index for classifying new rows in O(1): which stripped
   /// cluster (by index) or singleton record currently holds each value.
   /// Keyed by the column segment's dictionary code, not the lexeme — value
-  /// identity is code identity, and codes are stable under type widening
-  /// while canonical lexemes are re-rendered (int "1000000000000000" becomes
-  /// double "1e+15" when a later batch widens the column). NULLs (kNullCode)
-  /// are tracked separately so they never collide with a real code.
+  /// identity is code identity, and codes are stable under *numeric* type
+  /// widening while canonical lexemes are re-rendered (int "1000000000000000"
+  /// becomes double "1e+15" when a later batch widens the column). A widening
+  /// to string can split codes of existing rows; that bumps the relation's
+  /// IdentityEpoch(), which ApplyBatch answers with a full reseed instead of
+  /// in-place growth. NULLs (kNullCode) are tracked separately so they never
+  /// collide with a real code.
   struct ColumnState {
     std::unordered_map<uint32_t, uint32_t> cluster_of;
     std::unordered_map<uint32_t, RecordId> singleton_of;
@@ -148,6 +156,12 @@ class IncrementalHyFd {
 
   void RunInitialDiscovery();
   void BuildColumnStates();
+  /// Discards every piece of derived state (PLIs, compressed records, tree,
+  /// negative cover, column indexes) and re-runs discovery on the current
+  /// relation. The escape hatch for batches that change value identity
+  /// retroactively (IdentityEpoch() moved): stale clusters cannot be grown,
+  /// they must be rebuilt.
+  void Reseed();
   /// Grows PLIs + compressed records for rows [old_n, new_n) and fills the
   /// touched-cluster delta.
   void GrowDerivedState(size_t old_n, size_t new_n,
@@ -173,6 +187,9 @@ class IncrementalHyFd {
   /// wasted work, so batches only forward fresh ones.
   std::unordered_set<AttributeSet> negative_cover_;
   std::vector<ColumnState> column_states_;
+  /// Relation::IdentityEpoch() the derived state was built under; a change
+  /// after an append means codes split retroactively → Reseed().
+  uint64_t identity_epoch_ = 0;
 
   IncrementalBatchStats stats_;
   RunReport report_;

@@ -13,12 +13,21 @@ namespace {
 /// Largest integer magnitude that survives an int → double widening exactly.
 constexpr int64_t kMaxExactInt = int64_t{1} << 53;
 
-bool ParseInt(const std::string& lexeme, int64_t* value) {
-  if (lexeme.empty()) return false;
+enum class IntParse { kNo, kYes, kOverflow };
+
+IntParse ParseIntStatus(const std::string& lexeme, int64_t* value) {
+  if (lexeme.empty()) return IntParse::kNo;
   const char* first = lexeme.data();
   const char* last = first + lexeme.size();
   auto [ptr, ec] = std::from_chars(first, last, *value);
-  return ec == std::errc() && ptr == last;
+  if (ptr != last) return IntParse::kNo;
+  if (ec == std::errc()) return IntParse::kYes;
+  if (ec == std::errc::result_out_of_range) return IntParse::kOverflow;
+  return IntParse::kNo;
+}
+
+bool ParseInt(const std::string& lexeme, int64_t* value) {
+  return ParseIntStatus(lexeme, value) == IntParse::kYes;
 }
 
 bool ParseDouble(const std::string& lexeme, double* value) {
@@ -87,9 +96,17 @@ const char* ColumnTypeName(ColumnType type) {
 
 ColumnType LexemeType(const std::string& lexeme) {
   int64_t i;
-  if (ParseInt(lexeme, &i)) {
-    return (i >= -kMaxExactInt && i <= kMaxExactInt) ? ColumnType::kInt
-                                                     : ColumnType::kString;
+  switch (ParseIntStatus(lexeme, &i)) {
+    case IntParse::kYes:
+      return (i >= -kMaxExactInt && i <= kMaxExactInt) ? ColumnType::kInt
+                                                       : ColumnType::kString;
+    case IntParse::kOverflow:
+      // An integer lexeme too large for int64 must not fall through to the
+      // double parse: distinct 20-digit ids would merge onto one inexact
+      // double. Same exactness rule as the ±2^53 guard above.
+      return ColumnType::kString;
+    case IntParse::kNo:
+      break;
   }
   if (IsDate(lexeme)) return ColumnType::kDate;
   double d;
@@ -160,7 +177,9 @@ const std::string& ColumnSegment::EmptyValue() {
 
 ColumnSegment ColumnSegment::FromParts(ColumnType type,
                                        std::vector<std::string> dictionary,
-                                       std::vector<uint32_t> codes) {
+                                       std::vector<uint32_t> codes,
+                                       std::vector<RawSpelling> raw_spellings,
+                                       std::vector<VariantRow> variant_rows) {
   HYFD_CHECK(dictionary.size() < kNullCode,
              "ColumnSegment: dictionary too large (the NULL code is reserved)");
   ColumnSegment segment;
@@ -169,6 +188,19 @@ ColumnSegment ColumnSegment::FromParts(ColumnType type,
   segment.sorted_ = true;
   segment.dictionary_ = std::move(dictionary);
   segment.codes_ = std::move(codes);
+  for (RawSpelling& spelling : raw_spellings) {
+    HYFD_CHECK(segment.raw_spelling_
+                   .emplace(spelling.first, std::move(spelling.second))
+                   .second,
+               "ColumnSegment: duplicate raw-spelling code");
+  }
+  for (VariantRow& variant : variant_rows) {
+    HYFD_CHECK(segment.variant_rows_
+                   .emplace(variant.first, std::move(variant.second))
+                   .second,
+               "ColumnSegment: duplicate variant row");
+  }
+  segment.CheckRawSpellingInvariants();
   // The encode index is built lazily on the first Encode() — a loaded
   // segment that is only ever read never pays for it.
   for (uint32_t i = 0; i < segment.dictionary_.size(); ++i) {
@@ -216,7 +248,12 @@ void ColumnSegment::RebuildEncodeIndex() {
   }
 }
 
-uint32_t ColumnSegment::Encode(const std::string& lexeme) {
+const std::string& ColumnSegment::CreatingSpelling(uint32_t code) const {
+  const auto it = raw_spelling_.find(code);
+  return it != raw_spelling_.end() ? it->second : dictionary_[code];
+}
+
+uint32_t ColumnSegment::Encode(const std::string& lexeme, size_t row) {
   if (encode_.size() != dictionary_.size()) RebuildEncodeIndex();
   const ColumnType narrowest = LexemeType(lexeme);
   if (!has_values_) {
@@ -225,8 +262,17 @@ uint32_t ColumnSegment::Encode(const std::string& lexeme) {
   } else if (WidenType(type_, narrowest) != type_) {
     Widen(WidenType(type_, narrowest));
   }
+  const bool numeric =
+      type_ == ColumnType::kInt || type_ == ColumnType::kDouble;
   std::string canonical = CanonicalForm(type_, lexeme);
   if (auto it = encode_.find(canonical); it != encode_.end()) {
+    // Numeric merging of a different spelling ("07" joining the value "7")
+    // is provisional: remember the raw lexeme so a later widening to string
+    // can split this row back out. Lexeme identity must not depend on the
+    // order in which spellings arrived.
+    if (numeric && lexeme != CreatingSpelling(it->second)) {
+      variant_rows_[row] = lexeme;
+    }
     return it->second;
   }
   HYFD_CHECK(dictionary_.size() + 1 < kNullCode,
@@ -238,40 +284,113 @@ uint32_t ColumnSegment::Encode(const std::string& lexeme) {
       !TypedLess(type_, dictionary_.back(), canonical)) {
     sorted_ = false;
   }
+  if (numeric && lexeme != canonical) raw_spelling_.emplace(code, lexeme);
   dictionary_.push_back(canonical);
   encode_.emplace(std::move(canonical), code);
   return code;
 }
 
 void ColumnSegment::Widen(ColumnType wider) {
+  const ColumnType narrow = type_;
+  if (wider == ColumnType::kString &&
+      (narrow == ColumnType::kInt || narrow == ColumnType::kDouble)) {
+    WidenNumericToString();
+    return;
+  }
   type_ = wider;
   encode_.clear();
   encode_.reserve(dictionary_.size());
   for (uint32_t i = 0; i < dictionary_.size(); ++i) {
-    // Injective re-render: exact ints map to distinct doubles, and widening
-    // to string keeps the (already unique) canonical lexemes verbatim — so
-    // codes never merge and stay valid identity.
-    dictionary_[i] = CanonicalForm(wider, dictionary_[i]);
+    // Injective re-render: exact ints map to distinct doubles, and a date
+    // column falls back to string verbatim (dates are their own canonical
+    // form) — so codes never merge and stay valid identity.
+    std::string rendered = CanonicalForm(wider, dictionary_[i]);
+    // An int whose rendering changes under double ("1000000000000000" →
+    // "1e+15") was itself a raw spelling of the double value; keep it so a
+    // later widening to string restores it.
+    if (wider == ColumnType::kDouble && rendered != dictionary_[i] &&
+        raw_spelling_.find(i) == raw_spelling_.end()) {
+      raw_spelling_.emplace(i, std::move(dictionary_[i]));
+    }
+    dictionary_[i] = std::move(rendered);
     const bool inserted = encode_.emplace(dictionary_[i], i).second;
     HYFD_CHECK(inserted, "ColumnSegment: type widening merged two values");
   }
   sorted_ = false;
 }
 
+void ColumnSegment::WidenNumericToString() {
+  type_ = ColumnType::kString;
+  // String identity is lexeme identity: each code's dictionary entry becomes
+  // the raw spelling that created it, and every row whose spelling had been
+  // numerically merged onto another spelling's code splits onto its own.
+  for (auto& [code, spelling] : raw_spelling_) {
+    dictionary_[code] = std::move(spelling);
+  }
+  raw_spelling_.clear();
+  // The index keyed the old numeric canonical forms; re-key it on the
+  // restored lexemes before the caller's lookup (and the splits below).
+  RebuildEncodeIndex();
+  if (!variant_rows_.empty()) {
+    // Split in ascending row order so code numbering is deterministic.
+    std::vector<uint64_t> rows;
+    rows.reserve(variant_rows_.size());
+    for (const auto& [row, raw] : variant_rows_) rows.push_back(row);
+    std::sort(rows.begin(), rows.end());
+    for (uint64_t row : rows) {
+      std::string& raw = variant_rows_[row];
+      uint32_t code;
+      if (auto it = encode_.find(raw); it != encode_.end()) {
+        code = it->second;  // an earlier variant row already split this lexeme
+      } else {
+        HYFD_CHECK(dictionary_.size() + 1 < kNullCode,
+                   "ColumnSegment: dictionary overflow (the NULL code is "
+                   "reserved)");
+        code = static_cast<uint32_t>(dictionary_.size());
+        dictionary_.push_back(raw);
+        encode_.emplace(std::move(raw), code);
+      }
+      codes_[row] = code;
+    }
+    variant_rows_.clear();
+    // Codes of existing rows changed: anything keyed on them is invalid.
+    ++identity_epoch_;
+  }
+  sorted_ = false;
+}
+
 void ColumnSegment::Append(const std::string& lexeme) {
-  codes_.push_back(Encode(lexeme));
+  const size_t row = codes_.size();
+  codes_.push_back(Encode(lexeme, row));
 }
 
 void ColumnSegment::AppendNull() { codes_.push_back(kNullCode); }
 
 void ColumnSegment::Set(size_t row, const std::string& lexeme) {
-  codes_[row] = Encode(lexeme);
+  variant_rows_.erase(row);  // the overwritten cell's spelling is gone
+  codes_[row] = Encode(lexeme, row);
   sorted_ = false;
+}
+
+void ColumnSegment::SetNull(size_t row) {
+  variant_rows_.erase(row);
+  codes_[row] = kNullCode;
+  sorted_ = false;
+}
+
+void ColumnSegment::Resize(size_t n) {
+  if (n < codes_.size()) {
+    sorted_ = false;  // truncation can orphan entries
+    for (auto it = variant_rows_.begin(); it != variant_rows_.end();) {
+      it = it->first >= n ? variant_rows_.erase(it) : std::next(it);
+    }
+  }
+  codes_.resize(n, kNullCode);
 }
 
 ColumnSegment ColumnSegment::Head(size_t n) const {
   ColumnSegment head = *this;
-  head.codes_.resize(std::min(n, codes_.size()));
+  head.Resize(std::min(n, codes_.size()));
   head.sorted_ = false;  // truncation may orphan dictionary entries
   return head;
 }
@@ -318,8 +437,38 @@ void ColumnSegment::Normalize() {
   for (uint32_t& code : codes_) {
     if (code != kNullCode) code = plan.old_to_new[code];
   }
+  // Re-key the raw spellings; overrides of dropped (unreferenced) codes go
+  // with their entries.
+  std::unordered_map<uint32_t, std::string> remapped;
+  remapped.reserve(raw_spelling_.size());
+  for (auto& [old_code, spelling] : raw_spelling_) {
+    const uint32_t new_code = plan.old_to_new[old_code];
+    if (new_code != kNullCode) remapped.emplace(new_code, std::move(spelling));
+  }
+  raw_spelling_ = std::move(remapped);
   RebuildEncodeIndex();
   sorted_ = true;
+}
+
+std::vector<ColumnSegment::RawSpelling> ColumnSegment::SortedRawSpellings()
+    const {
+  std::vector<RawSpelling> spellings(raw_spelling_.begin(),
+                                     raw_spelling_.end());
+  std::sort(spellings.begin(), spellings.end(),
+            [](const RawSpelling& a, const RawSpelling& b) {
+              return a.first < b.first;
+            });
+  return spellings;
+}
+
+std::vector<ColumnSegment::VariantRow> ColumnSegment::SortedVariantRows()
+    const {
+  std::vector<VariantRow> variants(variant_rows_.begin(), variant_rows_.end());
+  std::sort(variants.begin(), variants.end(),
+            [](const VariantRow& a, const VariantRow& b) {
+              return a.first < b.first;
+            });
+  return variants;
 }
 
 uint64_t ColumnSegment::FoldFingerprint(uint64_t h) const {
@@ -331,6 +480,20 @@ uint64_t ColumnSegment::FoldFingerprint(uint64_t h) const {
   }
   h = FoldValue(h, codes_.size());
   h = FoldBytes(h, codes_.data(), codes_.size() * sizeof(uint32_t));
+  // Raw spellings are logical state (they decide identity after a future
+  // widening to string), so they are part of the fingerprint.
+  h = FoldValue(h, raw_spelling_.size());
+  for (const RawSpelling& spelling : SortedRawSpellings()) {
+    h = FoldValue(h, spelling.first);
+    h = FoldValue(h, spelling.second.size());
+    h = FoldBytes(h, spelling.second.data(), spelling.second.size());
+  }
+  h = FoldValue(h, variant_rows_.size());
+  for (const VariantRow& variant : SortedVariantRows()) {
+    h = FoldValue(h, variant.first);
+    h = FoldValue(h, variant.second.size());
+    h = FoldBytes(h, variant.second.data(), variant.second.size());
+  }
   return h;
 }
 
@@ -341,12 +504,51 @@ size_t ColumnSegment::MemoryBytes() const {
   }
   // The encode index roughly doubles the dictionary footprint.
   bytes += encode_.size() * (sizeof(std::string) + sizeof(uint32_t) * 2);
+  for (const auto& [code, spelling] : raw_spelling_) {
+    bytes += sizeof(uint32_t) + sizeof(std::string) + spelling.capacity();
+  }
+  for (const auto& [row, raw] : variant_rows_) {
+    bytes += sizeof(uint64_t) + sizeof(std::string) + raw.capacity();
+  }
   return bytes;
+}
+
+void ColumnSegment::CheckRawSpellingInvariants() const {
+  if (type_ != ColumnType::kInt && type_ != ColumnType::kDouble) {
+    HYFD_CHECK(raw_spelling_.empty() && variant_rows_.empty(),
+               "ColumnSegment: raw spellings outside a numeric column");
+    return;
+  }
+  for (const auto& [code, spelling] : raw_spelling_) {
+    HYFD_CHECK(code < dictionary_.size(),
+               "ColumnSegment: raw-spelling code out of dictionary range");
+    HYFD_CHECK(spelling != dictionary_[code],
+               "ColumnSegment: raw spelling equals the canonical form");
+    HYFD_CHECK(LexemeType(spelling) != ColumnType::kString &&
+                   CanonicalForm(type_, spelling) == dictionary_[code],
+               "ColumnSegment: raw spelling does not canonicalize to its "
+               "dictionary entry");
+  }
+  for (const auto& [row, raw] : variant_rows_) {
+    HYFD_CHECK(row < codes_.size(),
+               "ColumnSegment: variant row out of range");
+    const uint32_t code = codes_[row];
+    HYFD_CHECK(code != kNullCode, "ColumnSegment: variant row is NULL");
+    HYFD_CHECK(code < dictionary_.size(),
+               "ColumnSegment: variant row's code out of dictionary range");
+    HYFD_CHECK(raw != CreatingSpelling(code),
+               "ColumnSegment: variant row equals its code's raw spelling");
+    HYFD_CHECK(LexemeType(raw) != ColumnType::kString &&
+                   CanonicalForm(type_, raw) == dictionary_[code],
+               "ColumnSegment: variant row does not canonicalize to its "
+               "code's dictionary entry");
+  }
 }
 
 void ColumnSegment::CheckInvariants() const {
   HYFD_CHECK(dictionary_.size() < kNullCode,
              "ColumnSegment: dictionary size collides with the NULL code");
+  CheckRawSpellingInvariants();
   HYFD_CHECK(encode_.empty() || encode_.size() == dictionary_.size(),
              "ColumnSegment: encode index size disagrees with the dictionary");
   for (uint32_t i = 0; i < dictionary_.size(); ++i) {

@@ -28,7 +28,9 @@ enum class ColumnType : uint8_t {
 const char* ColumnTypeName(ColumnType type);
 
 /// Narrowest type of a single lexeme. Integers outside ±2^53 classify as
-/// kString (their exactness would not survive an int→double widening).
+/// kString — whether they still fit int64 or overflow it — because their
+/// exactness would not survive an int→double widening (and distinct >64-bit
+/// ids must never share a lossy double rendering).
 ColumnType LexemeType(const std::string& lexeme);
 
 /// Join of two types in the widening lattice (kInt ∪ kDate = kString, ...).
@@ -58,21 +60,37 @@ inline constexpr uint32_t kNullCode = 0xFFFFFFFFu;
 /// canonical layout the on-disk format stores and `sorted()` advertises.
 ///
 /// Within one segment, value identity and code identity coincide: two cells
-/// are equal iff their codes are equal. Type widening re-renders the
-/// dictionary's canonical forms but never merges or renumbers codes, so code
-/// identity is stable across the segment's whole lifetime — derived state
-/// (PLIs, incremental column indexes) may key on codes safely.
+/// are equal iff their codes are equal. Value identity is defined by the
+/// column's *final* type and is independent of append order: while a column
+/// is numeric, raw spellings that differ from the canonical rendering are
+/// retained on the side ("07" for the int value 7), so a later widening to
+/// kString can re-derive lexeme identity and split values that were merged
+/// numerically. Numeric widenings (int → double) never merge or renumber
+/// codes; a widening to kString may *split* codes of rows whose raw spelling
+/// had been numerically merged — every such split bumps identity_epoch(), so
+/// derived state keyed on codes (PLIs, incremental column indexes) can
+/// detect the retroactive change and rebuild.
 class ColumnSegment {
  public:
   ColumnSegment() = default;
 
+  /// A (code → raw spelling) override retained while the column is numeric:
+  /// the spelling that created `code` when it differs from the canonical
+  /// rendering (e.g. {0, "07"} when dictionary[0] == "7").
+  using RawSpelling = std::pair<uint32_t, std::string>;
+  /// A (row → raw lexeme) record for a row whose spelling differs from its
+  /// code's creating spelling — the rows a string widening splits off.
+  using VariantRow = std::pair<uint64_t, std::string>;
+
   /// Rebuilds a segment from its serialized parts (the binary table loader).
   /// Validates everything the format promises — canonical forms, typed
-  /// sorted-unique dictionary, codes in range — and throws ContractViolation
-  /// on the first violation.
+  /// sorted-unique dictionary, codes in range, well-formed raw-spelling
+  /// state — and throws ContractViolation on the first violation.
   static ColumnSegment FromParts(ColumnType type,
                                  std::vector<std::string> dictionary,
-                                 std::vector<uint32_t> codes);
+                                 std::vector<uint32_t> codes,
+                                 std::vector<RawSpelling> raw_spellings = {},
+                                 std::vector<VariantRow> variant_rows = {});
 
   size_t size() const { return codes_.size(); }
   bool IsNull(size_t row) const { return codes_[row] == kNullCode; }
@@ -92,6 +110,17 @@ class ColumnSegment {
   /// with every entry referenced by at least one code (the on-disk layout).
   bool sorted() const { return sorted_; }
 
+  /// Bumped every time a widening to kString rewrites codes of existing rows
+  /// (raw spellings that had been numerically merged split apart). Derived
+  /// state keyed on codes must treat an epoch change as a full invalidation.
+  uint64_t identity_epoch() const { return identity_epoch_; }
+
+  /// Raw-spelling state in deterministic (sorted-by-key) order, for the
+  /// binary table writer and the fingerprint. Empty unless the column is
+  /// currently numeric and a non-canonical spelling was appended.
+  std::vector<RawSpelling> SortedRawSpellings() const;
+  std::vector<VariantRow> SortedVariantRows() const;
+
   /// Appends one cell.
   void Append(const std::string& lexeme);
   void AppendNull();
@@ -100,16 +129,10 @@ class ColumnSegment {
   /// the previous value's dictionary entry, so they drop the canonical-layout
   /// claim (`sorted()` becomes false) until the next Normalize().
   void Set(size_t row, const std::string& lexeme);
-  void SetNull(size_t row) {
-    codes_[row] = kNullCode;
-    sorted_ = false;
-  }
+  void SetNull(size_t row);
 
   /// Grows (new cells NULL) or truncates to `n` rows.
-  void Resize(size_t n) {
-    if (n < codes_.size()) sorted_ = false;  // truncation can orphan entries
-    codes_.resize(n, kNullCode);
-  }
+  void Resize(size_t n);
 
   /// Copy of the first `n` rows (dictionary kept as-is, possibly with
   /// entries the retained codes no longer reference).
@@ -156,18 +179,26 @@ class ColumnSegment {
  private:
   static const std::string& EmptyValue();
 
-  /// Encodes `lexeme`, widening the column type first if needed; returns the
-  /// (possibly fresh) dictionary code.
-  uint32_t Encode(const std::string& lexeme);
+  /// Encodes the lexeme destined for `row`, widening the column type first
+  /// if needed; returns the (possibly fresh) dictionary code. `row` lets the
+  /// segment remember raw spellings that a later string widening must split.
+  uint32_t Encode(const std::string& lexeme, size_t row);
   /// Rebuilds the canonical → code index from the dictionary. The index is
   /// built lazily: FromParts() leaves it empty (read-only loads never pay for
   /// it) and the first Encode() afterwards restores it.
   void RebuildEncodeIndex();
-  /// Re-renders every dictionary entry under a widened type and rebuilds the
-  /// encode index. Codes are untouched (widening is injective: exact ints
-  /// map to distinct doubles, and falling back to string keeps the already
-  /// unique canonical lexemes).
+  /// Re-renders every dictionary entry under a widened numeric type (codes
+  /// untouched: exact ints map to distinct doubles), or — when `wider` is
+  /// kString and the column was numeric — restores each code's creating raw
+  /// spelling and splits variant rows onto their own codes (lexeme identity).
   void Widen(ColumnType wider);
+  /// The kString arm of Widen() for a previously numeric column.
+  void WidenNumericToString();
+  /// The raw spelling that created `code` (the dictionary entry itself when
+  /// no override is recorded).
+  const std::string& CreatingSpelling(uint32_t code) const;
+  /// Shared FromParts/CheckInvariants validation of the raw-spelling state.
+  void CheckRawSpellingInvariants() const;
 
   ColumnType type_ = ColumnType::kString;
   bool has_values_ = false;  ///< type_ is meaningless until the first non-NULL
@@ -176,6 +207,14 @@ class ColumnSegment {
   std::vector<uint32_t> codes_;
   std::unordered_map<std::string, uint32_t> encode_;  ///< canonical → code
                                                       ///< (lazy; may be empty)
+  /// Raw spellings retained while the column is numeric (empty otherwise):
+  /// the spelling that created a code when it differs from the canonical
+  /// rendering, and the rows whose spelling differs from their code's
+  /// creating spelling. Together they let WidenNumericToString() recover
+  /// order-independent lexeme identity.
+  std::unordered_map<uint32_t, std::string> raw_spelling_;
+  std::unordered_map<uint64_t, std::string> variant_rows_;
+  uint64_t identity_epoch_ = 0;
 };
 
 }  // namespace hyfd

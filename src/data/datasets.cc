@@ -226,10 +226,10 @@ Relation MakeDatasetCached(const std::string& name, size_t rows, int columns,
         return relation;
       }
       // Stale recipe (registry/seed/format changed): regenerate below.
-    } catch (const ContractViolation&) {
-      // Corrupt cache file: regenerate and overwrite.
-    } catch (const std::runtime_error&) {
-      // Unreadable cache file: regenerate.
+    } catch (const std::exception&) {
+      // Corrupt cache file (ContractViolation), unreadable file
+      // (std::runtime_error), or anything else a damaged cache can trigger:
+      // regenerate and overwrite.
     }
   }
 

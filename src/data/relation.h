@@ -72,6 +72,19 @@ class Relation {
   /// PreprocessedData::CheckSyncedWith).
   uint64_t version() const { return version_; }
 
+  /// Sum of the segments' identity epochs: grows (monotonically) whenever an
+  /// append widened a numeric column to string and split codes of existing
+  /// rows. Unlike version(), which bumps on every mutation, an epoch change
+  /// means value identity changed *retroactively* — code-keyed derived state
+  /// must be rebuilt, not grown (see IncrementalHyFd::ApplyBatch).
+  uint64_t IdentityEpoch() const {
+    uint64_t epoch = 0;
+    for (const ColumnSegment& segment : segments_) {
+      epoch += segment.identity_epoch();
+    }
+    return epoch;
+  }
+
   /// Direct cell write used by the generators (rows must exist already).
   void SetValue(size_t row, int col, const std::string& value);
   void SetNull(size_t row, int col);

@@ -1,9 +1,12 @@
 #include "data/table_io.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <random>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -39,7 +42,7 @@ uint64_t FingerprintRange(const char* data, size_t n) {
 constexpr char kMagic[kTableMagicBytes] = {'H', 'Y', 'F', 'D',
                                            'T', 'B', 'L', '\0'};
 
-static_assert(kTableFormatVersion == 1,
+static_assert(kTableFormatVersion == 2,
               "bump Relation's kStorageFingerprintVersion (relation.cc) in "
               "lockstep with the table format version");
 
@@ -129,6 +132,7 @@ class ByteReader {
   }
 
   size_t pos() const { return pos_; }
+  size_t remaining() const { return buffer_.size() - pos_; }
   bool AtEnd() const { return pos_ == buffer_.size(); }
 
  private:
@@ -197,6 +201,32 @@ std::string SerializeTable(const Relation& relation,
     for (uint32_t old_code : plan.slots) {
       AppendString(&payload, segment.dictionary()[old_code]);
     }
+    // Raw-spelling sections, remapped into the normalized code numbering
+    // (overrides of dropped, unreferenced codes go with their entries).
+    std::vector<ColumnSegment::RawSpelling> spellings;
+    for (ColumnSegment::RawSpelling& spelling : segment.SortedRawSpellings()) {
+      const uint32_t new_code = plan.old_to_new[spelling.first];
+      if (new_code != kNullCode) {
+        spellings.emplace_back(new_code, std::move(spelling.second));
+      }
+    }
+    std::sort(spellings.begin(), spellings.end(),
+              [](const ColumnSegment::RawSpelling& a,
+                 const ColumnSegment::RawSpelling& b) {
+                return a.first < b.first;
+              });
+    AppendU32(&payload, static_cast<uint32_t>(spellings.size()));
+    for (const auto& [code, spelling] : spellings) {
+      AppendU32(&payload, code);
+      AppendString(&payload, spelling);
+    }
+    const std::vector<ColumnSegment::VariantRow> variants =
+        segment.SortedVariantRows();
+    AppendU64(&payload, variants.size());
+    for (const auto& [row, raw] : variants) {
+      AppendU64(&payload, row);
+      AppendString(&payload, raw);
+    }
   }
   for (int c = 0; c < relation.num_columns(); ++c) {
     const std::vector<uint32_t>& old_to_new = plans[static_cast<size_t>(c)].old_to_new;
@@ -236,13 +266,24 @@ Relation ParseTable(const std::string& bytes, uint64_t* source_fingerprint) {
   ByteReader reader(bytes, kTableHeaderBytes);
   const uint32_t num_columns = reader.ReadU32();
   const uint64_t num_rows = reader.ReadU64();
+  // Bound every count against the bytes that could possibly back it before
+  // reserving: a crafted file with an internally-consistent checksum must
+  // fail as a ContractViolation, not as std::length_error/std::bad_alloc
+  // escaping from an absurd reserve. Each column costs ≥ 21 payload bytes
+  // (name length, type tag, three section counts).
+  HYFD_CHECK(num_columns <= reader.remaining() / 21,
+             "table_io: column count exceeds the payload size");
 
   std::vector<std::string> names;
   std::vector<ColumnType> types;
   std::vector<std::vector<std::string>> dictionaries;
+  std::vector<std::vector<ColumnSegment::RawSpelling>> raw_spellings;
+  std::vector<std::vector<ColumnSegment::VariantRow>> variant_rows;
   names.reserve(num_columns);
   types.reserve(num_columns);
   dictionaries.reserve(num_columns);
+  raw_spellings.reserve(num_columns);
+  variant_rows.reserve(num_columns);
   for (uint32_t c = 0; c < num_columns; ++c) {
     names.push_back(reader.ReadString());
     const uint8_t type = reader.ReadU8();
@@ -252,12 +293,34 @@ Relation ParseTable(const std::string& bytes, uint64_t* source_fingerprint) {
     const uint32_t dict_size = reader.ReadU32();
     HYFD_CHECK(dict_size < kNullCode,
                "table_io: dictionary size collides with the NULL code");
+    HYFD_CHECK(dict_size <= reader.remaining() / 4,
+               "table_io: dictionary size exceeds the payload size");
     std::vector<std::string> dictionary;
     dictionary.reserve(dict_size);
     for (uint32_t i = 0; i < dict_size; ++i) {
       dictionary.push_back(reader.ReadString());
     }
     dictionaries.push_back(std::move(dictionary));
+    const uint32_t spelling_count = reader.ReadU32();
+    HYFD_CHECK(spelling_count <= reader.remaining() / 8,
+               "table_io: raw-spelling count exceeds the payload size");
+    std::vector<ColumnSegment::RawSpelling> spellings;
+    spellings.reserve(spelling_count);
+    for (uint32_t i = 0; i < spelling_count; ++i) {
+      const uint32_t code = reader.ReadU32();
+      spellings.emplace_back(code, reader.ReadString());
+    }
+    raw_spellings.push_back(std::move(spellings));
+    const uint64_t variant_count = reader.ReadU64();
+    HYFD_CHECK(variant_count <= reader.remaining() / 12,
+               "table_io: variant-row count exceeds the payload size");
+    std::vector<ColumnSegment::VariantRow> variants;
+    variants.reserve(variant_count);
+    for (uint64_t i = 0; i < variant_count; ++i) {
+      const uint64_t row = reader.ReadU64();
+      variants.emplace_back(row, reader.ReadString());
+    }
+    variant_rows.push_back(std::move(variants));
   }
 
   std::vector<ColumnSegment> segments;
@@ -266,10 +329,12 @@ Relation ParseTable(const std::string& bytes, uint64_t* source_fingerprint) {
     std::vector<uint32_t> codes = reader.ReadU32Vector(num_rows);
     // FromParts re-validates everything the format promises: canonical
     // forms, typed sorted-unique dictionary, codes in range, every entry
-    // referenced. A dictionary/code-count mismatch surfaces here (or as a
-    // truncation above) before any Relation exists.
+    // referenced, well-formed raw spellings. A dictionary/code-count
+    // mismatch surfaces here (or as a truncation above) before any Relation
+    // exists.
     segments.push_back(ColumnSegment::FromParts(
-        types[c], std::move(dictionaries[c]), std::move(codes)));
+        types[c], std::move(dictionaries[c]), std::move(codes),
+        std::move(raw_spellings[c]), std::move(variant_rows[c])));
   }
   HYFD_CHECK(reader.AtEnd(),
              "table_io: trailing bytes after the last code vector");
@@ -280,11 +345,34 @@ Relation ParseTable(const std::string& bytes, uint64_t* source_fingerprint) {
 
 void WriteTableFile(const Relation& relation, const std::string& path,
                     uint64_t source_fingerprint) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("table_io: cannot write " + path);
-  const std::string bytes = SerializeTable(relation, source_fingerprint);
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  if (!out) throw std::runtime_error("table_io: short write to " + path);
+  // Write to a unique sibling and rename over the target: rename within one
+  // directory is atomic on POSIX, so concurrent writers of the same cache
+  // file never expose a torn file to a concurrent reader (at worst the last
+  // publisher wins — both wrote the same logical content anyway).
+  std::random_device entropy;
+  const std::string tmp_path =
+      path + ".tmp." + std::to_string(static_cast<uint64_t>(entropy()) << 32 |
+                                      entropy());
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("table_io: cannot write " + tmp_path);
+    const std::string bytes = SerializeTable(relation, source_fingerprint);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out) {
+      out.close();
+      std::error_code ec;
+      std::filesystem::remove(tmp_path, ec);
+      throw std::runtime_error("table_io: short write to " + tmp_path);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, path, ec);
+  if (ec) {
+    std::error_code remove_ec;
+    std::filesystem::remove(tmp_path, remove_ec);
+    throw std::runtime_error("table_io: cannot publish " + path + ": " +
+                             ec.message());
+  }
 }
 
 Relation ReadTableFile(const std::string& path, uint64_t* source_fingerprint) {
@@ -313,9 +401,10 @@ Relation LoadCsvWithCache(const std::string& csv_path,
         }
         // Stale: the CSV changed behind the cache file. Fall through to the
         // cold parse, which rewrites the cache under the new fingerprint.
-      } catch (const ContractViolation&) {
-        // Corrupt or version-skewed cache: a cache must never fail a load
-        // its source could serve, so fall through and rewrite it.
+      } catch (const std::exception&) {
+        // Corrupt or version-skewed cache (ContractViolation), or anything
+        // else a hostile cache file can trigger: a cache must never fail a
+        // load its source could serve, so fall through and rewrite it.
       }
     }
   }

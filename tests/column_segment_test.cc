@@ -1,5 +1,6 @@
 #include "data/column_segment.h"
 
+#include <algorithm>
 #include <optional>
 #include <string>
 #include <vector>
@@ -33,6 +34,21 @@ TEST(ColumnTypeTest, HugeIntegersStayStrings) {
   EXPECT_EQ(LexemeType("9007199254740993"), ColumnType::kString);
   EXPECT_EQ(LexemeType("9007199254740992"), ColumnType::kInt);
   EXPECT_EQ(LexemeType("-9007199254740993"), ColumnType::kString);
+}
+
+TEST(ColumnTypeTest, Int64OverflowingIntegersStayStrings) {
+  // Integer lexemes too large for int64 must not fall through to the double
+  // parse: 2^64 and 2^64 + 1 render to the same double, and conflating
+  // 20-digit ids while 19-digit ids stay distinct would be inconsistent with
+  // the ±2^53 exactness guard.
+  EXPECT_EQ(LexemeType("18446744073709551616"), ColumnType::kString);
+  EXPECT_EQ(LexemeType("-99999999999999999999"), ColumnType::kString);
+  ColumnSegment s;
+  s.Append("18446744073709551616");
+  s.Append("18446744073709551617");
+  EXPECT_EQ(s.type(), ColumnType::kString);
+  EXPECT_NE(s.code(0), s.code(1));
+  EXPECT_EQ(s.DistinctCount(), 2u);
 }
 
 TEST(ColumnTypeTest, WideningLattice) {
@@ -85,6 +101,83 @@ TEST(ColumnSegmentTest, MixedLexemesFallBackToString) {
   // IS the value once no numeric interpretation holds column-wide.
   EXPECT_NE(s.code(2), s.code(0));
   EXPECT_EQ(s.DistinctCount(), 3u);
+}
+
+TEST(ColumnSegmentTest, StringWideningSplitsNumericallyMergedSpellings) {
+  // The adversarial order: "07" and "7" merge while the column is still an
+  // int column, and only then does a string lexeme widen it. The widening
+  // must split them back apart — string identity is lexeme identity no
+  // matter when the first non-numeric value arrived.
+  ColumnSegment s;
+  s.Append("07");
+  s.Append("7");
+  EXPECT_EQ(s.code(0), s.code(1));
+  const uint64_t epoch_before = s.identity_epoch();
+  s.Append("x");
+  EXPECT_EQ(s.type(), ColumnType::kString);
+  EXPECT_NE(s.code(0), s.code(1));
+  EXPECT_EQ(s.Value(0), "07");
+  EXPECT_EQ(s.Value(1), "7");
+  EXPECT_EQ(s.DistinctCount(), 3u);
+  // Codes of existing rows were rewritten: derived state must see the epoch.
+  EXPECT_GT(s.identity_epoch(), epoch_before);
+  s.CheckInvariants();
+  // Either spelling re-appended lands on its own code.
+  s.Append("07");
+  s.Append("7");
+  EXPECT_EQ(s.code(3), s.code(0));
+  EXPECT_EQ(s.code(4), s.code(1));
+  s.CheckInvariants();
+}
+
+TEST(ColumnSegmentTest, StringIdentityIsAppendOrderIndependent) {
+  // Five pairwise-distinct lexemes that partially merge under numeric
+  // interpretation: every append order must end in the same (all-distinct)
+  // string identity with each row reading back its original lexeme.
+  std::vector<std::string> perm = {"07", "7", "x", "007", "2.50"};
+  std::sort(perm.begin(), perm.end());
+  do {
+    ColumnSegment s;
+    for (const std::string& lexeme : perm) s.Append(lexeme);
+    EXPECT_EQ(s.type(), ColumnType::kString);
+    for (size_t r = 0; r < perm.size(); ++r) {
+      EXPECT_EQ(s.Value(r), perm[r]) << "row " << r;
+    }
+    EXPECT_EQ(s.DistinctCount(), perm.size());
+    s.CheckInvariants();
+  } while (std::next_permutation(perm.begin(), perm.end()));
+}
+
+TEST(ColumnSegmentTest, DoubleMergedSpellingsSplitOnStringWidening) {
+  ColumnSegment s;
+  s.Append("07");   // int
+  s.Append("7.0");  // widens to double, merges with the value 7
+  s.Append("7");    // still the same double value
+  EXPECT_EQ(s.type(), ColumnType::kDouble);
+  EXPECT_EQ(s.code(0), s.code(1));
+  EXPECT_EQ(s.code(1), s.code(2));
+  s.Append("n/a");  // widens to string: three distinct lexemes again
+  EXPECT_EQ(s.type(), ColumnType::kString);
+  EXPECT_EQ(s.Value(0), "07");
+  EXPECT_EQ(s.Value(1), "7.0");
+  EXPECT_EQ(s.Value(2), "7");
+  EXPECT_EQ(s.DistinctCount(), 4u);
+  s.CheckInvariants();
+}
+
+TEST(ColumnSegmentTest, RerenderedIntSpellingReturnsOnStringWidening) {
+  ColumnSegment s;
+  s.Append("1000000000000000");
+  s.Append("0.5");  // int → double: the canonical rendering changes
+  EXPECT_EQ(s.Value(0), "1e+15");
+  const uint64_t epoch_before = s.identity_epoch();
+  s.Append("x");  // double → string: the original spelling returns
+  EXPECT_EQ(s.Value(0), "1000000000000000");
+  EXPECT_EQ(s.Value(1), "0.5");
+  EXPECT_EQ(s.DistinctCount(), 3u);
+  // No spellings were merged, so no codes were rewritten: no epoch bump.
+  EXPECT_EQ(s.identity_epoch(), epoch_before);
+  s.CheckInvariants();
 }
 
 TEST(ColumnSegmentTest, WideningKeepsCodesStable) {
@@ -260,6 +353,47 @@ TEST(ColumnSegmentFromPartsTest, RejectsBadParts) {
   EXPECT_THROW(
       ColumnSegment::FromParts(ColumnType::kString, {"a", "a"}, {0, 1}),
       ContractViolation);
+}
+
+TEST(ColumnSegmentFromPartsTest, RawSpellingsRoundTripAndMisusesFire) {
+  // A well-formed raw-spelling state: the int value 7 was spelled "07"
+  // (creating spelling) and "7" (variant at row 1).
+  ColumnSegment ok = ColumnSegment::FromParts(ColumnType::kInt, {"7"}, {0, 0},
+                                              {{0, "07"}}, {{1, "7"}});
+  ok.CheckInvariants();
+  ok.Append("x");  // widening recovers both spellings
+  EXPECT_EQ(ok.Value(0), "07");
+  EXPECT_EQ(ok.Value(1), "7");
+  EXPECT_NE(ok.code(0), ok.code(1));
+
+  // Raw spelling equal to the canonical form (must be omitted instead).
+  EXPECT_THROW(
+      ColumnSegment::FromParts(ColumnType::kInt, {"7"}, {0}, {{0, "7"}}),
+      ContractViolation);
+  // Raw spelling canonicalizing to a different value than its entry.
+  EXPECT_THROW(
+      ColumnSegment::FromParts(ColumnType::kInt, {"7"}, {0}, {{0, "08"}}),
+      ContractViolation);
+  // Raw-spelling code out of dictionary range.
+  EXPECT_THROW(
+      ColumnSegment::FromParts(ColumnType::kInt, {"7"}, {0}, {{3, "07"}}),
+      ContractViolation);
+  // Raw spellings are only meaningful while the column is numeric.
+  EXPECT_THROW(
+      ColumnSegment::FromParts(ColumnType::kString, {"a"}, {0}, {{0, "b"}}),
+      ContractViolation);
+  // Variant row out of range.
+  EXPECT_THROW(ColumnSegment::FromParts(ColumnType::kInt, {"7"}, {0}, {},
+                                        {{5, "07"}}),
+               ContractViolation);
+  // Variant row pointing at a NULL cell.
+  EXPECT_THROW(ColumnSegment::FromParts(ColumnType::kInt, {"7"}, {0, kNullCode},
+                                        {}, {{1, "07"}}),
+               ContractViolation);
+  // Variant row equal to its code's creating spelling (not a variant).
+  EXPECT_THROW(ColumnSegment::FromParts(ColumnType::kInt, {"7"}, {0}, {},
+                                        {{0, "7"}}),
+               ContractViolation);
 }
 
 // ---- Relation-level behaviour on the new substrate ------------------------

@@ -244,6 +244,33 @@ TEST(IncrementalEdgeTest, AllDistinctBatchValues) {
   testing::ExpectSameFds(DiscoverFds(grown), got, "all-distinct batch");
 }
 
+TEST(IncrementalEdgeTest, StringWideningBatchReseedsTheSession) {
+  // Seed with an int column where "07" and "7" share one code; a batch cell
+  // that widens the column to string splits them retroactively (the rows
+  // stop agreeing on column a). Clusters keyed by the old codes cannot be
+  // grown in place — the session must notice the IdentityEpoch move and
+  // rebuild its derived state from scratch.
+  Relation r = Relation::FromStringRows(
+      Schema({"a", "b"}), {{"07", "x"}, {"7", "y"}, {"8", "x"}, {"8", "y"}});
+  IncrementalHyFd session(r);
+  session.ApplyBatchStrings({{"n/a", "x"}});
+  EXPECT_TRUE(session.last_batch_stats().reseeded);
+  EXPECT_EQ(session.last_batch_stats().num_fds, session.fds().size());
+  Relation grown = Relation::FromStringRows(
+      Schema({"a", "b"}),
+      {{"07", "x"}, {"7", "y"}, {"8", "x"}, {"8", "y"}, {"n/a", "x"}});
+  testing::ExpectSameFds(DiscoverFds(grown), session.fds(), "after widening");
+  EXPECT_EQ(session.relation().DistinctCount(0), 4u);  // 07, 7, 8, n/a
+
+  // An ordinary follow-up batch grows in place again (no further epoch move)
+  // and stays differentially correct on the reseeded state.
+  session.ApplyBatchStrings({{"8", "y"}});
+  EXPECT_FALSE(session.last_batch_stats().reseeded);
+  grown.AppendRow({std::string("8"), std::string("y")});
+  testing::ExpectSameFds(DiscoverFds(grown), session.fds(),
+                         "batch after reseed");
+}
+
 TEST(IncrementalEdgeTest, WidthMismatchRejectsWholeBatch) {
   Relation r = testing::RandomRelation(3, 20, 16, 3);
   IncrementalHyFd session(r);

@@ -108,6 +108,22 @@ TEST(TableIoRoundTripTest, EmptyAndDegenerateTables) {
   EXPECT_TRUE(loaded.segment(0).dictionary().empty());
 }
 
+TEST(TableIoRoundTripTest, RawSpellingsSurviveTheCache) {
+  // "07" and "7" merge under kInt; the binary format must carry enough for
+  // a reloaded relation to split them exactly like the original when a
+  // later append widens the column to string.
+  Relation original = Relation::FromStringRows(Schema({"n"}), {{"07"}, {"7"}});
+  Relation loaded = RoundTrip(original);
+  EXPECT_EQ(original.ContentFingerprint(), loaded.ContentFingerprint());
+  original.AppendRow({std::string("n/a")});
+  loaded.AppendRow({std::string("n/a")});
+  ExpectSameTable(original, loaded, "after widening append");
+  EXPECT_EQ(loaded.Value(0, 0), "07");
+  EXPECT_EQ(loaded.Value(1, 0), "7");
+  EXPECT_EQ(loaded.DistinctCount(0), 3u);
+  loaded.CheckInvariants();
+}
+
 TEST(TableIoRoundTripTest, SourceFingerprintIsPreserved) {
   Relation r = testing::RandomRelation(3, 20, 77);
   uint64_t stored = 0;
@@ -310,6 +326,59 @@ TEST_F(TableIoNegativeTest, OutOfRangeCode) {
   EXPECT_THROW(ParseTable(Restamp(bad)), ContractViolation);
 }
 
+TEST_F(TableIoNegativeTest, AbsurdCountsFailAsFormatViolationsNotAllocs) {
+  // Each count field, patched to a huge value in a checksum-consistent file,
+  // must fail the payload-size bound as a ContractViolation — never escape
+  // as std::length_error/std::bad_alloc from an absurd reserve.
+  auto read_u32 = [](const std::string& b, size_t off) {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(b[off + i])) << (8 * i);
+    }
+    return v;
+  };
+  auto put_u32 = [](std::string* b, size_t off, uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      (*b)[off + i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+    }
+  };
+  auto put_u64 = [](std::string* b, size_t off, uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      (*b)[off + i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+    }
+  };
+
+  // Column count (first payload field).
+  std::string bad = bytes_;
+  put_u32(&bad, kTableHeaderBytes, 0x7FFFFFFFu);
+  EXPECT_THROW(ParseTable(Restamp(bad)), ContractViolation) << "column count";
+
+  // Walk to column 0's count fields: name, type tag, dictionary size.
+  const size_t name_off = kTableHeaderBytes + 4 + 8;
+  const size_t dict_count_off = name_off + 4 + read_u32(bytes_, name_off) + 1;
+  bad = bytes_;
+  put_u32(&bad, dict_count_off, 0x7FFFFF00u);  // below kNullCode, still absurd
+  EXPECT_THROW(ParseTable(Restamp(bad)), ContractViolation) << "dict size";
+
+  // Raw-spelling count sits right after the dictionary entries; the variant
+  // count (u64) right after the raw-spelling section.
+  size_t off = dict_count_off + 4;
+  for (uint32_t i = 0; i < read_u32(bytes_, dict_count_off); ++i) {
+    off += 4 + read_u32(bytes_, off);
+  }
+  bad = bytes_;
+  put_u32(&bad, off, 0x7FFFFFFFu);
+  EXPECT_THROW(ParseTable(Restamp(bad)), ContractViolation) << "spellings";
+  size_t variant_off = off + 4;
+  for (uint32_t i = 0; i < read_u32(bytes_, off); ++i) {
+    variant_off += 4;  // code
+    variant_off += 4 + read_u32(bytes_, variant_off);
+  }
+  bad = bytes_;
+  put_u64(&bad, variant_off, 0x00FFFFFFFFFFFFull);
+  EXPECT_THROW(ParseTable(Restamp(bad)), ContractViolation) << "variants";
+}
+
 TEST_F(TableIoNegativeTest, NonCanonicalDictionaryRejected) {
   // Hand-build parts the serializer would never emit; the loader's
   // FromParts validation must reject them (satellite: loader never trusts).
@@ -399,6 +468,21 @@ TEST_F(TableCacheTest, CorruptCacheFallsBackToColdParse) {
   EXPECT_FALSE(stats.cache_hit);
   EXPECT_TRUE(stats.cache_written);  // rewritten after the fallback
   ExpectSameTable(relation_, loaded, "after corruption");
+}
+
+TEST_F(TableCacheTest, CacheWriteLeavesNoTempFiles) {
+  // WriteTableFile publishes via a unique sibling + atomic rename; after a
+  // successful write the directory holds exactly the CSV and its cache.
+  TableCacheStats stats;
+  LoadCsvWithCache(csv_path_, {}, false, &stats);
+  EXPECT_TRUE(stats.cache_written);
+  size_t entries = 0;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    ++entries;
+    EXPECT_EQ(entry.path().string().find(".tmp."), std::string::npos)
+        << "leftover temp file: " << entry.path();
+  }
+  EXPECT_EQ(entries, 2u);
 }
 
 TEST_F(TableCacheTest, ForceColdSkipsCacheEntirely) {
