@@ -22,6 +22,12 @@ namespace hyfd {
 /// records how far over budget the run went (`overrun_bytes()`) and how
 /// often it hit that wall (`give_ups()`), so an over-limit run is
 /// machine-detectable even when no further pruning was possible.
+///
+/// Concurrency contract (DESIGN.md §11): a guardian belongs to exactly one
+/// discovery run and is only ever called from that run's driver thread
+/// (never from pool workers), so it holds no capability. A future
+/// multi-tenant service gets one guardian per session; cross-session budget
+/// arbitration belongs in the shared (atomic) MemoryTracker, not here.
 class MemoryGuardian {
  public:
   /// `limit_bytes == 0` disables the guardian entirely.

@@ -349,6 +349,12 @@ void WriteTableFile(const Relation& relation, const std::string& path,
   // directory is atomic on POSIX, so concurrent writers of the same cache
   // file never expose a torn file to a concurrent reader (at worst the last
   // publisher wins — both wrote the same logical content anyway).
+  //
+  // Concurrency contract (DESIGN.md §11): the cache writer holds no
+  // in-process capability on purpose — the publication point is the rename
+  // itself, which also serializes against *other processes* sharing the
+  // cache directory, something no hyfd::Mutex could do. The random tmp-name
+  // suffix keeps concurrent writers' staging files from colliding.
   std::random_device entropy;
   const std::string tmp_path =
       path + ".tmp." + std::to_string(static_cast<uint64_t>(entropy()) << 32 |

@@ -20,7 +20,8 @@ PliCache::PliCache(std::vector<Pli> single_plis, size_t num_records,
     : config_(config),
       nulls_(nulls),
       num_attributes_(static_cast<int>(single_plis.size())),
-      num_records_(num_records) {
+      num_records_(num_records),
+      budget_bytes_(config.budget_bytes) {
   singles_.reserve(single_plis.size());
   probing_.reserve(single_plis.size());
   for (Pli& pli : single_plis) {
@@ -30,6 +31,7 @@ PliCache::PliCache(std::vector<Pli> single_plis, size_t num_records,
                       probing_.back().capacity() * sizeof(ClusterId);
     singles_.push_back(std::move(shared));
   }
+  WriterLock lock(mu_);
   ChargeTrackerLocked();
 }
 
@@ -38,7 +40,8 @@ PliCache::PliCache(int num_attributes, size_t num_records, Config config,
     : config_(config),
       nulls_(nulls),
       num_attributes_(num_attributes),
-      num_records_(num_records) {}
+      num_records_(num_records),
+      budget_bytes_(config.budget_bytes) {}
 
 PliCache PliCache::FromRelation(const Relation& relation, Config config,
                                 NullSemantics nulls) {
@@ -53,14 +56,14 @@ size_t PliCache::EntryBytes(const AttributeSet& key, const Pli& pli) {
 }
 
 std::shared_ptr<const Pli> PliCache::Get(const AttributeSet& attrs) {
-  auto lock = ExclusiveLock();
+  WriterLock lock(mu_);
   return GetLocked(attrs, nullptr, nullptr);
 }
 
 std::shared_ptr<const Pli> PliCache::GetWithBase(
     const AttributeSet& attrs, const AttributeSet& base_key,
     const std::shared_ptr<const Pli>& base) {
-  auto lock = ExclusiveLock();
+  WriterLock lock(mu_);
   return GetLocked(attrs, &base_key, &base);
 }
 
@@ -145,7 +148,7 @@ std::shared_ptr<const Pli> PliCache::GetLocked(
 }
 
 std::shared_ptr<const Pli> PliCache::Probe(const AttributeSet& attrs) const {
-  auto lock = SharedLock();
+  ReaderLock lock(mu_);
   if (attrs.Count() == 1 && !singles_.empty()) {
     hits_.fetch_add(1, std::memory_order_relaxed);
     return singles_[static_cast<size_t>(attrs.First())];
@@ -167,9 +170,9 @@ void PliCache::Put(const AttributeSet& attrs, std::shared_ptr<const Pli> pli) {
   if (attrs.Count() == 0 || pli == nullptr) return;
   HYFD_CHECK(attrs.size() == num_attributes_,
              "PliCache::Put: key ranges over the wrong attribute count");
+  WriterLock lock(mu_);  // num_records_ is guarded: check under the lock
   HYFD_CHECK(pli->num_records() == num_records_,
              "PliCache::Put: partition built over a different record count");
-  auto lock = ExclusiveLock();
   InsertLocked(attrs, std::move(pli));
 }
 
@@ -201,13 +204,13 @@ std::shared_ptr<const Pli> PliCache::InsertLocked(
 }
 
 void PliCache::EvictLocked() {
-  if (config_.budget_bytes == 0) {
+  if (budget_bytes_ == 0) {
     ChargeTrackerLocked();
     return;
   }
   // Never evict the most recent entry: a budget smaller than one partition
   // degenerates to a one-entry cache instead of thrashing to empty.
-  while (bytes_ > config_.budget_bytes && lru_.size() > 1) {
+  while (bytes_ > budget_bytes_ && lru_.size() > 1) {
     Entry& victim = lru_.back();
     bytes_ -= victim.bytes;
     index_.erase(victim.key);
@@ -218,7 +221,7 @@ void PliCache::EvictLocked() {
   HYFD_AUDIT_ONLY(CheckInvariantsLocked());
 }
 
-void PliCache::ChargeTrackerLocked() {
+void PliCache::ChargeTrackerLocked() const {
   if (config_.memory_tracker != nullptr) {
     config_.memory_tracker->SetComponent(MemoryTracker::kPlis,
                                          singles_bytes_ + bytes_);
@@ -226,7 +229,7 @@ void PliCache::ChargeTrackerLocked() {
 }
 
 void PliCache::Rebind(uint64_t data_fingerprint, size_t num_records) {
-  auto lock = ExclusiveLock();
+  WriterLock lock(mu_);
   if (data_fingerprint_ == data_fingerprint && num_records_ == num_records) {
     return;  // same data: cached partitions stay warm
   }
@@ -244,13 +247,13 @@ void PliCache::Rebind(uint64_t data_fingerprint, size_t num_records) {
 }
 
 void PliCache::set_budget_bytes(size_t budget_bytes) {
-  auto lock = ExclusiveLock();
-  config_.budget_bytes = budget_bytes;
+  WriterLock lock(mu_);
+  budget_bytes_ = budget_bytes;
   EvictLocked();
 }
 
 void PliCache::Clear() {
-  auto lock = ExclusiveLock();
+  WriterLock lock(mu_);
   lru_.clear();
   index_.clear();
   bytes_ = 0;
@@ -259,7 +262,7 @@ void PliCache::Clear() {
 }
 
 void PliCache::CheckInvariants() const {
-  auto lock = SharedLock();
+  ReaderLock lock(mu_);
   CheckInvariantsLocked();
 }
 
@@ -298,13 +301,13 @@ void PliCache::CheckInvariantsLocked() const {
   }
   HYFD_CHECK(bytes_ == derived_bytes,
              "PliCache: byte-budget accounting drifted from the entries");
-  HYFD_CHECK(!config_.enabled || config_.budget_bytes == 0 ||
-                 bytes_ <= config_.budget_bytes || lru_.size() <= 1,
+  HYFD_CHECK(!config_.enabled || budget_bytes_ == 0 ||
+                 bytes_ <= budget_bytes_ || lru_.size() <= 1,
              "PliCache: over budget with more than one evictable entry");
 }
 
 PliCache::Counters PliCache::counters() const {
-  auto lock = SharedLock();
+  ReaderLock lock(mu_);
   Counters c;
   c.hits = hits_.load(std::memory_order_relaxed);
   c.misses = misses_.load(std::memory_order_relaxed);
@@ -327,7 +330,7 @@ void PliCache::ResetCounters() {
 }
 
 size_t PliCache::TotalBytes() const {
-  auto lock = SharedLock();
+  ReaderLock lock(mu_);
   return singles_bytes_ + bytes_;
 }
 

@@ -5,8 +5,6 @@
 #include <cstddef>
 #include <list>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -15,6 +13,7 @@
 #include "pli/pli_builder.h"
 #include "util/attribute_set.h"
 #include "util/memory_tracker.h"
+#include "util/sync.h"
 
 namespace hyfd {
 
@@ -31,7 +30,10 @@ struct PliCacheConfig {
   /// nothing is stored (the cache-off ablation arm for DFD).
   bool enabled = true;
   /// Guards every operation with a shared mutex (required when HyFD's
-  /// parallel Validator probes the cache).
+  /// parallel Validator probes the cache). false selects
+  /// LockPolicy::kElided: the lock *type* still brackets every operation —
+  /// so the static analysis checks both configurations identically — but
+  /// the lock/unlock calls are skipped at runtime.
   bool thread_safe = false;
   /// If set, the cache charges its total footprint (pinned singles +
   /// cached partitions) under MemoryTracker::kPlis.
@@ -62,7 +64,11 @@ struct PliCacheConfig {
 ///   holding a partition keeps it alive even after the cache dropped it.
 /// * **Thread safety** is optional (`Config::thread_safe`): a shared mutex
 ///   lets HyFD's parallel Validator probe concurrently (shared lock) while
-///   derivations and inserts take the exclusive lock.
+///   derivations and inserts take the exclusive lock. Single-threaded
+///   configurations elide the lock inside the `SharedMutex` itself
+///   (LockPolicy::kElided) instead of branching per call site, so every code
+///   path is statically bracketed by the capability and Clang's thread-safety
+///   analysis (DESIGN.md §11) verifies both configurations.
 /// * **Counters** (hits/misses/evictions/derivations/inserts plus current
 ///   bytes/entries) feed bench_micro and the cache-ablation column of
 ///   bench_ablation.
@@ -104,13 +110,25 @@ class PliCache {
   static PliCache FromRelation(const Relation& relation, Config config = {},
                                NullSemantics nulls = NullSemantics::kNullEqualsNull);
 
-  // Not movable (mutex + atomics); FromRelation relies on copy elision.
+  // Neither copyable nor movable (mutex + atomics — a move would tear the
+  // lock away from concurrent probers); FromRelation relies on copy elision.
+  // All four operations are deleted explicitly so the contract is
+  // compiler-enforced, not comment-enforced (pli_cache_test static_asserts
+  // it stays that way).
   PliCache(const PliCache&) = delete;
   PliCache& operator=(const PliCache&) = delete;
+  PliCache(PliCache&&) = delete;
+  PliCache& operator=(PliCache&&) = delete;
 
   int num_attributes() const { return num_attributes_; }
-  size_t num_records() const { return num_records_; }
+  size_t num_records() const HYFD_EXCLUDES(mu_) {
+    ReaderLock lock(mu_);  // Rebind() may update the count
+    return num_records_;
+  }
   NullSemantics null_semantics() const { return nulls_; }
+  /// The construction-time configuration. Immutable for the cache's
+  /// lifetime; the *live* byte budget moves with set_budget_bytes() and is
+  /// not reflected here.
   const Config& config() const { return config_; }
   bool has_singles() const { return !singles_.empty(); }
 
@@ -127,7 +145,7 @@ class PliCache {
   /// largest cached subset (falling back to singles) and cached. Returns
   /// nullptr only for the empty set or when a singles-less cache cannot
   /// derive the partition.
-  std::shared_ptr<const Pli> Get(const AttributeSet& attrs);
+  std::shared_ptr<const Pli> Get(const AttributeSet& attrs) HYFD_EXCLUDES(mu_);
 
   /// Like Get(), but the caller supplies a known partition π_{base_key}
   /// (base_key ⊆ attrs) to derive from when it beats every cached subset —
@@ -135,21 +153,27 @@ class PliCache {
   /// so eviction can never force a from-singles rebuild.
   std::shared_ptr<const Pli> GetWithBase(const AttributeSet& attrs,
                                          const AttributeSet& base_key,
-                                         const std::shared_ptr<const Pli>& base);
+                                         const std::shared_ptr<const Pli>& base)
+      HYFD_EXCLUDES(mu_);
 
   /// Exact-hit lookup that never derives and never reorders the LRU list
   /// (shared lock only): the Validator's concurrent probe. Counts a hit or
   /// a miss. Returns nullptr on miss.
-  std::shared_ptr<const Pli> Probe(const AttributeSet& attrs) const;
+  std::shared_ptr<const Pli> Probe(const AttributeSet& attrs) const
+      HYFD_EXCLUDES(mu_);
 
   /// Inserts (or replaces) an externally computed partition, e.g. the LHS
   /// partitions HyFD's Validator assembles as a by-product of refinement.
-  void Put(const AttributeSet& attrs, Pli pli);
-  void Put(const AttributeSet& attrs, std::shared_ptr<const Pli> pli);
+  void Put(const AttributeSet& attrs, Pli pli) HYFD_EXCLUDES(mu_);
+  void Put(const AttributeSet& attrs, std::shared_ptr<const Pli> pli)
+      HYFD_EXCLUDES(mu_);
 
   /// Fingerprint of the dataset the cached partitions were built from
   /// (CompressedRecords::Fingerprint); 0 until the first Rebind().
-  uint64_t data_fingerprint() const { return data_fingerprint_; }
+  uint64_t data_fingerprint() const HYFD_EXCLUDES(mu_) {
+    ReaderLock lock(mu_);
+    return data_fingerprint_;
+  }
 
   /// Binds the cache to a dataset fingerprint + record count. A no-op when
   /// both already match (the cached partitions stay warm — the cross-batch
@@ -159,20 +183,21 @@ class PliCache {
   /// partition computed over the old rows. Caches with pinned singles refuse
   /// to re-bind to different data (the pinned inputs themselves would be
   /// stale): ContractViolation.
-  void Rebind(uint64_t data_fingerprint, size_t num_records);
+  void Rebind(uint64_t data_fingerprint, size_t num_records)
+      HYFD_EXCLUDES(mu_);
 
   /// Re-budgets the cache, evicting immediately if the new budget is lower.
-  void set_budget_bytes(size_t budget_bytes);
+  void set_budget_bytes(size_t budget_bytes) HYFD_EXCLUDES(mu_);
 
   /// Drops every derived entry (pinned singles stay). Not counted as
   /// evictions.
-  void Clear();
+  void Clear() HYFD_EXCLUDES(mu_);
 
-  Counters counters() const;
+  Counters counters() const HYFD_EXCLUDES(mu_);
   void ResetCounters();
 
   /// Pinned singles + probing tables + cached partitions, in bytes.
-  size_t TotalBytes() const;
+  size_t TotalBytes() const HYFD_EXCLUDES(mu_);
 
   /// Deep structural audit: pinned singles/probing tables shaped for
   /// (num_attributes, num_records), LRU list ↔ index map bijection, every
@@ -181,12 +206,15 @@ class PliCache {
   /// (modulo the never-evict-the-newest rule), and a pass-through cache
   /// holding nothing. Throws ContractViolation on the first violation. Runs
   /// after every insert/evict/clear in audit builds (-DHYFD_AUDIT=ON);
-  /// callable from any build (takes the shared lock when thread-safe).
-  void CheckInvariants() const;
+  /// callable from any build (takes the shared lock).
+  void CheckInvariants() const HYFD_EXCLUDES(mu_);
 
   /// Test-only: skews the byte accounting so tests can prove the accounting
   /// audit actually fires. Never called by library code.
-  void CorruptByteAccountingForTest(size_t delta) { bytes_ += delta; }
+  void CorruptByteAccountingForTest(size_t delta) HYFD_EXCLUDES(mu_) {
+    WriterLock lock(mu_);
+    bytes_ += delta;
+  }
 
  private:
   struct Entry {
@@ -196,40 +224,44 @@ class PliCache {
   };
   using LruList = std::list<Entry>;
 
-  // All private helpers assume the exclusive lock is held (when thread_safe).
+  // The `*Locked` helpers declare the exclusive (or shared) hold they used
+  // to merely assume; a call without the capability is now a compile error
+  // under -DHYFD_THREAD_SAFETY=ON rather than a comment violation.
   std::shared_ptr<const Pli> GetLocked(const AttributeSet& attrs,
                                        const AttributeSet* base_key,
-                                       const std::shared_ptr<const Pli>* base);
+                                       const std::shared_ptr<const Pli>* base)
+      HYFD_REQUIRES(mu_);
   std::shared_ptr<const Pli> InsertLocked(const AttributeSet& attrs,
-                                          std::shared_ptr<const Pli> pli);
-  void EvictLocked();
-  void ChargeTrackerLocked();
-  void CheckInvariantsLocked() const;
+                                          std::shared_ptr<const Pli> pli)
+      HYFD_REQUIRES(mu_);
+  void EvictLocked() HYFD_REQUIRES(mu_);
+  /// Read-only over guarded state: callable under either lock mode.
+  void ChargeTrackerLocked() const HYFD_REQUIRES_SHARED(mu_);
+  void CheckInvariantsLocked() const HYFD_REQUIRES_SHARED(mu_);
   static size_t EntryBytes(const AttributeSet& key, const Pli& pli);
 
-  std::unique_lock<std::shared_mutex> ExclusiveLock() const {
-    return config_.thread_safe ? std::unique_lock(mu_)
-                               : std::unique_lock<std::shared_mutex>();
-  }
-  std::shared_lock<std::shared_mutex> SharedLock() const {
-    return config_.thread_safe ? std::shared_lock(mu_)
-                               : std::shared_lock<std::shared_mutex>();
-  }
-
+  /// Immutable after construction (set_budget_bytes updates budget_bytes_,
+  /// not config_), so the unguarded reads in hyfd.cc's cache-compatibility
+  /// checks and in ExclusiveLock-free accessors are race-free.
   Config config_;
   NullSemantics nulls_;
   int num_attributes_ = 0;
-  size_t num_records_ = 0;
-  uint64_t data_fingerprint_ = 0;
   size_t singles_bytes_ = 0;
 
   std::vector<std::shared_ptr<const Pli>> singles_;
   std::vector<std::vector<ClusterId>> probing_;
 
-  mutable std::shared_mutex mu_;
-  LruList lru_;  ///< front = most recently used
-  std::unordered_map<AttributeSet, LruList::iterator> index_;
-  size_t bytes_ = 0;
+  /// The cache's one capability. Config::thread_safe == false folds to
+  /// LockPolicy::kElided: statically identical locking, runtime no-ops.
+  mutable SharedMutex mu_{config_.thread_safe ? LockPolicy::kEnforced
+                                              : LockPolicy::kElided};
+  size_t num_records_ HYFD_GUARDED_BY(mu_) = 0;
+  uint64_t data_fingerprint_ HYFD_GUARDED_BY(mu_) = 0;
+  size_t budget_bytes_ HYFD_GUARDED_BY(mu_) = 0;  ///< live value of the budget
+  LruList lru_ HYFD_GUARDED_BY(mu_);  ///< front = most recently used
+  std::unordered_map<AttributeSet, LruList::iterator> index_
+      HYFD_GUARDED_BY(mu_);
+  size_t bytes_ HYFD_GUARDED_BY(mu_) = 0;
 
   mutable std::atomic<size_t> hits_{0};
   mutable std::atomic<size_t> misses_{0};

@@ -16,6 +16,13 @@ namespace hyfd {
 ///
 /// The tracker is also what the MemoryGuardian polls to decide when to prune
 /// the FDTree (paper §9).
+///
+/// Concurrency contract (DESIGN.md §11): the tracker is lock-free — every
+/// member is a relaxed atomic, so it holds no capability and may be charged
+/// from any thread, including pool workers mid-ParallelFor. The peak
+/// watermark is maintained with a CAS loop and can under-report by one
+/// in-flight Add() under contention; byte accounting is reconciled at run
+/// boundaries, never used for synchronization.
 class MemoryTracker {
  public:
   /// Accounts `bytes` as allocated; updates the peak watermark.

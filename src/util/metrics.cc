@@ -3,7 +3,7 @@
 namespace hyfd {
 
 Metric* MetricsRegistry::FindOrCreate(std::string_view name, Metric::Kind kind) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = metrics_.find(name);
   if (it != metrics_.end()) return it->second.get();
   auto metric = std::make_unique<Metric>(std::string(name), kind);
@@ -13,7 +13,7 @@ Metric* MetricsRegistry::FindOrCreate(std::string_view name, Metric::Kind kind) 
 }
 
 std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::Export() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::pair<std::string, uint64_t>> out;
   out.reserve(metrics_.size());
   for (const auto& [name, metric] : metrics_) {  // std::map: already sorted
@@ -23,12 +23,12 @@ std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::Export() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, metric] : metrics_) metric->Set(0);
 }
 
 size_t MetricsRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return metrics_.size();
 }
 

@@ -6,11 +6,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace hyfd {
 
@@ -104,9 +105,12 @@ class MetricsRegistry {
  private:
   Metric* FindOrCreate(std::string_view name, Metric::Kind kind);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   /// Node-based map: Metric cells never move, so raw pointers stay valid.
-  std::map<std::string, std::unique_ptr<Metric>, std::less<>> metrics_;
+  /// Only the map is guarded; the Metric cells it hands out are themselves
+  /// lock-free (relaxed atomics), which is what keeps updates off the mutex.
+  std::map<std::string, std::unique_ptr<Metric>, std::less<>> metrics_
+      HYFD_GUARDED_BY(mu_);
 };
 
 }  // namespace hyfd

@@ -4,9 +4,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <unordered_set>
+
+#include "util/sync.h"
 
 namespace hyfd {
 
@@ -21,9 +21,15 @@ namespace hyfd {
 /// any given element, which is what makes the Sampler's per-window "new
 /// results" count deterministic under any thread count.
 ///
-/// size(), ForEach() and MemoryBytes() lock shards one at a time: they are
-/// consistent only when no concurrent writers exist (the Sampler calls them
-/// between parallel phases).
+/// Each shard's hash set is guarded by that shard's own capability, so the
+/// static analysis checks the per-shard discipline; shard locks are leaves
+/// in the lock order (nothing else is acquired while one is held).
+///
+/// size(), ForEach() and BucketBytes() lock shards one at a time: each shard
+/// is observed atomically, but the whole-set view is a shard-at-a-time
+/// snapshot — elements inserted concurrently into an already-visited shard
+/// are missed, ones inserted into a not-yet-visited shard are seen. The
+/// Sampler calls them between parallel phases, where the view is exact.
 template <typename T, typename Hash = std::hash<T>>
 class ShardedSet {
  public:
@@ -40,7 +46,7 @@ class ShardedSet {
   /// True iff `value` is in the set. Takes the shard's shared lock only.
   bool Contains(const T& value) const {
     const Shard& shard = ShardFor(value);
-    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    ReaderLock lock(shard.mu);
     return shard.set.find(value) != shard.set.end();
   }
 
@@ -48,26 +54,28 @@ class ShardedSet {
   /// concurrent calls with equal values, exactly one caller sees true.
   bool Insert(const T& value) {
     Shard& shard = ShardFor(value);
-    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    WriterLock lock(shard.mu);
     return shard.set.insert(value).second;
   }
 
-  /// Total element count across shards (serial contexts only).
+  /// Total element count across shards (shard-at-a-time snapshot).
   size_t size() const {
     size_t n = 0;
     for (size_t s = 0; s < num_shards_; ++s) {
-      std::shared_lock<std::shared_mutex> lock(shards_[s].mu);
-      n += shards_[s].set.size();
+      const Shard& shard = shards_[s];
+      ReaderLock lock(shard.mu);
+      n += shard.set.size();
     }
     return n;
   }
 
-  /// Invokes `fn(const T&)` on every element (serial contexts only).
+  /// Invokes `fn(const T&)` on every element (shard-at-a-time snapshot).
   template <typename Fn>
   void ForEach(Fn&& fn) const {
     for (size_t s = 0; s < num_shards_; ++s) {
-      std::shared_lock<std::shared_mutex> lock(shards_[s].mu);
-      for (const T& value : shards_[s].set) fn(value);
+      const Shard& shard = shards_[s];
+      ReaderLock lock(shard.mu);
+      for (const T& value : shard.set) fn(value);
     }
   }
 
@@ -76,16 +84,17 @@ class ShardedSet {
   size_t BucketBytes() const {
     size_t bytes = 0;
     for (size_t s = 0; s < num_shards_; ++s) {
-      std::shared_lock<std::shared_mutex> lock(shards_[s].mu);
-      bytes += shards_[s].set.bucket_count() * sizeof(void*);
+      const Shard& shard = shards_[s];
+      ReaderLock lock(shard.mu);
+      bytes += shard.set.bucket_count() * sizeof(void*);
     }
     return bytes;
   }
 
  private:
   struct Shard {
-    mutable std::shared_mutex mu;
-    std::unordered_set<T, Hash> set;
+    mutable SharedMutex mu;
+    std::unordered_set<T, Hash> set HYFD_GUARDED_BY(mu);
   };
 
   /// Routes by the *high* bits of a mixed hash: the shard's unordered_set

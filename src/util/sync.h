@@ -1,0 +1,226 @@
+#ifndef HYFD_UTIL_SYNC_H_
+#define HYFD_UTIL_SYNC_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+// Capability-typed synchronization primitives (DESIGN.md §11).
+//
+// Every lock in this library is a `hyfd::Mutex` or `hyfd::SharedMutex`, every
+// acquisition is a scoped `MutexLock` / `WriterLock` / `ReaderLock`, and every
+// piece of shared state is annotated `HYFD_GUARDED_BY(mu_)`. Under Clang the
+// annotations expand to the thread-safety-analysis attributes, so a build
+// with -DHYFD_THREAD_SAFETY=ON (CI's thread-safety job) rejects at compile
+// time what TSan can only catch when a test happens to reach the interleaving:
+// reading guarded state without the lock, calling a `*Locked` helper without
+// its `HYFD_REQUIRES` capability, acquiring a lock twice. Under GCC (and any
+// compiler without the attributes) the macros expand to nothing and the
+// wrappers cost exactly one inlined call into the std primitive.
+//
+// Policy (enforced by tools/lint_concurrency.py, run in CI and as the
+// `lint_concurrency` ctest):
+//  * Raw std::mutex / std::shared_mutex / std::lock_guard / std::unique_lock /
+//    std::condition_variable / std::thread appear only in this header and in
+//    the ThreadPool implementation (which owns the worker threads).
+//  * Every `HYFD_NO_THREAD_SAFETY_ANALYSIS` escape hatch carries a reason
+//    comment on the same or the preceding line.
+//  * Lock-ordering rules live in DESIGN.md §11; the annotations encode the
+//    per-subsystem discipline, the docs encode the cross-subsystem order.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define HYFD_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef HYFD_THREAD_ANNOTATION
+#define HYFD_THREAD_ANNOTATION(x)  // non-Clang: annotations compile away
+#endif
+
+/// Declares a type to be a capability (a lock the analysis tracks).
+#define HYFD_CAPABILITY(x) HYFD_THREAD_ANNOTATION(capability(x))
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define HYFD_SCOPED_CAPABILITY HYFD_THREAD_ANNOTATION(scoped_lockable)
+/// Data member readable/writable only while `x` is held (shared hold permits
+/// reads, exclusive hold permits writes).
+#define HYFD_GUARDED_BY(x) HYFD_THREAD_ANNOTATION(guarded_by(x))
+/// Pointer member whose *pointee* is guarded by `x`.
+#define HYFD_PT_GUARDED_BY(x) HYFD_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function callable only while holding the listed capabilities exclusively.
+#define HYFD_REQUIRES(...) \
+  HYFD_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function callable while holding the listed capabilities shared (an
+/// exclusive hold satisfies it too).
+#define HYFD_REQUIRES_SHARED(...) \
+  HYFD_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+/// Function that acquires the capability exclusively (and does not release).
+#define HYFD_ACQUIRE(...) \
+  HYFD_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define HYFD_ACQUIRE_SHARED(...) \
+  HYFD_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+/// Function that releases the capability (generic: exclusive or shared).
+#define HYFD_RELEASE(...) \
+  HYFD_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define HYFD_RELEASE_SHARED(...) \
+  HYFD_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+/// Function that must NOT be called while holding the listed capabilities
+/// (documents non-reentrancy: public locking APIs exclude their own lock).
+#define HYFD_EXCLUDES(...) HYFD_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Tells the analysis the capability is held without acquiring it — the
+/// static counterpart of a runtime "assert lock held".
+#define HYFD_ASSERT_CAPABILITY(x) \
+  HYFD_THREAD_ANNOTATION(assert_capability(x))
+#define HYFD_ASSERT_SHARED_CAPABILITY(x) \
+  HYFD_THREAD_ANNOTATION(assert_shared_capability(x))
+/// Function returning a reference to the capability guarding its result.
+#define HYFD_RETURN_CAPABILITY(x) HYFD_THREAD_ANNOTATION(lock_returned(x))
+/// Escape hatch: disables the analysis for one function. Policy: every use
+/// outside this header carries a reason comment on the same or preceding
+/// line (tools/lint_concurrency.py rejects bare uses).
+#define HYFD_NO_THREAD_SAFETY_ANALYSIS \
+  HYFD_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace hyfd {
+
+/// Whether a SharedMutex actually takes its underlying lock.
+///
+/// `kElided` folds the PliCache's old `Config::thread_safe == false` branch
+/// into the lock type itself: statically the capability is still acquired and
+/// released on every path — so the analysis checks single-threaded
+/// configurations exactly as hard as concurrent ones — but at runtime the
+/// lock/unlock calls are skipped. That replaces the per-call-site
+/// `config_.thread_safe ? std::unique_lock(mu_) : std::unique_lock()` pattern,
+/// which the analysis cannot see through (a conditionally-null lock is
+/// invisible to a capability system).
+enum class LockPolicy : bool {
+  kEnforced = true,  ///< real locking (the default)
+  kElided = false,   ///< single-threaded configuration: lock ops are no-ops
+};
+
+/// Exclusive mutex capability over std::mutex.
+///
+/// AssertHeld() is analysis-only: std primitives cannot be queried for
+/// ownership, so the runtime check is vacuous, but the annotation injects the
+/// capability into the caller's lock set — use it at the top of a private
+/// helper reached only from locked contexts that the analysis cannot follow.
+class HYFD_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() HYFD_ACQUIRE() { mu_.lock(); }
+  void Unlock() HYFD_RELEASE() { mu_.unlock(); }
+  void AssertHeld() const HYFD_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Reader-writer mutex capability over std::shared_mutex, with the
+/// construction-time LockPolicy described above.
+class HYFD_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  explicit SharedMutex(LockPolicy policy) : enforced_(policy == LockPolicy::kEnforced) {}
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() HYFD_ACQUIRE() {
+    if (enforced_) mu_.lock();
+  }
+  void Unlock() HYFD_RELEASE() {
+    if (enforced_) mu_.unlock();
+  }
+  void LockShared() HYFD_ACQUIRE_SHARED() {
+    if (enforced_) mu_.lock_shared();
+  }
+  void UnlockShared() HYFD_RELEASE_SHARED() {
+    if (enforced_) mu_.unlock_shared();
+  }
+  void AssertHeld() const HYFD_ASSERT_CAPABILITY(this) {}
+  void AssertReaderHeld() const HYFD_ASSERT_SHARED_CAPABILITY(this) {}
+
+  bool enforced() const { return enforced_; }
+
+ private:
+  std::shared_mutex mu_;
+  const bool enforced_ = true;
+};
+
+/// RAII exclusive hold of a Mutex for the enclosing scope.
+class HYFD_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) HYFD_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() HYFD_RELEASE() { mu_.Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII exclusive (writer) hold of a SharedMutex.
+class HYFD_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) HYFD_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~WriterLock() HYFD_RELEASE() { mu_.Unlock(); }
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared (reader) hold of a SharedMutex. `mu` must outlive the lock.
+/// The destructor uses the generic release annotation — Clang resolves a
+/// scoped release against whatever mode the constructor acquired.
+class HYFD_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(const SharedMutex& mu) HYFD_ACQUIRE_SHARED(mu)
+      : mu_(const_cast<SharedMutex&>(mu)) {
+    mu_.LockShared();
+  }
+  ~ReaderLock() HYFD_RELEASE() { mu_.UnlockShared(); }
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable paired with hyfd::Mutex.
+///
+/// Wait() takes the Mutex (whose capability the caller must hold) rather than
+/// a predicate lambda: the analysis treats a lambda body as a separate
+/// unannotated function, so guarded state read inside a predicate would need
+/// escape hatches. Callers write the standard explicit loop instead:
+///
+///     MutexLock lock(mu_);
+///     while (!ready_) cv_.Wait(mu_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and re-acquires `mu` before
+  /// returning. The capability is held again on return, so from the
+  /// analysis's point of view nothing changed — which matches the caller's
+  /// invariant across the call.
+  void Wait(Mutex& mu) HYFD_REQUIRES(mu) { cv_.wait(mu.mu_); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  /// _any: waits directly on the wrapped std::mutex (BasicLockable) without
+  /// materializing a std::unique_lock around a lock the wrapper already owns.
+  std::condition_variable_any cv_;
+};
+
+}  // namespace hyfd
+
+#endif  // HYFD_UTIL_SYNC_H_

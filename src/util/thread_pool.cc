@@ -4,11 +4,13 @@
 #include <atomic>
 #include <memory>
 
+#include "util/check.h"
+
 namespace hyfd {
 namespace {
 
-/// Set once per worker thread; -1 on every non-worker thread.
-thread_local int tls_worker_index = -1;
+/// Set once per worker thread; kNotAWorker on every non-worker thread.
+thread_local int tls_worker_index = ThreadPool::kNotAWorker;
 
 }  // namespace
 
@@ -21,18 +23,18 @@ struct ThreadPool::Latch {
   explicit Latch(size_t n) : pending(n) {}
 
   void CountDown() {
-    std::unique_lock<std::mutex> lock(mu);
-    if (--pending == 0) cv.notify_all();
+    MutexLock lock(mu);
+    if (--pending == 0) cv.NotifyAll();
   }
 
   void Wait() {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [this] { return pending == 0; });
+    MutexLock lock(mu);
+    while (pending != 0) cv.Wait(mu);
   }
 
-  std::mutex mu;
-  std::condition_variable cv;
-  size_t pending;
+  Mutex mu;
+  CondVar cv;
+  size_t pending HYFD_GUARDED_BY(mu);
 };
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -45,31 +47,44 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  task_available_.notify_all();
+  task_available_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
 int ThreadPool::CurrentWorkerIndex() { return tls_worker_index; }
 
+void ThreadPool::CheckNotCalledFromWorker(const char* what) {
+  // The hazard (header doc): the caller blocks on a latch while occupying a
+  // worker slot, so a fully loaded pool can end up with every worker waiting
+  // for tasks that no free worker exists to run. Failing fast turns that
+  // nondeterministic deadlock into a deterministic ContractViolation.
+  HYFD_CHECK(CurrentWorkerIndex() == kNotAWorker, what);
+}
+
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     tasks_.push(std::move(task));
     ++in_flight_;
   }
-  task_available_.notify_one();
+  task_available_.NotifyOne();
 }
 
 void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  CheckNotCalledFromWorker(
+      "ThreadPool::WaitIdle called from inside a pool task (deadlock hazard)");
+  MutexLock lock(mu_);
+  while (in_flight_ != 0) all_done_.Wait(mu_);
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
+  CheckNotCalledFromWorker(
+      "ThreadPool::ParallelFor called from inside a pool task "
+      "(nested blocking parallel calls can deadlock a fully loaded pool)");
   const size_t chunks = std::min(n, num_threads() * 4);
   const size_t chunk_size = (n + chunks - 1) / chunks;
   const size_t num_tasks = (n + chunk_size - 1) / chunk_size;
@@ -88,6 +103,9 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
 void ThreadPool::ParallelForRanges(
     size_t n, size_t grain, const std::function<void(size_t, size_t)>& fn) {
   if (n == 0) return;
+  CheckNotCalledFromWorker(
+      "ThreadPool::ParallelForRanges called from inside a pool task "
+      "(nested blocking parallel calls can deadlock a fully loaded pool)");
   grain = std::max<size_t>(1, grain);
   const size_t num_tasks = std::min(num_threads(), (n + grain - 1) / grain);
   auto latch = std::make_shared<Latch>(num_tasks);
@@ -117,19 +135,16 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_available_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
-      if (tasks_.empty()) {
-        if (shutdown_) return;
-        continue;
-      }
+      MutexLock lock(mu_);
+      while (!shutdown_ && tasks_.empty()) task_available_.Wait(mu_);
+      if (tasks_.empty()) return;  // shutdown with a drained queue
       task = std::move(tasks_.front());
       tasks_.pop();
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (--in_flight_ == 0) all_done_.notify_all();
+      MutexLock lock(mu_);
+      if (--in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }

@@ -1,13 +1,13 @@
 #ifndef HYFD_UTIL_THREAD_POOL_H_
 #define HYFD_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace hyfd {
 
@@ -22,9 +22,15 @@ namespace hyfd {
 ///
 /// ParallelFor* must not be called from inside a pool task (the caller
 /// blocks while holding no worker, so nested calls can deadlock a fully
-/// loaded pool).
+/// loaded pool). This is enforced: every blocking call HYFD_CHECKs that the
+/// calling thread is not a pool worker (of *any* pool — the check is
+/// conservative, since cross-pool nesting still pins a worker for the
+/// blocking wait).
 class ThreadPool {
  public:
+  /// CurrentWorkerIndex() value on every thread that is not a pool worker.
+  static constexpr int kNotAWorker = -1;
+
   /// Spawns `num_threads` workers (at least 1).
   explicit ThreadPool(size_t num_threads);
   ~ThreadPool();
@@ -32,35 +38,40 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for execution on some worker.
+  /// Enqueues a task for execution on some worker. Non-blocking; safe to
+  /// call from inside a pool task.
   void Submit(std::function<void()> task);
 
   /// Blocks until every task submitted *by anyone* has finished. Prefer the
   /// ParallelFor* calls, which wait per-call; WaitIdle is only meaningful
-  /// when a single client uses raw Submit().
+  /// when a single client uses raw Submit(). ContractViolation when called
+  /// from a pool worker (the blocked worker could be the one the remaining
+  /// tasks need).
   void WaitIdle();
 
   /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
   /// Work is split into fixed chunks up-front — cheapest when iterations
-  /// cost about the same.
+  /// cost about the same. ContractViolation when called from a pool worker.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   /// Runs `fn(i)` for i in [0, n), with workers claiming `grain`-sized index
   /// ranges from a shared atomic counter. Use for skewed workloads (cluster
   /// or level sizes varying by orders of magnitude): a worker stuck on a
   /// heavy index never strands the pre-assigned remainder of a static chunk.
+  /// ContractViolation when called from a pool worker.
   void ParallelForDynamic(size_t n, size_t grain,
                           const std::function<void(size_t)>& fn);
 
   /// Dynamic-chunking variant handing workers whole ranges: `fn(begin, end)`
   /// with the [begin, end) ranges covering [0, n) exactly once. Lets callers
   /// amortize per-range setup (e.g. locating the cluster containing `begin`).
+  /// ContractViolation when called from a pool worker.
   void ParallelForRanges(size_t n, size_t grain,
                          const std::function<void(size_t, size_t)>& fn);
 
-  /// Index of the calling pool worker in [0, num_threads()), or -1 when the
-  /// caller is not a pool worker. ParallelFor* bodies use it to index
-  /// per-worker accumulators without locking.
+  /// Index of the calling pool worker in [0, num_threads()), or kNotAWorker
+  /// when the caller is not a pool worker. ParallelFor* bodies use it to
+  /// index per-worker accumulators without locking.
   static int CurrentWorkerIndex();
 
   size_t num_threads() const { return workers_.size(); }
@@ -69,14 +80,20 @@ class ThreadPool {
   struct Latch;
 
   void WorkerLoop(size_t worker_index);
+  /// The nested-blocking-call guard shared by WaitIdle / ParallelFor*.
+  static void CheckNotCalledFromWorker(const char* what);
 
+  /// Written in the constructor, joined in the destructor, sized by
+  /// num_threads() in between — never mutated while workers run, so it
+  /// needs no capability.
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  size_t in_flight_ = 0;
-  bool shutdown_ = false;
+
+  Mutex mu_;
+  std::queue<std::function<void()>> tasks_ HYFD_GUARDED_BY(mu_);
+  size_t in_flight_ HYFD_GUARDED_BY(mu_) = 0;
+  bool shutdown_ HYFD_GUARDED_BY(mu_) = false;
+  CondVar task_available_;
+  CondVar all_done_;
 };
 
 }  // namespace hyfd

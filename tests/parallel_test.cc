@@ -15,6 +15,7 @@
 #include "data/generators.h"
 #include "gtest/gtest.h"
 #include "test_util.h"
+#include "util/check.h"
 #include "util/sharded_set.h"
 #include "util/thread_pool.h"
 
@@ -85,6 +86,116 @@ TEST(ShardedSetTest, ConcurrentInsertsCountEachValueOnce) {
   });
   EXPECT_EQ(successes.load(), distinct.size());
   EXPECT_EQ(set.size(), distinct.size());
+}
+
+TEST(ShardedSetTest, SnapshotReadersSurviveConcurrentInserts) {
+  // ForEach/size/BucketBytes are shard-at-a-time snapshots
+  // (sharded_set.h): racing them against writers must be memory-safe (this
+  // test runs under TSan via the "concurrency" label) and every observed
+  // view must be *causally bounded* — at least everything inserted before
+  // the readers started, at most everything ever inserted, and only values
+  // from the inserted universe.
+  constexpr int kPreloaded = 256;
+  constexpr int kRacing = 2048;
+  ShardedSet<int> set(8);
+  for (int v = 0; v < kPreloaded; ++v) set.Insert(v);
+
+  ThreadPool pool(6);
+  std::atomic<bool> writers_done{false};
+  std::atomic<size_t> min_size_seen{static_cast<size_t>(-1)};
+  std::atomic<int> snapshots_taken{0};
+  pool.ParallelFor(6, [&](size_t worker) {
+    if (worker < 4) {  // writers: racing inserts of a disjoint tail
+      const int begin = kPreloaded + static_cast<int>(worker) * kRacing;
+      for (int v = begin; v < begin + kRacing; ++v) set.Insert(v);
+      return;
+    }
+    // Readers: hammer the snapshot calls until some snapshot observes the
+    // final size (size() is monotone here — inserts only — so "saw the full
+    // count" means every writer retired).
+    while (!writers_done.load(std::memory_order_acquire)) {
+      size_t seen = 0;
+      set.ForEach([&](int v) {
+        ++seen;
+        EXPECT_GE(v, 0);
+        EXPECT_LT(v, kPreloaded + 4 * kRacing);
+      });
+      const size_t counted = set.size();
+      const size_t floor = std::min(seen, counted);
+      size_t prev = min_size_seen.load();
+      while (prev > floor && !min_size_seen.compare_exchange_weak(prev, floor)) {
+      }
+      EXPECT_GT(set.BucketBytes(), 0u);
+      snapshots_taken.fetch_add(1, std::memory_order_relaxed);
+      if (counted == static_cast<size_t>(kPreloaded + 4 * kRacing)) {
+        writers_done.store(true, std::memory_order_release);
+      }
+    }
+  });
+  // Post-race (serial context): the view is exact again.
+  EXPECT_EQ(set.size(), static_cast<size_t>(kPreloaded + 4 * kRacing));
+  // Every mid-race snapshot was bounded below by the preloaded prefix.
+  EXPECT_GE(min_size_seen.load(), static_cast<size_t>(kPreloaded));
+  EXPECT_GT(snapshots_taken.load(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool: the nested-blocking-call deadlock guard
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolGuardTest, NestedParallelForFromWorkerThrows) {
+  // A blocking parallel call from inside a pool task can deadlock a fully
+  // loaded pool (thread_pool.h); the hazard used to be a doc comment, now
+  // it is a contract. Every blocking entry point must fire it; the
+  // exception is caught *inside* the task (an escaping exception would
+  // terminate the worker thread).
+  ThreadPool pool(2);
+  std::atomic<int> violations{0};
+  std::atomic<int> ran{0};
+  pool.ParallelFor(4, [&](size_t) {
+    ran.fetch_add(1);
+    try {
+      pool.ParallelFor(2, [](size_t) {});
+    } catch (const ContractViolation&) {
+      violations.fetch_add(1);
+    }
+    try {
+      pool.ParallelForDynamic(2, 1, [](size_t) {});
+    } catch (const ContractViolation&) {
+      violations.fetch_add(1);
+    }
+    try {
+      pool.ParallelForRanges(2, 1, [](size_t, size_t) {});
+    } catch (const ContractViolation&) {
+      violations.fetch_add(1);
+    }
+    try {
+      pool.WaitIdle();
+    } catch (const ContractViolation&) {
+      violations.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(ran.load(), 4);
+  EXPECT_EQ(violations.load(), 4 * 4);  // all four blocking calls, all tasks
+
+  // Empty parallel calls never block (they submit nothing and return), so
+  // they stay permitted from workers — the guard targets the blocking wait.
+  std::atomic<int> empty_ok{0};
+  pool.ParallelFor(2, [&](size_t) {
+    pool.ParallelFor(0, [](size_t) { FAIL() << "no iterations expected"; });
+    pool.ParallelForRanges(0, 1, [](size_t, size_t) {});
+    empty_ok.fetch_add(1);
+  });
+  EXPECT_EQ(empty_ok.load(), 2);
+
+  // The pool is still fully operational after the contract violations.
+  std::atomic<int> sum{0};
+  pool.ParallelFor(8, [&](size_t i) { sum.fetch_add(static_cast<int>(i)); });
+  EXPECT_EQ(sum.load(), 28);
+
+  // From a non-worker thread the same calls are legal.
+  EXPECT_EQ(ThreadPool::CurrentWorkerIndex(), ThreadPool::kNotAWorker);
+  pool.WaitIdle();
 }
 
 // ---------------------------------------------------------------------------

@@ -10,6 +10,7 @@
 #include <memory>
 #include <random>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "baselines/registry.h"
@@ -309,6 +310,28 @@ TEST(PliCacheTest, SinglesLessCacheSupportsProbeAndPut) {
   // Without pinned singles the cache cannot derive beyond what it holds.
   EXPECT_EQ(cache.Get(AttributeSet(m, {2})), nullptr);
   EXPECT_EQ(cache.Get(AttributeSet(m, {0, 1, 2})), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// The no-copy/no-move contract, compiler-enforced
+// ---------------------------------------------------------------------------
+
+// A PliCache owns a SharedMutex (plus counter atomics): moving one would
+// tear the capability away from concurrent probers holding it. The header
+// deletes all four special operations; these assertions keep the contract
+// from regressing to comment-enforced (a silently re-enabled implicit move
+// would compile everywhere until the first concurrent session crashed).
+static_assert(!std::is_copy_constructible_v<PliCache>);
+static_assert(!std::is_copy_assignable_v<PliCache>);
+static_assert(!std::is_move_constructible_v<PliCache>);
+static_assert(!std::is_move_assignable_v<PliCache>);
+
+TEST(PliCacheContractTest, FactoryStillWorksWithoutMoves) {
+  // FromRelation relies on guaranteed copy elision, not on a move.
+  Relation r = SeededTable(99, /*rows=*/40);
+  PliCache cache = PliCache::FromRelation(r);
+  EXPECT_TRUE(cache.has_singles());
+  EXPECT_EQ(cache.num_records(), r.num_rows());
 }
 
 // ---------------------------------------------------------------------------

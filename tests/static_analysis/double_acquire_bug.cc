@@ -1,0 +1,28 @@
+// MUST NOT COMPILE under -Werror=thread-safety: acquires a capability that
+// is already held. hyfd::Mutex is non-recursive, so this is a guaranteed
+// self-deadlock at runtime — the analysis rejects it statically.
+
+#include "util/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() HYFD_EXCLUDES(mu_) {
+    hyfd::MutexLock lock(mu_);
+    hyfd::MutexLock again(mu_);  // BUG: second acquisition of a held mutex
+    ++value_;
+  }
+
+ private:
+  hyfd::Mutex mu_;
+  int value_ HYFD_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return 0;
+}

@@ -1,0 +1,28 @@
+// MUST NOT COMPILE under -Werror=thread-safety: calls a function annotated
+// HYFD_REQUIRES(mu_) without holding the capability — the *Locked-helper
+// contract that used to live in comments ("assumes the exclusive lock is
+// held", PliCache pre-refactor) and is now compiler-enforced.
+
+#include "util/sync.h"
+
+namespace {
+
+class Cache {
+ public:
+  void Insert(int v) /* BUG: no HYFD_EXCLUDES, and no lock taken */ {
+    InsertLocked(v);
+  }
+  void InsertLocked(int v) HYFD_REQUIRES(mu_) { value_ = v; }
+
+ private:
+  hyfd::SharedMutex mu_;
+  int value_ HYFD_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Cache c;
+  c.Insert(7);
+  return 0;
+}

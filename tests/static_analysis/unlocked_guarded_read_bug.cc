@@ -1,0 +1,26 @@
+// MUST NOT COMPILE under -Werror=thread-safety: reads and writes state
+// annotated HYFD_GUARDED_BY without holding the guarding capability — the
+// plain data race the whole capability layer exists to make impossible.
+
+#include "util/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  // BUG: no lock taken; 'value_' is guarded by 'mu_'.
+  void Increment() { ++value_; }
+  int value() const { return value_; }
+
+ private:
+  mutable hyfd::Mutex mu_;
+  int value_ HYFD_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return c.value();
+}

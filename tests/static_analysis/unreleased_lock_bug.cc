@@ -1,0 +1,30 @@
+// MUST NOT COMPILE under -Werror=thread-safety: manually acquires a
+// capability on one path and returns without releasing it — the leak/early-
+// return class of bug that RAII scopes prevent and the analysis catches
+// whenever code drops to manual Lock()/Unlock().
+
+#include "util/sync.h"
+
+namespace {
+
+class Flag {
+ public:
+  bool TrySet(bool want) HYFD_EXCLUDES(mu_) {
+    mu_.Lock();
+    if (!want) return false;  // BUG: returns with mu_ still held
+    set_ = true;
+    mu_.Unlock();
+    return true;
+  }
+
+ private:
+  hyfd::Mutex mu_;
+  bool set_ HYFD_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace
+
+int main() {
+  Flag f;
+  return f.TrySet(true) ? 0 : 1;
+}

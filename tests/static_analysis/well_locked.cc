@@ -1,0 +1,57 @@
+// Positive control for the negative compile-test harness: correctly locked
+// code over the same primitives the *_bug.cc snippets misuse. Must compile
+// warning-free under -Werror=thread-safety — otherwise the harness (include
+// path, flags, sync.h itself) is broken and the expected failures next door
+// prove nothing.
+
+#include "util/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() HYFD_EXCLUDES(mu_) {
+    hyfd::MutexLock lock(mu_);
+    ++value_;
+  }
+  int value() const HYFD_EXCLUDES(mu_) {
+    hyfd::MutexLock lock(mu_);
+    return value_;
+  }
+  void IncrementLocked() HYFD_REQUIRES(mu_) { ++value_; }
+  void LockedCaller() HYFD_EXCLUDES(mu_) {
+    hyfd::MutexLock lock(mu_);
+    IncrementLocked();
+  }
+
+ private:
+  mutable hyfd::Mutex mu_;
+  int value_ HYFD_GUARDED_BY(mu_) = 0;
+};
+
+class Snapshot {
+ public:
+  void Set(int v) HYFD_EXCLUDES(mu_) {
+    hyfd::WriterLock lock(mu_);
+    value_ = v;
+  }
+  int Get() const HYFD_EXCLUDES(mu_) {
+    hyfd::ReaderLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  mutable hyfd::SharedMutex mu_;
+  int value_ HYFD_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  c.LockedCaller();
+  Snapshot s;
+  s.Set(c.value());
+  return s.Get() == 2 ? 0 : 1;
+}

@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Concurrency lint for the hyfd codebase (DESIGN.md §11).
+
+The capability-typed layer in src/util/sync.h only verifies locks that go
+through it; a raw std::mutex is invisible to the analysis and to this
+repo's locking policy. This lint closes that hole. It enforces, over every
+.h/.cc under src/:
+
+ 1. Raw synchronization primitives (std::mutex, std::shared_mutex,
+    std::lock_guard, std::unique_lock, std::shared_lock, std::scoped_lock,
+    std::condition_variable[_any], std::recursive_mutex, std::timed_mutex)
+    appear only in src/util/sync.h, which wraps them in capabilities.
+ 2. Raw std::thread / std::jthread appear only in src/util/sync.h and the
+    ThreadPool implementation (src/util/thread_pool.{h,cc}), which owns the
+    worker threads.
+ 3. .detach() is forbidden everywhere — a detached thread outlives every
+    capability that could make it analyzable.
+ 4. Every HYFD_NO_THREAD_SAFETY_ANALYSIS escape hatch outside sync.h carries
+    a reason: a comment on the same line, or a comment line directly above.
+ 5. Every NOLINT / NOLINTNEXTLINE names its check (bare NOLINT silences
+    everything) and carries a reason: trailing text after the suppression on
+    the same line, or a comment line directly above (.clang-tidy header
+    policy, previously unenforced).
+
+Exit status 0 when clean, 1 with one "path:line: message" finding per line
+otherwise. --json writes the findings as a machine-readable artifact for CI.
+"""
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+# Primitives that must stay inside the sync wrapper (rule 1).
+RAW_SYNC = re.compile(
+    r"std::(?:mutex|shared_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"timed_mutex|shared_timed_mutex|lock_guard|scoped_lock|unique_lock|"
+    r"shared_lock|condition_variable(?:_any)?)\b"
+)
+# Thread ownership (rule 2). \b after 'thread' keeps std::thread::id and
+# std::this_thread out of scope — the lint targets thread *creation*.
+RAW_THREAD = re.compile(r"std::j?thread\b(?!::)")
+DETACH = re.compile(r"\.\s*detach\s*\(")
+ESCAPE_HATCH = re.compile(r"\bHYFD_NO_THREAD_SAFETY_ANALYSIS\b")
+NOLINT = re.compile(r"\bNOLINT(?:NEXTLINE|BEGIN|END)?\b(\([^)]*\))?")
+COMMENT_LINE = re.compile(r"^\s*(?://|/\*|\*)")
+
+SYNC_HEADER = Path("src/util/sync.h")
+THREAD_OWNERS = {SYNC_HEADER, Path("src/util/thread_pool.h"),
+                 Path("src/util/thread_pool.cc")}
+
+
+def strip_line_comment(line: str) -> str:
+    """Code portion of a line (everything before //). Good enough here:
+    the tokens this lint hunts never appear inside string literals in this
+    codebase, and block comments are handled by the caller's line scan."""
+    return line.split("//", 1)[0]
+
+
+def has_reason_above(lines, idx: int) -> bool:
+    return idx > 0 and bool(COMMENT_LINE.match(lines[idx - 1]))
+
+
+def check_file(path: Path, rel: Path, findings: list) -> None:
+    lines = path.read_text(encoding="utf-8").splitlines()
+    in_block_comment = False
+    for idx, line in enumerate(lines, start=1):
+        code = line
+        # Track /* ... */ regions so commented-out primitives don't trip
+        # rule 1 (reason prose legitimately names std::mutex).
+        if in_block_comment:
+            if "*/" in code:
+                code = code.split("*/", 1)[1]
+                in_block_comment = False
+            else:
+                continue
+        if "/*" in code and "*/" not in code.split("/*", 1)[1]:
+            in_block_comment = True
+        code = code.split("/*", 1)[0] if "/*" in code else code
+        code = strip_line_comment(code)
+
+        if rel != SYNC_HEADER and RAW_SYNC.search(code):
+            findings.append((rel, idx,
+                             "raw std synchronization primitive outside "
+                             "src/util/sync.h — use hyfd::Mutex/SharedMutex "
+                             "and the RAII locks so the capability analysis "
+                             "sees it"))
+        if rel not in THREAD_OWNERS and RAW_THREAD.search(code):
+            findings.append((rel, idx,
+                             "raw std::thread outside the ThreadPool — route "
+                             "parallel work through ThreadPool::ParallelFor*"))
+        if DETACH.search(code):
+            findings.append((rel, idx,
+                             ".detach() is forbidden — a detached thread "
+                             "outlives every capability; join it (see "
+                             "ThreadPool's destructor)"))
+
+        if rel != SYNC_HEADER and ESCAPE_HATCH.search(line):
+            after = line.split("HYFD_NO_THREAD_SAFETY_ANALYSIS", 1)[1]
+            trailing = "//" in after and after.split("//", 1)[1].strip()
+            if not trailing and not has_reason_above(lines, idx - 1):
+                findings.append((rel, idx,
+                                 "HYFD_NO_THREAD_SAFETY_ANALYSIS without a "
+                                 "reason comment (same line or the line "
+                                 "above) — the escape-hatch policy requires "
+                                 "one (DESIGN.md §11)"))
+
+        for m in NOLINT.finditer(line):
+            token = m.group(0)
+            if token.endswith(("BEGIN", "END")):
+                findings.append((rel, idx,
+                                 f"{token} block suppression — .clang-tidy "
+                                 "policy allows only per-line NOLINT with a "
+                                 "named check (blocks are reserved for "
+                                 "third-party/generated code)"))
+                continue
+            checks = m.group(1)
+            if not checks or not checks.strip("()").strip():
+                findings.append((rel, idx,
+                                 "bare NOLINT without a named check silences "
+                                 "every lint on the line — write "
+                                 "NOLINT(check-name) plus a reason"))
+                continue
+            trailing = line[m.end():].strip().lstrip("-: ").strip()
+            if not trailing and not has_reason_above(lines, idx - 1):
+                findings.append((rel, idx,
+                                 f"NOLINT({checks.strip('()')}) without a "
+                                 "reason — add a trailing comment or a "
+                                 "comment line above (.clang-tidy policy)"))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".", help="repository root")
+    parser.add_argument("--json", help="write findings to this JSON file")
+    args = parser.parse_args()
+
+    root = Path(args.root).resolve()
+    src = root / "src"
+    if not src.is_dir():
+        print(f"lint_concurrency: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    findings = []
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in {".h", ".cc"}:
+            continue
+        check_file(path, path.relative_to(root), findings)
+
+    if args.json:
+        Path(args.json).write_text(json.dumps(
+            [{"file": str(f), "line": n, "message": m}
+             for f, n, m in findings], indent=2) + "\n", encoding="utf-8")
+
+    for f, n, m in findings:
+        print(f"{f}:{n}: {m}")
+    if findings:
+        print(f"lint_concurrency: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("lint_concurrency: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
