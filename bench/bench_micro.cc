@@ -4,16 +4,19 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <random>
 #include <string>
 #include <vector>
 
 #include "core/preprocessor.h"
+#include "core/refine_kernel.h"
 #include "data/csv.h"
 #include "data/datasets.h"
 #include "data/generators.h"
 #include "data/table_io.h"
 #include "fd/fd_tree.h"
+#include "legacy_validator.h"
 #include "pli/pli_builder.h"
 #include "pli/pli_cache.h"
 #include "util/attribute_set.h"
@@ -217,6 +220,125 @@ BENCHMARK(BM_BinaryLoad)
     ->Arg(10000)
     ->Arg(80000)
     ->Unit(benchmark::kMillisecond);
+
+// ---- Refinement shapes: legacy hash grouping vs the hash-free kernel ------
+// The Validator's hot loop, isolated: one (LHS -> all other columns) check
+// over a Zipf-skewed pivot whose giant clusters make per-record grouping the
+// dominant cost. The planted FDs keep one RHS alive, so the scan runs to the
+// end instead of early-exiting (the regime where grouping cost matters).
+// Legacy comes from tests/legacy_validator.h — the frozen pre-kernel
+// implementation with unordered_map / ClusterVectorHash grouping.
+
+/// Shared fixture of the refinement benchmarks: skewed relation, its
+/// preprocessed form, and the pivot/others split for an `lhs_size`-attribute
+/// LHS over columns {0, 1, ...} with every remaining column as RHS.
+struct RefineBenchFixture {
+  Relation relation;
+  PreprocessedData data;
+  FDTree tree;
+  AttributeSet lhs;
+  AttributeSet rhss;
+  std::vector<int> others;
+  std::vector<int> rhs_attrs;
+  RefineJob job;
+
+  RefineBenchFixture(int lhs_size, size_t rows)
+      : relation(MakeSkewedRelation(rows)),
+        data(Preprocess(relation)),
+        tree(data.num_attributes),
+        lhs(data.num_attributes),
+        rhss(data.num_attributes) {
+    for (int a = 0; a < lhs_size; ++a) lhs.Set(a);
+    for (int a = lhs_size; a < data.num_attributes; ++a) rhss.Set(a);
+    int pivot = -1;
+    for (int attr = lhs.First(); attr != AttributeSet::kNpos;
+         attr = lhs.NextAfter(attr)) {
+      if (pivot == -1 ||
+          data.rank[static_cast<size_t>(attr)] <
+              data.rank[static_cast<size_t>(pivot)]) {
+        pivot = attr;
+      }
+    }
+    size_t code_bound = 1;
+    for (int attr = lhs.First(); attr != AttributeSet::kNpos;
+         attr = lhs.NextAfter(attr)) {
+      if (attr == pivot) continue;
+      others.push_back(attr);
+      code_bound = std::max(
+          code_bound,
+          data.plis[static_cast<size_t>(attr)].NumStrippedClusters());
+    }
+    rhs_attrs = rhss.ToIndexes();
+    job.records = &data.records;
+    job.clusters = &data.plis[static_cast<size_t>(pivot)].clusters();
+    job.others = others.data();
+    job.num_others = others.size();
+    job.other_code_bound = code_bound;
+    job.rhs_attrs = rhs_attrs.data();
+    job.num_rhs = rhs_attrs.size();
+  }
+
+  static Relation MakeSkewedRelation(size_t rows) {
+    GeneratorConfig config;
+    config.rows = rows;
+    config.seed = 19;
+    config.columns = {
+        ColumnSpec{.cardinality = 3, .distribution = Distribution::kZipf},
+        ColumnSpec{.cardinality = 64},
+        ColumnSpec{.cardinality = 48},
+        ColumnSpec{.cardinality = 1000, .sources = {0, 1}},
+        ColumnSpec{.cardinality = 1000, .sources = {0, 1, 2}},
+        ColumnSpec{.cardinality = 24},
+    };
+    return Generate(config);
+  }
+};
+
+void BM_RefinesTwoAttrLegacy(benchmark::State& state) {
+  RefineBenchFixture f(2, static_cast<size_t>(state.range(0)));
+  legacy::LegacyValidator validator(&f.data, &f.tree, 1e18);
+  for (auto _ : state) {
+    auto out = validator.Refines(f.lhs, f.rhss);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RefinesTwoAttrLegacy)->Arg(10000)->Arg(100000);
+
+void BM_RefinesTwoAttrKernel(benchmark::State& state) {
+  RefineBenchFixture f(2, static_cast<size_t>(state.range(0)));
+  RefineArena arena;
+  RefineTaskOut out;
+  for (auto _ : state) {
+    RunRefineTask(f.job, 0, f.job.clusters->size(), 0, 0, &arena, &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RefinesTwoAttrKernel)->Arg(10000)->Arg(100000);
+
+void BM_RefinesGeneralLegacy(benchmark::State& state) {
+  RefineBenchFixture f(3, static_cast<size_t>(state.range(0)));
+  legacy::LegacyValidator validator(&f.data, &f.tree, 1e18);
+  for (auto _ : state) {
+    auto out = validator.Refines(f.lhs, f.rhss);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RefinesGeneralLegacy)->Arg(10000)->Arg(100000);
+
+void BM_RefinesGeneralKernel(benchmark::State& state) {
+  RefineBenchFixture f(3, static_cast<size_t>(state.range(0)));
+  RefineArena arena;
+  RefineTaskOut out;
+  for (auto _ : state) {
+    RunRefineTask(f.job, 0, f.job.clusters->size(), 0, 0, &arena, &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RefinesGeneralKernel)->Arg(10000)->Arg(100000);
 
 void BM_FdTreeAddAndLookup(benchmark::State& state) {
   const int m = 32;

@@ -1,0 +1,241 @@
+// Validation-kernel benchmark and correctness gate.
+//
+// Races the rewritten Validator (hash-free refinement kernel, two-level task
+// splitting, per-worker arenas) against the frozen pre-kernel implementation
+// (tests/legacy_validator.h: unordered_map / ClusterVectorHash grouping,
+// parallelism only across the nodes of a level) on a validation-only
+// traversal: the FDTree starts from ∅ -> R with no sampling knowledge and an
+// effectively infinite efficiency threshold, so one Run() validates the
+// whole lattice — the Validator's cost isolated from the rest of the hybrid
+// loop.
+//
+// Two datasets bracket the skew axis:
+//   * skewed  — a Zipf pivot column concentrates most records in one giant
+//     cluster, the shape that serializes per-node-only parallelism and
+//     stresses per-record grouping (the kernel's two wins);
+//   * uniform — fd-reduced data (paper §10.4) with even cluster sizes, the
+//     shape where the old implementation was already well balanced.
+//
+// The harness is a gate, not just a stopwatch:
+//   * exit 2 if any run's FD set or comparison-suggestion list diverges from
+//     the serial legacy baseline (they must be bit-identical for every
+//     implementation x thread-count combination);
+//   * exit 3 if the skewed dataset's kernel-vs-legacy speedup at the top of
+//     the thread ladder falls below --min-speedup (default 0 = report only,
+//     so CI smoke runs stay portable across host core counts).
+//
+// Flags: --rows=N         rows per dataset (default 60000)
+//        --max-threads=N  top of the 1,2,4,... ladder (default 8)
+//        --reps=N         timed repetitions, best-of (default 3)
+//        --min-speedup=F  skewed-dataset speedup floor at max threads
+//        --out=PATH       JSON output (default BENCH_validator.json)
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/inductor.h"
+#include "core/preprocessor.h"
+#include "core/validator.h"
+#include "data/generators.h"
+#include "fd/fd_set.h"
+#include "fd/fd_tree.h"
+#include "legacy_validator.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace hyfd;
+using namespace hyfd::bench;
+
+struct TraversalResult {
+  FDSet fds;
+  std::vector<std::pair<RecordId, RecordId>> suggestions;
+  double seconds = 0;
+  size_t validations = 0;
+  MetricsRegistry metrics;
+};
+
+/// Drives one validator to completion, resuming after every efficiency
+/// pause (a level with zero valid FDs pauses for ANY finite threshold, so a
+/// single Run() never covers the lattice). Suggestion batches concatenate in
+/// resume order — a deterministic sequence both implementations must match.
+template <typename Validator_>
+void DriveToDone(FDTree* tree, Validator_* validator, TraversalResult* out) {
+  while (true) {
+    auto result = validator->Run();
+    for (auto& s : result.comparison_suggestions) {
+      out->suggestions.push_back(s);
+    }
+    if (result.done) break;
+  }
+  out->fds = tree->ToFdSet();
+  out->validations = validator->total_validations();
+}
+
+/// One validation-only traversal, best-of-`reps` timed. `use_kernel` selects
+/// the production Validator; otherwise the frozen legacy implementation runs
+/// with the same pool.
+void RunTraversal(const PreprocessedData& data, bool use_kernel,
+                  ThreadPool* pool, int reps, TraversalResult* out) {
+  for (int rep = 0; rep < reps; ++rep) {
+    FDTree tree(data.num_attributes);
+    Inductor inductor(&tree);
+    inductor.Update({});
+    TraversalResult run;
+    Timer timer;
+    if (use_kernel) {
+      Validator validator(&data, &tree, 1e18, pool, nullptr, &out->metrics);
+      DriveToDone(&tree, &validator, &run);
+    } else {
+      legacy::LegacyValidator validator(&data, &tree, 1e18, pool);
+      DriveToDone(&tree, &validator, &run);
+    }
+    run.seconds = timer.ElapsedSeconds();
+    if (rep == 0 || run.seconds < out->seconds) out->seconds = run.seconds;
+    if (rep == 0) {
+      out->fds = std::move(run.fds);
+      out->suggestions = std::move(run.suggestions);
+      out->validations = run.validations;
+    }
+  }
+}
+
+struct DatasetCase {
+  std::string name;
+  Relation relation;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const size_t rows = static_cast<size_t>(flags.GetInt("rows", 60000));
+  const long max_threads = flags.GetInt("max-threads", 8);
+  const int reps = static_cast<int>(flags.GetInt("reps", 3));
+  const double min_speedup = flags.GetDouble("min-speedup", 0.0);
+  const std::string out = flags.GetString("out", "BENCH_validator.json");
+
+  std::vector<int> ladder;
+  for (long t = 1; t <= max_threads; t *= 2) ladder.push_back(static_cast<int>(t));
+  if (!ladder.empty() && ladder.back() != max_threads) {
+    ladder.push_back(static_cast<int>(max_threads));
+  }
+
+  // Skewed: Zipf over 3 values puts over half the rows into one pivot
+  // cluster. The high-cardinality base and derived columns keep candidates
+  // alive deep into the lattice, so the dominant cost is grouping that giant
+  // cluster by multi-attribute code tuples over and over — the shape where
+  // the old per-record hash probing was at its slowest.
+  GeneratorConfig skewed;
+  skewed.rows = rows;
+  skewed.seed = 19;
+  skewed.columns = {
+      ColumnSpec{.cardinality = 3, .distribution = Distribution::kZipf},
+      ColumnSpec{.cardinality = 1000},
+      ColumnSpec{.cardinality = 800},
+      ColumnSpec{.cardinality = 600},
+      ColumnSpec{.cardinality = 2000, .sources = {0, 1}},
+      ColumnSpec{.cardinality = 2000, .sources = {1, 2}},
+      ColumnSpec{.cardinality = 2000, .sources = {0, 2, 3}},
+      ColumnSpec{.cardinality = 400},
+  };
+
+  std::vector<DatasetCase> cases;
+  cases.push_back({"skewed (zipf giant cluster)", Generate(skewed)});
+  cases.push_back({"uniform (fd-reduced)",
+                   GenerateFdReduced(rows, 8, 1000, /*seed=*/7)});
+
+  ReportSink sink("validator_kernel");
+  bool all_identical = true;
+  double skewed_speedup_at_max = 0.0;
+
+  for (const DatasetCase& c : cases) {
+    PreprocessedData data = Preprocess(c.relation);
+    std::printf("=== %s: %zu rows x %d cols ===\n", c.name.c_str(),
+                data.num_records, data.num_attributes);
+    std::printf("%8s %12s %12s %9s %10s %10s\n", "threads", "legacy(s)",
+                "kernel(s)", "speedup", "FDs", "identical");
+
+    TraversalResult baseline;  // serial legacy: the pre-PR reference
+    RunTraversal(data, /*use_kernel=*/false, nullptr, reps, &baseline);
+
+    for (int threads : ladder) {
+      std::unique_ptr<ThreadPool> pool;
+      if (threads > 1) {
+        pool = std::make_unique<ThreadPool>(static_cast<size_t>(threads));
+      }
+      TraversalResult legacy_run;
+      TraversalResult kernel_run;
+      if (threads == 1) {
+        legacy_run.fds = baseline.fds;
+        legacy_run.suggestions = baseline.suggestions;
+        legacy_run.seconds = baseline.seconds;
+        legacy_run.validations = baseline.validations;
+      } else {
+        RunTraversal(data, /*use_kernel=*/false, pool.get(), reps, &legacy_run);
+      }
+      RunTraversal(data, /*use_kernel=*/true, pool.get(), reps, &kernel_run);
+
+      const bool identical = kernel_run.fds == baseline.fds &&
+                             kernel_run.suggestions == baseline.suggestions &&
+                             legacy_run.fds == baseline.fds &&
+                             legacy_run.suggestions == baseline.suggestions;
+      all_identical = all_identical && identical;
+      const double speedup = kernel_run.seconds > 0
+                                 ? legacy_run.seconds / kernel_run.seconds
+                                 : 0.0;
+      if (c.name.rfind("skewed", 0) == 0 && threads == ladder.back()) {
+        skewed_speedup_at_max = speedup;
+      }
+      std::printf("%8d %11.3fs %11.3fs %8.2fx %10zu %10s\n", threads,
+                  legacy_run.seconds, kernel_run.seconds, speedup,
+                  kernel_run.fds.size(), identical ? "yes" : "NO !!");
+      std::fflush(stdout);
+
+      // One report per (impl, threads) pair; the legacy rows are what the
+      // speedup column is measured against, so they are archived too.
+      for (bool kernel : {false, true}) {
+        const TraversalResult& run = kernel ? kernel_run : legacy_run;
+        RunReport report;
+        report.algorithm = kernel ? "validator_kernel" : "validator_legacy";
+        report.dataset = c.name;
+        report.rows = data.num_records;
+        report.columns = data.num_attributes;
+        report.result_count = run.fds.size();
+        report.total_seconds = run.seconds;
+        report.AddPhase("validation", run.seconds);
+        if (kernel) report.MergeMetrics(run.metrics);
+        report.SetCounter("bench.threads", static_cast<uint64_t>(threads));
+        report.SetCounter("bench.identical", identical ? 1 : 0);
+        report.SetCounter("bench.validations", run.validations);
+        report.SetCounter("bench.suggestions", run.suggestions.size());
+        if (kernel) {
+          report.SetCounter("bench.speedup_milli",
+                            static_cast<uint64_t>(speedup * 1000));
+        }
+        sink.Add(report);
+      }
+    }
+  }
+
+  if (!sink.WriteJson(out)) return 1;
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: FD set or suggestion divergence against the serial "
+                 "legacy baseline\n");
+    return 2;
+  }
+  std::printf("skewed speedup at %d threads: %.2fx (floor %.2fx)\n",
+              ladder.back(), skewed_speedup_at_max, min_speedup);
+  if (min_speedup > 0 && skewed_speedup_at_max < min_speedup) {
+    std::fprintf(stderr, "FAIL: below --min-speedup floor\n");
+    return 3;
+  }
+  return 0;
+}

@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <utility>
 
 #include "core/preprocessor.h"
+#include "core/refine_kernel.h"
 #include "fd/fd_tree.h"
 #include "pli/pli.h"
 #include "util/check.h"
@@ -38,9 +38,11 @@ void SpecializeUcc(FDTree* tree, const AttributeSet& agree) {
 }
 
 /// Checks whether `lhs` is unique on the data; on violation returns one
-/// offending record pair through `violation`.
+/// offending record pair through `violation`. Grouping runs on the shared
+/// refinement kernel (dense-code refinement, no hash maps); `arena` is the
+/// discovery run's reusable scratch.
 bool IsUnique(const PreprocessedData& data, const AttributeSet& lhs,
-              std::pair<RecordId, RecordId>* violation) {
+              RefineArena* arena, std::pair<RecordId, RecordId>* violation) {
   if (lhs.Empty()) {
     if (data.num_records < 2) return true;
     *violation = {0, 1};
@@ -56,31 +58,36 @@ bool IsUnique(const PreprocessedData& data, const AttributeSet& lhs,
     }
   }
   std::vector<int> other;
+  size_t code_bound = 1;
   for (int attr = lhs.First(); attr != AttributeSet::kNpos;
        attr = lhs.NextAfter(attr)) {
-    if (attr != pivot) other.push_back(attr);
+    if (attr == pivot) continue;
+    other.push_back(attr);
+    code_bound = std::max(
+        code_bound, data.plis[static_cast<size_t>(attr)].NumStrippedClusters());
   }
-  std::unordered_map<std::vector<ClusterId>, RecordId, ClusterVectorHash> seen;
-  std::vector<ClusterId> key(other.size());
   for (const auto& cluster : data.plis[static_cast<size_t>(pivot)].clusters()) {
-    seen.clear();
-    for (RecordId r : cluster) {
-      const ClusterId* rec = data.records.Record(r);
-      bool unique = false;
-      for (size_t i = 0; i < other.size(); ++i) {
-        ClusterId c = rec[other[i]];
-        if (c == kUniqueCluster) {
-          unique = true;
-          break;
-        }
-        key[i] = c;
+    const size_t num_groups =
+        GroupRowsByCodes(data.records, other.data(), other.size(),
+                         cluster.data(), cluster.size(), code_bound, arena);
+    // The sequential scan would stop at the first record that repeats an
+    // earlier LHS tuple — i.e. at the minimum second-member position over
+    // this cluster's groups. Report that exact pair so the suggestion fed to
+    // the Sampler is identical to the old hash-probing scan's.
+    uint32_t best_second = UINT32_MAX;
+    uint32_t best_first = 0;
+    for (size_t g = 0; g < num_groups; ++g) {
+      const uint32_t begin = arena->group_offsets[g];
+      if (arena->group_offsets[g + 1] - begin < 2) continue;
+      const uint32_t second = arena->grouped_idx[begin + 1];
+      if (second < best_second) {
+        best_second = second;
+        best_first = arena->grouped_idx[begin];
       }
-      if (unique) continue;
-      auto [it, inserted] = seen.emplace(key, r);
-      if (!inserted) {
-        *violation = {it->second, r};
-        return false;
-      }
+    }
+    if (best_second != UINT32_MAX) {
+      *violation = {cluster[best_first], cluster[best_second]};
+      return false;
     }
   }
   return true;
@@ -107,6 +114,7 @@ std::vector<AttributeSet> HyUcc::Discover(const Relation& relation) {
                   pool.get(), &metrics);
 
   std::vector<std::pair<RecordId, RecordId>> suggestions;
+  RefineArena arena;  // one reusable grouping scratch for the whole run
   int current_level = 0;
   Timer timer;
   while (true) {
@@ -146,7 +154,7 @@ std::vector<AttributeSet> HyUcc::Discover(const Relation& relation) {
         if (!entry.node->fds.Test(kUccMarker)) continue;
         ++stats_.validations;
         std::pair<RecordId, RecordId> violation;
-        if (IsUnique(data, entry.lhs, &violation)) {
+        if (IsUnique(data, entry.lhs, &arena, &violation)) {
           ++num_valid;
           continue;
         }

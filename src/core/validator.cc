@@ -1,11 +1,56 @@
 #include "core/validator.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <limits>
+#include <memory>
 
 #include "util/check.h"
 
 namespace hyfd {
+namespace {
+
+/// Below this many scanned records a unit is never split: the merge overhead
+/// would exceed the scan itself.
+constexpr size_t kMinSplitMass = 4096;
+/// Target tasks per worker; >1 so dynamic chunking can rebalance when one
+/// range turns out heavier than its mass estimate.
+constexpr size_t kTasksPerWorker = 4;
+
+/// One refinement call: a (node, restriction-mode) pair of a level, bound to
+/// the kernel job that will execute it. Empty-LHS candidates never become
+/// units — the IsConstant check resolves them during planning.
+struct Unit {
+  size_t entry = 0;  ///< index into the level
+  std::vector<int> rhs_attrs;
+  std::vector<int> others;
+  /// Keep-alive for a cache hit; job.clusters then points into this Pli.
+  std::shared_ptr<const Pli> cached;
+  RefineJob job;
+  /// Records the job scans (Σ cluster sizes) — the split cost estimate.
+  size_t mass = 0;
+  size_t first_task = 0;
+  size_t num_tasks = 0;
+};
+
+/// One schedulable slice of a unit (whole job, a cluster range, or a record
+/// range of one oversized compare-to-first cluster).
+struct Task {
+  uint32_t unit;
+  uint32_t cluster_begin;
+  uint32_t cluster_end;
+  uint32_t rec_begin;
+  uint32_t rec_end;  ///< 0 = whole clusters
+};
+
+size_t NumVisit(const RefineJob& job) {
+  return job.visit != nullptr ? job.visit->size() : job.clusters->size();
+}
+
+const std::vector<RecordId>& ClusterAt(const RefineJob& job, size_t ci) {
+  return (*job.clusters)[job.visit != nullptr ? (*job.visit)[ci] : ci];
+}
+
+}  // namespace
 
 Validator::Validator(const PreprocessedData* data, FDTree* tree,
                      double efficiency_threshold, ThreadPool* pool,
@@ -38,237 +83,262 @@ void Validator::set_delta(const ClusterDelta* delta) {
   delta_ = delta;
 }
 
-Validator::RefineOutcome Validator::RefinesWithPli(
-    const Pli& lhs_pli, const std::vector<int>& rhs_attrs) const {
-  RefineOutcome out;
-  out.valid_rhss = AttributeSet(data_->num_attributes);
-  const size_t num_rhs = rhs_attrs.size();
-  std::vector<uint8_t> alive(num_rhs, 1);
-  size_t num_alive = num_rhs;
-  if (num_alive == 0) return out;
-
-  // Each cluster of π_lhs is one group of LHS-agreeing records: every
-  // still-alive RHS must agree with the cluster's first record on a
-  // non-unique cluster id, exactly as in the hash-grouping pass.
-  for (const auto& cluster : lhs_pli.clusters()) {
-    const ClusterId* first = data_->records.Record(cluster[0]);
-    for (size_t i = 1; i < cluster.size(); ++i) {
-      const ClusterId* rec = data_->records.Record(cluster[i]);
-      for (size_t j = 0; j < num_rhs; ++j) {
-        if (!alive[j]) continue;
-        ClusterId stored = first[rhs_attrs[j]];
-        if (stored == kUniqueCluster || stored != rec[rhs_attrs[j]]) {
-          alive[j] = 0;
-          --num_alive;
-          out.suggestions.emplace_back(cluster[0], cluster[i]);
-        }
-      }
-      if (num_alive == 0) return out;
-    }
-  }
-  for (size_t j = 0; j < num_rhs; ++j) {
-    if (alive[j]) out.valid_rhss.Set(rhs_attrs[j]);
-  }
-  return out;
+void Validator::EnsureArenas() {
+  const size_t slots = (pool_ != nullptr ? pool_->num_threads() : 0) + 1;
+  if (arenas_.size() < slots) arenas_.resize(slots);
 }
 
-Validator::RefineOutcome Validator::Refines(const AttributeSet& lhs,
-                                            const AttributeSet& rhss,
-                                            bool restricted) const {
-  HYFD_DCHECK(!restricted || delta_ != nullptr,
-              "Validator: restricted refinement without a cluster delta");
-  RefineOutcome out;
-  out.valid_rhss = AttributeSet(data_->num_attributes);
+RefineArena& Validator::LocalArena() {
+  const int w = ThreadPool::CurrentWorkerIndex();
+  // Non-workers (the thread driving Run()) take the extra last slot; a
+  // worker index from a *foreign* pool larger than ours clamps there too.
+  const size_t slot = w == ThreadPool::kNotAWorker
+                          ? arenas_.size() - 1
+                          : std::min(static_cast<size_t>(w), arenas_.size() - 1);
+  return arenas_[slot];
+}
 
-  if (lhs.Empty()) {
-    // ∅ → A holds iff column A is constant (O(1) either way, so the
-    // restricted mode just rechecks in full).
-    ForEachBit(rhss, [&](int rhs) {
-      if (data_->plis[static_cast<size_t>(rhs)].IsConstant()) {
-        out.valid_rhss.Set(rhs);
-      }
-    });
-    return out;
-  }
+void Validator::ValidateLevel(const std::vector<FDTree::LevelEntry>& level,
+                              std::vector<RefineOutcome>* outcomes) {
+  // --- Plan: one unit per (node, restriction mode). -----------------------
+  std::vector<Unit> units;
+  units.reserve(level.size());
 
-  // A cached LHS partition (from an earlier discovery pass or a sibling
-  // algorithm sharing the cache) replaces the hash-grouping pass entirely.
-  // Never in restricted mode: cached partitions describe the *whole*
-  // relation, which is correct but defeats the touched-only savings — and
-  // more importantly the restricted scan must never *create* cache entries
-  // (see below), so the cache is bypassed symmetrically.
-  const bool multi_lhs = lhs.Count() >= 2;
-  if (cache_ != nullptr && multi_lhs && !restricted) {
-    if (auto cached = cache_->Probe(lhs)) {
-      return RefinesWithPli(*cached, rhss.ToIndexes());
-    }
-  }
-
-  // Pivot: the LHS attribute whose PLI has the most (smallest) clusters —
-  // minimizes the records we group (the paper's "first" attribute after the
-  // Preprocessor's sort).
-  int pivot = -1;
-  for (int attr = lhs.First(); attr != AttributeSet::kNpos;
-       attr = lhs.NextAfter(attr)) {
-    if (pivot == -1 || data_->rank[static_cast<size_t>(attr)] <
-                           data_->rank[static_cast<size_t>(pivot)]) {
-      pivot = attr;
-    }
-  }
-  std::vector<int> other_lhs;
-  for (int attr = lhs.First(); attr != AttributeSet::kNpos;
-       attr = lhs.NextAfter(attr)) {
-    if (attr != pivot) other_lhs.push_back(attr);
-  }
-  const std::vector<int> rhs_attrs = rhss.ToIndexes();
-  const size_t num_rhs = rhs_attrs.size();
-
-  // alive[j]: rhs_attrs[j] not yet invalidated.
-  std::vector<uint8_t> alive(num_rhs, 1);
-  size_t num_alive = num_rhs;
-  if (num_alive == 0) return out;
-
-  struct GroupInfo {
-    RecordId representative;
-    uint32_t rhs_offset;   ///< index into rhs_storage
-    int32_t cluster = -1;  ///< index into `collected`, lazily materialized
-  };
-  // RHS cluster ids of all groups, stored contiguously to avoid per-group
-  // allocations (this function runs once per FDTree node, per level).
-  std::vector<ClusterId> rhs_storage;
-
-  // With a cache attached, the grouping pass doubles as a builder for π_lhs:
-  // every group that receives a second record becomes one of its stripped
-  // clusters. Abandoned on early exit (partial partitions are never cached).
-  // Disabled in restricted mode: a touched-only scan sees a *subset* of the
-  // pivot clusters, so the partition it would assemble is partial by
-  // construction and caching it would corrupt every later full-data probe.
-  const bool collect = cache_ != nullptr && multi_lhs && !restricted;
-  std::vector<std::vector<RecordId>> collected;
-
-  // Compares record `r` against its group (creating the group on first
-  // sight); returns false when every RHS died.
-  auto probe_group = [&](auto& map, const auto& map_key, RecordId r,
-                         const ClusterId* rec) {
-    auto [it, inserted] = map.try_emplace(map_key);
-    GroupInfo& group = it->second;
-    if (inserted) {
-      group.representative = r;
-      group.rhs_offset = static_cast<uint32_t>(rhs_storage.size());
-      for (size_t j = 0; j < num_rhs; ++j) {
-        rhs_storage.push_back(rec[rhs_attrs[j]]);
-      }
-      return true;
-    }
-    if (collect) {
-      if (group.cluster < 0) {
-        group.cluster = static_cast<int32_t>(collected.size());
-        collected.push_back({group.representative});
-      }
-      collected[static_cast<size_t>(group.cluster)].push_back(r);
-    }
-    // A second record with the same LHS clusters: every still-alive RHS
-    // must agree on a non-unique cluster, else the FD is violated.
-    const ClusterId* stored = &rhs_storage[group.rhs_offset];
-    for (size_t j = 0; j < num_rhs; ++j) {
-      if (!alive[j]) continue;
-      ClusterId current = rec[rhs_attrs[j]];
-      if (stored[j] == kUniqueCluster || stored[j] != current) {
-        alive[j] = 0;
-        --num_alive;
-        out.suggestions.emplace_back(group.representative, r);
-      }
-    }
-    return num_alive != 0;
-  };
-
-  const auto& pivot_clusters = data_->plis[static_cast<size_t>(pivot)].clusters();
-
-  // Restricted mode scans only the pivot clusters the batch touched; any
-  // newly-violating pair shares its pivot cluster with a new row, so no
-  // violation hides in an untouched cluster (see ClusterDelta).
-  const std::vector<uint32_t>* visit =
-      restricted ? &delta_->touched[static_cast<size_t>(pivot)] : nullptr;
-  const size_t num_visit = visit != nullptr ? visit->size()
-                                            : pivot_clusters.size();
-  auto cluster_at = [&](size_t idx) -> const std::vector<RecordId>& {
-    return pivot_clusters[visit != nullptr ? (*visit)[idx] : idx];
-  };
-
-  if (other_lhs.empty()) {
-    // Single-attribute LHS: each pivot cluster IS the group; compare every
-    // record against the cluster's first (no hashing at all).
-    for (size_t ci = 0; ci < num_visit; ++ci) {
-      const auto& cluster = cluster_at(ci);
-      const ClusterId* first = data_->records.Record(cluster[0]);
-      for (size_t i = 1; i < cluster.size(); ++i) {
-        const ClusterId* rec = data_->records.Record(cluster[i]);
-        for (size_t j = 0; j < num_rhs; ++j) {
-          if (!alive[j]) continue;
-          ClusterId stored = first[rhs_attrs[j]];
-          if (stored == kUniqueCluster || stored != rec[rhs_attrs[j]]) {
-            alive[j] = 0;
-            --num_alive;
-            out.suggestions.emplace_back(cluster[0], cluster[i]);
-          }
+  auto plan_unit = [&](size_t i, const AttributeSet& rhss, bool restricted) {
+    HYFD_DCHECK(!restricted || delta_ != nullptr,
+                "Validator: restricted refinement without a cluster delta");
+    if (rhss.Empty()) return;
+    const auto& entry = level[i];
+    if (entry.lhs.Empty()) {
+      // ∅ → A holds iff column A is constant (O(1) either way, so the
+      // restricted mode just rechecks in full).
+      ForEachBit(rhss, [&](int rhs) {
+        if (data_->plis[static_cast<size_t>(rhs)].IsConstant()) {
+          (*outcomes)[i].valid_rhss.Set(rhs);
         }
-        if (num_alive == 0) return out;
+      });
+      return;
+    }
+
+    Unit u;
+    u.entry = i;
+    u.rhs_attrs = rhss.ToIndexes();
+
+    const bool multi_lhs = entry.lhs.Count() >= 2;
+    // A cached LHS partition (from an earlier discovery pass or a sibling
+    // algorithm sharing the cache) replaces the grouping pass entirely.
+    // Never in restricted mode: cached partitions describe the *whole*
+    // relation, which is correct but defeats the touched-only savings — and
+    // the restricted scan must never *create* cache entries either, so the
+    // cache is bypassed symmetrically.
+    if (cache_ != nullptr && multi_lhs && !restricted) {
+      if (auto cached = cache_->Probe(entry.lhs)) {
+        u.cached = std::move(cached);
+        u.job.clusters = &u.cached->clusters();
+        u.mass = u.cached->NumNonUniqueRecords();
+        units.push_back(std::move(u));
+        return;
       }
     }
-  } else if (other_lhs.size() == 1) {
-    // Two-attribute LHS: group by a single cluster id (cheap integer map).
-    const int other = other_lhs[0];
-    std::unordered_map<ClusterId, GroupInfo> groups;
-    for (size_t ci = 0; ci < num_visit; ++ci) {
-      const auto& cluster = cluster_at(ci);
-      groups.clear();
-      rhs_storage.clear();
-      for (RecordId r : cluster) {
-        const ClusterId* rec = data_->records.Record(r);
-        ClusterId c = rec[other];
-        if (c == kUniqueCluster) continue;  // unique in LHS: cannot violate
-        if (!probe_group(groups, c, r, rec)) return out;
+
+    // Pivot: the LHS attribute whose PLI has the most (smallest) clusters —
+    // minimizes the records we group (the paper's "first" attribute after
+    // the Preprocessor's sort).
+    int pivot = -1;
+    for (int attr = entry.lhs.First(); attr != AttributeSet::kNpos;
+         attr = entry.lhs.NextAfter(attr)) {
+      if (pivot == -1 || data_->rank[static_cast<size_t>(attr)] <
+                             data_->rank[static_cast<size_t>(pivot)]) {
+        pivot = attr;
       }
     }
+    size_t code_bound = 1;
+    for (int attr = entry.lhs.First(); attr != AttributeSet::kNpos;
+         attr = entry.lhs.NextAfter(attr)) {
+      if (attr == pivot) continue;
+      u.others.push_back(attr);
+      code_bound = std::max(
+          code_bound,
+          data_->plis[static_cast<size_t>(attr)].NumStrippedClusters());
+    }
+    u.job.other_code_bound = code_bound;
+
+    const Pli& pivot_pli = data_->plis[static_cast<size_t>(pivot)];
+    u.job.clusters = &pivot_pli.clusters();
+    if (restricted) {
+      // Restricted mode scans only the pivot clusters the batch touched; any
+      // newly-violating pair shares its pivot cluster with a new row, so no
+      // violation hides in an untouched cluster (see ClusterDelta).
+      u.job.visit = &delta_->touched[static_cast<size_t>(pivot)];
+      for (uint32_t ci : *u.job.visit) {
+        u.mass += pivot_pli.clusters()[ci].size();
+      }
+    } else {
+      u.mass = pivot_pli.NumNonUniqueRecords();
+    }
+    // With a cache attached, the grouping pass doubles as a builder for
+    // π_lhs: every group that gains a second record becomes one of its
+    // stripped clusters. Abandoned on early exit (partial partitions are
+    // never cached).
+    u.job.collect = cache_ != nullptr && multi_lhs && !restricted;
+    units.push_back(std::move(u));
+  };
+
+  for (size_t i = 0; i < level.size(); ++i) {
+    const auto& entry = level[i];
+    if (entry.node->fds.Empty()) continue;
+    if (delta_ == nullptr) {
+      plan_unit(i, entry.node->fds, /*restricted=*/false);
+      continue;
+    }
+    // Incremental mode: candidates proven on the pre-batch data only need
+    // the restricted touched-clusters scan; candidates the Inductor added
+    // this batch get the full check. confirmed ⊆ fds, so the two RHS sets
+    // partition the node's candidates.
+    const AttributeSet& inherited = entry.node->confirmed;
+    AttributeSet fresh = entry.node->fds;
+    fresh.AndNot(inherited);
+    plan_unit(i, inherited, /*restricted=*/true);
+    plan_unit(i, fresh, /*restricted=*/false);
+  }
+
+  // The unit vector is final: bind the job pointers that alias unit-owned
+  // storage (vector moves preserve heap buffers, but binding after the last
+  // push_back keeps the invariant obvious).
+  for (Unit& u : units) {
+    u.job.records = &data_->records;
+    u.job.others = u.others.data();
+    u.job.num_others = u.others.size();
+    u.job.rhs_attrs = u.rhs_attrs.data();
+    u.job.num_rhs = u.rhs_attrs.size();
+  }
+
+  // --- Split: two-level parallelism. --------------------------------------
+  // Level 1 is the task list itself (dynamic chunking across units); level 2
+  // splits oversized units into pivot-cluster ranges — and, for the
+  // compare-to-first shape whose records are independent, record ranges of a
+  // single giant cluster — so one skewed node can no longer serialize the
+  // level. Grouping shapes never split below cluster granularity: an LHS
+  // group never spans pivot clusters, so cluster ranges are the finest sound
+  // partition for them.
+  std::vector<Task> tasks;
+  size_t grain = std::numeric_limits<size_t>::max();
+  if (pool_ != nullptr && pool_->num_threads() > 1) {
+    size_t total_mass = 0;
+    for (const Unit& u : units) total_mass += u.mass;
+    grain = std::max(kMinSplitMass,
+                     total_mass / (pool_->num_threads() * kTasksPerWorker) + 1);
+  }
+  for (size_t ui = 0; ui < units.size(); ++ui) {
+    Unit& u = units[ui];
+    u.first_task = tasks.size();
+    const size_t num_visit = NumVisit(u.job);
+    if (num_visit == 0) {
+      u.num_tasks = 0;
+      continue;
+    }
+    const auto unit_id = static_cast<uint32_t>(ui);
+    if (u.mass <= grain) {
+      tasks.push_back({unit_id, 0, static_cast<uint32_t>(num_visit), 0, 0});
+    } else {
+      const bool record_splittable = u.others.empty();
+      size_t acc = 0;
+      size_t begin = 0;
+      for (size_t ci = 0; ci < num_visit; ++ci) {
+        const size_t cluster_size = ClusterAt(u.job, ci).size();
+        if (record_splittable && cluster_size > 2 * grain) {
+          if (ci > begin) {
+            tasks.push_back({unit_id, static_cast<uint32_t>(begin),
+                             static_cast<uint32_t>(ci), 0, 0});
+          }
+          for (size_t r = 0; r < cluster_size; r += grain) {
+            tasks.push_back({unit_id, static_cast<uint32_t>(ci),
+                             static_cast<uint32_t>(ci + 1),
+                             static_cast<uint32_t>(r),
+                             static_cast<uint32_t>(
+                                 std::min(cluster_size, r + grain))});
+          }
+          begin = ci + 1;
+          acc = 0;
+          continue;
+        }
+        acc += cluster_size;
+        if (acc >= grain) {
+          tasks.push_back({unit_id, static_cast<uint32_t>(begin),
+                           static_cast<uint32_t>(ci + 1), 0, 0});
+          begin = ci + 1;
+          acc = 0;
+        }
+      }
+      if (begin < num_visit) {
+        tasks.push_back({unit_id, static_cast<uint32_t>(begin),
+                         static_cast<uint32_t>(num_visit), 0, 0});
+      }
+    }
+    u.num_tasks = tasks.size() - u.first_task;
+  }
+
+  // --- Execute. -----------------------------------------------------------
+  std::vector<RefineTaskOut> outs(tasks.size());
+  auto run_task = [&](size_t t) {
+    const Task& task = tasks[t];
+    RunRefineTask(units[task.unit].job, task.cluster_begin, task.cluster_end,
+                  task.rec_begin, task.rec_end, &LocalArena(), &outs[t]);
+  };
+  if (pool_ != nullptr && tasks.size() > 1) {
+    // Dynamic chunking: tasks still vary in cost (mass is an estimate, early
+    // exits truncate scans), so workers claim them one at a time.
+    pool_->ParallelForDynamic(tasks.size(), 1, run_task);
   } else {
-    // General case: group by the vector of remaining LHS cluster ids.
-    std::unordered_map<std::vector<ClusterId>, GroupInfo, ClusterVectorHash>
-        groups;
-    std::vector<ClusterId> key(other_lhs.size());
-    for (size_t ci = 0; ci < num_visit; ++ci) {
-      const auto& cluster = cluster_at(ci);
-      groups.clear();
-      rhs_storage.clear();
-      for (RecordId r : cluster) {
-        const ClusterId* rec = data_->records.Record(r);
-        bool unique = false;
-        for (size_t i = 0; i < other_lhs.size(); ++i) {
-          ClusterId c = rec[other_lhs[i]];
-          if (c == kUniqueCluster) {
-            unique = true;  // unique in some LHS attribute: cannot violate
-            break;
-          }
-          key[i] = c;
-        }
-        if (unique) continue;
-        if (!probe_group(groups, key, r, rec)) return out;
+    for (size_t t = 0; t < tasks.size(); ++t) run_task(t);
+  }
+
+  // --- Merge (deterministic for any thread count and split). --------------
+  // Per RHS the minimum witness position survives, which is exactly the
+  // record where the sequential interleaved scan would have killed it — so
+  // valid_rhss AND the suggestion pairs are bit-identical no matter how the
+  // unit was split.
+  for (Unit& u : units) {
+    RefineTaskOut merged;
+    if (u.num_tasks == 0) {
+      merged.witnesses.assign(u.job.num_rhs, RefineWitness{});
+    } else {
+      merged = std::move(outs[u.first_task]);
+      for (size_t k = 1; k < u.num_tasks; ++k) {
+        MergeTaskOut(&merged, std::move(outs[u.first_task + k]));
       }
     }
+    RefineOutcome& outcome = (*outcomes)[u.entry];
+    bool any_alive = false;
+    for (size_t j = 0; j < merged.witnesses.size(); ++j) {
+      const RefineWitness& w = merged.witnesses[j];
+      if (w.pos == kNoWitnessPos) {
+        outcome.valid_rhss.Set(u.rhs_attrs[j]);
+        any_alive = true;
+      } else {
+        outcome.suggestions.emplace_back(w.a, w.b);
+      }
+    }
+    // A task stops early only when every RHS is dead within its range, which
+    // implies every RHS is dead globally — so `any_alive` already implies
+    // all tasks completed and the collected partition is whole. The explicit
+    // `complete` check keeps the invariant load-bearing rather than implied.
+    if (u.job.collect && any_alive && merged.complete) {
+      cache_->Put(level[u.entry].lhs,
+                  Pli(std::move(merged.collected), data_->num_records));
+    }
   }
-
-  if (collect) {
-    cache_->Put(lhs, Pli(std::move(collected), data_->num_records));
-  }
-
-  for (size_t j = 0; j < num_rhs; ++j) {
-    if (alive[j]) out.valid_rhss.Set(rhs_attrs[j]);
-  }
-  return out;
 }
 
 ValidatorResult Validator::Run() {
   ValidatorResult result;
   const int m = data_->num_attributes;
+  EnsureArenas();
+
+  // Raw (pre-dedup) suggestion emissions this Run, for the dedup counters:
+  // the buffer itself is deduplicated every level, so its final size no
+  // longer reflects how much was emitted.
+  size_t raw_emitted = 0;
 
   // One record pair often violates several candidates of one level (several
   // RHSs of a node, several nodes sharing the violating pair). Replaying a
@@ -277,16 +347,20 @@ ValidatorResult Validator::Run() {
   // (and sampling efficiency) upward on every phase switch. Canonical
   // sort + unique keeps the suggestion list deterministic for any thread
   // count and replay-minimal.
-  auto finalize_suggestions = [this, &result] {
+  auto finalize_suggestions = [this, &result, &raw_emitted] {
     auto& suggestions = result.comparison_suggestions;
-    const size_t raw = suggestions.size();
     std::sort(suggestions.begin(), suggestions.end());
     suggestions.erase(std::unique(suggestions.begin(), suggestions.end()),
                       suggestions.end());
     if (metrics_ != nullptr) {
       metrics_->GetCounter("validator.suggestions")->Add(suggestions.size());
       metrics_->GetCounter("validator.suggestions_deduped")
-          ->Add(raw - suggestions.size());
+          ->Add(raw_emitted - suggestions.size());
+      size_t arena_bytes = 0;
+      for (const RefineArena& arena : arenas_) {
+        arena_bytes += arena.MemoryBytes();
+      }
+      metrics_->GetGauge("validator.arena_bytes")->SetMax(arena_bytes);
     }
   };
 
@@ -300,42 +374,8 @@ ValidatorResult Validator::Run() {
 
     // --- Validate all candidates on this level (possibly in parallel). ----
     std::vector<RefineOutcome> outcomes(level.size());
-    auto validate_one = [&](size_t i) {
-      const auto& entry = level[i];
-      if (entry.node->fds.Empty()) return;
-      if (delta_ == nullptr) {
-        outcomes[i] = Refines(entry.lhs, entry.node->fds);
-        return;
-      }
-      // Incremental mode: candidates proven on the pre-batch data only need
-      // the restricted touched-clusters scan; candidates the Inductor added
-      // this batch get the full check. confirmed ⊆ fds, so the two RHS sets
-      // partition the node's candidates.
-      const AttributeSet& inherited = entry.node->confirmed;
-      AttributeSet fresh = entry.node->fds;
-      fresh.AndNot(inherited);
-      RefineOutcome merged;
-      merged.valid_rhss = AttributeSet(data_->num_attributes);
-      if (!inherited.Empty()) {
-        merged = Refines(entry.lhs, inherited, /*restricted=*/true);
-      }
-      if (!fresh.Empty()) {
-        RefineOutcome full = Refines(entry.lhs, fresh);
-        merged.valid_rhss |= full.valid_rhss;
-        merged.suggestions.insert(merged.suggestions.end(),
-                                  full.suggestions.begin(),
-                                  full.suggestions.end());
-      }
-      outcomes[i] = std::move(merged);
-    };
-    if (pool_ != nullptr && level.size() > 1) {
-      // Dynamic chunking: nodes on one level vary wildly in refinement cost
-      // (pivot cluster sizes differ by orders of magnitude), so workers
-      // claim entries one at a time instead of taking fixed chunks.
-      pool_->ParallelForDynamic(level.size(), 1, validate_one);
-    } else {
-      for (size_t i = 0; i < level.size(); ++i) validate_one(i);
-    }
+    for (auto& outcome : outcomes) outcome.valid_rhss = AttributeSet(m);
+    ValidateLevel(level, &outcomes);
 
     // --- Merge: update nodes, collect invalid FDs and suggestions. --------
     size_t num_valid = 0;
@@ -348,8 +388,7 @@ ValidatorResult Validator::Run() {
       invalid_rhss.AndNot(outcomes[i].valid_rhss);
       num_valid += static_cast<size_t>(outcomes[i].valid_rhss.Count());
       if (delta_ != nullptr) {
-        // Counters must read `confirmed` before the node is overwritten; the
-        // pool-parallel pass above leaves it untouched for exactly this.
+        // Counters must read `confirmed` before the node is overwritten.
         restricted_validations_ +=
             static_cast<size_t>(entry.node->confirmed.Count());
         AttributeSet broken = entry.node->confirmed;
@@ -363,9 +402,25 @@ ValidatorResult Validator::Run() {
       entry.node->confirmed = entry.node->fds;
       ForEachBit(invalid_rhss,
                  [&](int rhs) { invalid_fds.emplace_back(entry.lhs, rhs); });
+      raw_emitted += outcomes[i].suggestions.size();
       for (auto& suggestion : outcomes[i].suggestions) {
         result.comparison_suggestions.push_back(suggestion);
       }
+    }
+
+    // Bound the suggestion buffer: dedup at every level merge instead of
+    // once per phase, so the peak footprint is (deduped so far + one level's
+    // emissions) rather than a whole phase's raw emissions. The peak gauge
+    // samples the buffer at its per-level maximum, before the dedup.
+    if (metrics_ != nullptr) {
+      metrics_->GetGauge("validator.suggestions_peak")
+          ->SetMax(result.comparison_suggestions.size());
+    }
+    {
+      auto& suggestions = result.comparison_suggestions;
+      std::sort(suggestions.begin(), suggestions.end());
+      suggestions.erase(std::unique(suggestions.begin(), suggestions.end()),
+                        suggestions.end());
     }
 
     // --- Specialize the invalid FDs (Algorithm 4, lines 21-33). -----------

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/preprocessor.h"
+#include "core/refine_kernel.h"
 #include "fd/fd_tree.h"
 #include "pli/pli_cache.h"
 #include "util/attribute_set.h"
@@ -99,16 +100,20 @@ class Validator {
     std::vector<std::pair<RecordId, RecordId>> suggestions;
   };
 
-  /// Simultaneously checks lhs → rhs for every rhs in `rhss` (Figure 5).
-  /// With `restricted`, only the delta's touched pivot clusters are scanned
-  /// (sound for previously-confirmed candidates; see ClusterDelta).
-  RefineOutcome Refines(const AttributeSet& lhs, const AttributeSet& rhss,
-                        bool restricted = false) const;
+  /// Validates one lattice level on the refinement kernel: plans one
+  /// refinement unit per (node, restriction mode), splits oversized units
+  /// into cluster / record ranges cost-estimated from PLI cluster mass, runs
+  /// the flattened task list across the pool, and merges each unit's partial
+  /// witness sets deterministically into `outcomes` (one per level entry,
+  /// already sized). Cache warm-up Puts happen here, serially, after the
+  /// parallel section.
+  void ValidateLevel(const std::vector<FDTree::LevelEntry>& level,
+                     std::vector<RefineOutcome>* outcomes);
 
-  /// Fast path for a cached LHS partition: checks every rhs cluster-by-
-  /// cluster, no hashing.
-  RefineOutcome RefinesWithPli(const Pli& lhs_pli,
-                               const std::vector<int>& rhs_attrs) const;
+  /// Grows arenas_ to one slot per pool worker plus one for the calling
+  /// thread; buffers persist across levels and Run() calls.
+  void EnsureArenas();
+  RefineArena& LocalArena();
 
   const PreprocessedData* data_;
   FDTree* tree_;
@@ -117,6 +122,9 @@ class Validator {
   PliCache* cache_;
   MetricsRegistry* metrics_;
   const ClusterDelta* delta_ = nullptr;
+  /// Per-worker refinement scratch (last slot: the calling thread). Reused
+  /// across every cluster, node, and level — the hot path never allocates.
+  std::vector<RefineArena> arenas_;
   int current_level_number_ = 0;
   int levels_validated_ = 0;
   size_t total_validations_ = 0;

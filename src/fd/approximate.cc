@@ -1,8 +1,10 @@
 #include "fd/approximate.h"
 
-#include <unordered_map>
+#include <algorithm>
+#include <numeric>
 #include <vector>
 
+#include "core/refine_kernel.h"
 #include "pli/compressed_records.h"
 
 namespace hyfd {
@@ -10,46 +12,52 @@ namespace {
 
 /// Records kept when enforcing lhs -> rhs: per LHS group, the size of the
 /// largest single-RHS-value subgroup (unique RHS values count 1 each).
+/// Grouping and subgroup counting both run on the shared refinement
+/// kernel's dense tables — no hash maps.
 size_t KeptRecords(const CompressedRecords& records, const AttributeSet& lhs,
                    int rhs) {
   const size_t n = records.num_records();
-  std::vector<int> lhs_attrs = lhs.ToIndexes();
-
-  struct GroupStats {
-    std::unordered_map<ClusterId, size_t> rhs_counts;
-    bool has_unique_rhs = false;
-  };
-  std::unordered_map<std::vector<ClusterId>, GroupStats, ClusterVectorHash> groups;
-  std::vector<ClusterId> key(lhs_attrs.size());
-  size_t kept = 0;
-
-  for (RecordId r = 0; r < n; ++r) {
-    const ClusterId* rec = records.Record(r);
-    bool unique_lhs = false;
-    for (size_t i = 0; i < lhs_attrs.size(); ++i) {
-      ClusterId c = rec[lhs_attrs[i]];
-      if (c == kUniqueCluster) {
-        unique_lhs = true;
-        break;
-      }
-      key[i] = c;
-    }
-    if (unique_lhs) {
-      ++kept;  // singleton LHS group: the record always survives
+  const std::vector<int> lhs_attrs = lhs.ToIndexes();
+  std::vector<RecordId> rows(n);
+  std::iota(rows.begin(), rows.end(), RecordId{0});
+  RefineArena arena;
+  const size_t num_groups = GroupRowsByCodes(records, lhs_attrs.data(),
+                                             lhs_attrs.size(), rows.data(), n,
+                                             /*code_bound=*/n, &arena);
+  // Records unique in some LHS attribute form singleton groups and always
+  // survive.
+  size_t kept = arena.dropped;
+  arena.EnsureCodeTable(n);  // RHS cluster codes are bounded by n as well
+  for (size_t g = 0; g < num_groups; ++g) {
+    const uint32_t begin = arena.group_offsets[g];
+    const uint32_t end = arena.group_offsets[g + 1];
+    if (end - begin == 1) {
+      ++kept;
       continue;
     }
-    GroupStats& group = groups[key];
-    ClusterId rhs_cluster = rec[rhs];
-    if (rhs_cluster == kUniqueCluster) {
-      group.has_unique_rhs = true;  // contributes a subgroup of size 1
-    } else {
-      ++group.rhs_counts[rhs_cluster];
+    // Count the RHS-cluster subgroup sizes through the epoch-stamped dense
+    // table; a unique RHS value contributes a subgroup of size 1.
+    ++arena.epoch;
+    const uint64_t ep = arena.epoch;
+    arena.hist.clear();
+    bool has_unique_rhs = false;
+    for (uint32_t p = begin; p < end; ++p) {
+      const ClusterId code = records.Cluster(arena.grouped_idx[p], rhs);
+      if (code == kUniqueCluster) {
+        has_unique_rhs = true;
+        continue;
+      }
+      const auto c = static_cast<size_t>(code);
+      if (arena.code_epoch[c] != ep) {
+        arena.code_epoch[c] = ep;
+        arena.code_slot[c] = static_cast<uint32_t>(arena.hist.size());
+        arena.hist.push_back(0);
+      }
+      ++arena.hist[arena.code_slot[c]];
     }
-  }
-  for (const auto& [_, group] : groups) {
-    size_t best = group.has_unique_rhs ? 1 : 0;
-    for (const auto& [_, count] : group.rhs_counts) {
-      best = std::max(best, count);
+    size_t best = has_unique_rhs ? 1 : 0;
+    for (uint32_t count : arena.hist) {
+      best = std::max<size_t>(best, count);
     }
     kept += best;
   }

@@ -1,41 +1,39 @@
 #include "fd/reference.h"
 
-#include <unordered_map>
+#include <numeric>
 #include <vector>
 
+#include "core/refine_kernel.h"
 #include "pli/compressed_records.h"
 
 namespace hyfd {
 namespace {
 
 /// Validity check of lhs → rhs on compressed records: group non-unique LHS
-/// tuples (exact keys, no hashing shortcuts — this is the test oracle) and
-/// require a single, non-unique RHS cluster per group.
+/// tuples through the shared refinement kernel (exact grouping, no hashing)
+/// and require a single, non-unique RHS cluster per group.
 bool HoldsOnRecords(const CompressedRecords& records, const AttributeSet& lhs,
                     int rhs) {
   const size_t n = records.num_records();
-  std::vector<int> lhs_attrs = lhs.ToIndexes();
-  std::unordered_map<std::vector<ClusterId>, ClusterId, ClusterVectorHash> groups;
-  std::vector<ClusterId> key(lhs_attrs.size());
-  for (RecordId r = 0; r < n; ++r) {
-    const ClusterId* rec = records.Record(r);
-    bool unique = false;
-    for (size_t i = 0; i < lhs_attrs.size(); ++i) {
-      ClusterId c = rec[lhs_attrs[i]];
-      if (c == kUniqueCluster) {
-        unique = true;
-        break;
-      }
-      key[i] = c;
-    }
-    if (unique) continue;  // record is unique in LHS, cannot violate
-    ClusterId rhs_cluster = rec[rhs];
-    auto [it, inserted] = groups.emplace(key, rhs_cluster);
-    if (inserted) continue;
-    // Second record with the same LHS tuple: both must share one non-unique
-    // RHS cluster (two "unique" RHS values are distinct by definition).
-    if (rhs_cluster == kUniqueCluster || rhs_cluster != it->second) {
-      return false;
+  const std::vector<int> lhs_attrs = lhs.ToIndexes();
+  std::vector<RecordId> rows(n);
+  std::iota(rows.begin(), rows.end(), RecordId{0});
+  RefineArena arena;
+  // code_bound = n: every cluster code is a dense index below the stripped
+  // cluster count of its attribute, which n always bounds.
+  const size_t num_groups = GroupRowsByCodes(records, lhs_attrs.data(),
+                                             lhs_attrs.size(), rows.data(), n,
+                                             /*code_bound=*/n, &arena);
+  for (size_t g = 0; g < num_groups; ++g) {
+    const uint32_t begin = arena.group_offsets[g];
+    const uint32_t end = arena.group_offsets[g + 1];
+    if (end - begin < 2) continue;  // singleton LHS group cannot violate
+    // Every record of the group must share one non-unique RHS cluster (two
+    // "unique" RHS values are distinct by definition).
+    const ClusterId stored = records.Cluster(arena.grouped_idx[begin], rhs);
+    if (stored == kUniqueCluster) return false;
+    for (uint32_t p = begin + 1; p < end; ++p) {
+      if (records.Cluster(arena.grouped_idx[p], rhs) != stored) return false;
     }
   }
   return true;

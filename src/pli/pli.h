@@ -15,8 +15,10 @@ using ClusterId = int32_t;
 /// (stripped from the PLI).
 inline constexpr ClusterId kUniqueCluster = -1;
 
-/// FNV-1a hash over a vector of cluster ids; keys the LHS-tuple maps of the
-/// Validator's refines() and of the brute-force oracle.
+/// FNV-1a hash over a vector of cluster ids. Production grouping moved to
+/// the hash-free refinement kernel (core/refine_kernel.h); this stays as the
+/// key hasher of the preserved legacy implementation (tests/legacy_validator.h)
+/// that the kernel is differential-tested and benchmarked against.
 struct ClusterVectorHash {
   size_t operator()(const std::vector<ClusterId>& v) const {
     size_t h = 1469598103934665603ull;

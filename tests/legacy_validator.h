@@ -1,0 +1,339 @@
+#ifndef HYFD_TESTS_LEGACY_VALIDATOR_H_
+#define HYFD_TESTS_LEGACY_VALIDATOR_H_
+
+// The pre-kernel Validator, preserved verbatim as the differential oracle
+// for the hash-free refinement kernel (src/core/refine_kernel.h).
+//
+// This is the hash-map-grouping implementation the kernel replaced:
+// `unordered_map<ClusterId, …>` for two-attribute LHSs, vector-keyed
+// `ClusterVectorHash` maps for the general case, parallelism only across
+// nodes of a level. Tests (refine_kernel_test) diff the rewritten Validator
+// against it over the dataset registry, and bench_validator / bench_micro
+// measure the rewrite's speedup against it. Behavior must stay frozen —
+// fix bugs in the production Validator, not here.
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/preprocessor.h"
+#include "fd/fd_tree.h"
+#include "pli/pli_cache.h"
+#include "util/attribute_set.h"
+#include "util/check.h"
+#include "util/metrics.h"
+#include "util/thread_pool.h"
+
+namespace hyfd {
+namespace legacy {
+
+/// Outcome of one validation phase (mirrors ValidatorResult).
+struct LegacyValidatorResult {
+  bool done = false;
+  std::vector<std::pair<RecordId, RecordId>> comparison_suggestions;
+};
+
+/// HyFD's Validator as of before the refinement-kernel rewrite.
+class LegacyValidator {
+ public:
+  struct RefineOutcome {
+    AttributeSet valid_rhss;
+    std::vector<std::pair<RecordId, RecordId>> suggestions;
+  };
+
+  LegacyValidator(const PreprocessedData* data, FDTree* tree,
+                  double efficiency_threshold, ThreadPool* pool = nullptr,
+                  PliCache* cache = nullptr, MetricsRegistry* metrics = nullptr)
+      : data_(data),
+        tree_(tree),
+        threshold_(efficiency_threshold),
+        pool_(pool),
+        cache_(cache),
+        metrics_(metrics) {
+    HYFD_CHECK(data != nullptr && tree != nullptr,
+               "LegacyValidator: preprocessed data and FD tree are required");
+    HYFD_CHECK(tree->num_attributes() == data->num_attributes,
+               "LegacyValidator: FD tree and data disagree on the attribute "
+               "count");
+  }
+
+  /// Public (unlike the production Validator) so bench_micro can measure the
+  /// raw hash-grouping refinement shapes against the kernel.
+  RefineOutcome Refines(const AttributeSet& lhs, const AttributeSet& rhss) const {
+    RefineOutcome out;
+    out.valid_rhss = AttributeSet(data_->num_attributes);
+
+    if (lhs.Empty()) {
+      ForEachBit(rhss, [&](int rhs) {
+        if (data_->plis[static_cast<size_t>(rhs)].IsConstant()) {
+          out.valid_rhss.Set(rhs);
+        }
+      });
+      return out;
+    }
+
+    const bool multi_lhs = lhs.Count() >= 2;
+    if (cache_ != nullptr && multi_lhs) {
+      if (auto cached = cache_->Probe(lhs)) {
+        return RefinesWithPli(*cached, rhss.ToIndexes());
+      }
+    }
+
+    int pivot = -1;
+    for (int attr = lhs.First(); attr != AttributeSet::kNpos;
+         attr = lhs.NextAfter(attr)) {
+      if (pivot == -1 || data_->rank[static_cast<size_t>(attr)] <
+                             data_->rank[static_cast<size_t>(pivot)]) {
+        pivot = attr;
+      }
+    }
+    std::vector<int> other_lhs;
+    for (int attr = lhs.First(); attr != AttributeSet::kNpos;
+         attr = lhs.NextAfter(attr)) {
+      if (attr != pivot) other_lhs.push_back(attr);
+    }
+    const std::vector<int> rhs_attrs = rhss.ToIndexes();
+    const size_t num_rhs = rhs_attrs.size();
+
+    std::vector<uint8_t> alive(num_rhs, 1);
+    size_t num_alive = num_rhs;
+    if (num_alive == 0) return out;
+
+    struct GroupInfo {
+      RecordId representative;
+      uint32_t rhs_offset;
+      int32_t cluster = -1;
+    };
+    std::vector<ClusterId> rhs_storage;
+
+    const bool collect = cache_ != nullptr && multi_lhs;
+    std::vector<std::vector<RecordId>> collected;
+
+    auto probe_group = [&](auto& map, const auto& map_key, RecordId r,
+                           const ClusterId* rec) {
+      auto [it, inserted] = map.try_emplace(map_key);
+      GroupInfo& group = it->second;
+      if (inserted) {
+        group.representative = r;
+        group.rhs_offset = static_cast<uint32_t>(rhs_storage.size());
+        for (size_t j = 0; j < num_rhs; ++j) {
+          rhs_storage.push_back(rec[rhs_attrs[j]]);
+        }
+        return true;
+      }
+      if (collect) {
+        if (group.cluster < 0) {
+          group.cluster = static_cast<int32_t>(collected.size());
+          collected.push_back({group.representative});
+        }
+        collected[static_cast<size_t>(group.cluster)].push_back(r);
+      }
+      const ClusterId* stored = &rhs_storage[group.rhs_offset];
+      for (size_t j = 0; j < num_rhs; ++j) {
+        if (!alive[j]) continue;
+        ClusterId current = rec[rhs_attrs[j]];
+        if (stored[j] == kUniqueCluster || stored[j] != current) {
+          alive[j] = 0;
+          --num_alive;
+          out.suggestions.emplace_back(group.representative, r);
+        }
+      }
+      return num_alive != 0;
+    };
+
+    const auto& pivot_clusters =
+        data_->plis[static_cast<size_t>(pivot)].clusters();
+    const size_t num_visit = pivot_clusters.size();
+
+    if (other_lhs.empty()) {
+      for (size_t ci = 0; ci < num_visit; ++ci) {
+        const auto& cluster = pivot_clusters[ci];
+        const ClusterId* first = data_->records.Record(cluster[0]);
+        for (size_t i = 1; i < cluster.size(); ++i) {
+          const ClusterId* rec = data_->records.Record(cluster[i]);
+          for (size_t j = 0; j < num_rhs; ++j) {
+            if (!alive[j]) continue;
+            ClusterId stored = first[rhs_attrs[j]];
+            if (stored == kUniqueCluster || stored != rec[rhs_attrs[j]]) {
+              alive[j] = 0;
+              --num_alive;
+              out.suggestions.emplace_back(cluster[0], cluster[i]);
+            }
+          }
+          if (num_alive == 0) return out;
+        }
+      }
+    } else if (other_lhs.size() == 1) {
+      const int other = other_lhs[0];
+      std::unordered_map<ClusterId, GroupInfo> groups;
+      for (size_t ci = 0; ci < num_visit; ++ci) {
+        const auto& cluster = pivot_clusters[ci];
+        groups.clear();
+        rhs_storage.clear();
+        for (RecordId r : cluster) {
+          const ClusterId* rec = data_->records.Record(r);
+          ClusterId c = rec[other];
+          if (c == kUniqueCluster) continue;
+          if (!probe_group(groups, c, r, rec)) return out;
+        }
+      }
+    } else {
+      std::unordered_map<std::vector<ClusterId>, GroupInfo, ClusterVectorHash>
+          groups;
+      std::vector<ClusterId> key(other_lhs.size());
+      for (size_t ci = 0; ci < num_visit; ++ci) {
+        const auto& cluster = pivot_clusters[ci];
+        groups.clear();
+        rhs_storage.clear();
+        for (RecordId r : cluster) {
+          const ClusterId* rec = data_->records.Record(r);
+          bool unique = false;
+          for (size_t i = 0; i < other_lhs.size(); ++i) {
+            ClusterId c = rec[other_lhs[i]];
+            if (c == kUniqueCluster) {
+              unique = true;
+              break;
+            }
+            key[i] = c;
+          }
+          if (unique) continue;
+          if (!probe_group(groups, key, r, rec)) return out;
+        }
+      }
+    }
+
+    if (collect) {
+      cache_->Put(lhs, Pli(std::move(collected), data_->num_records));
+    }
+
+    for (size_t j = 0; j < num_rhs; ++j) {
+      if (alive[j]) out.valid_rhss.Set(rhs_attrs[j]);
+    }
+    return out;
+  }
+
+  LegacyValidatorResult Run() {
+    LegacyValidatorResult result;
+    const int m = data_->num_attributes;
+
+    auto finalize_suggestions = [this, &result] {
+      auto& suggestions = result.comparison_suggestions;
+      const size_t raw = suggestions.size();
+      std::sort(suggestions.begin(), suggestions.end());
+      suggestions.erase(std::unique(suggestions.begin(), suggestions.end()),
+                        suggestions.end());
+      if (metrics_ != nullptr) {
+        metrics_->GetCounter("validator.suggestions")->Add(suggestions.size());
+        metrics_->GetCounter("validator.suggestions_deduped")
+            ->Add(raw - suggestions.size());
+      }
+    };
+
+    while (true) {
+      std::vector<FDTree::LevelEntry> level =
+          tree_->GetLevel(current_level_number_);
+      if (level.empty()) {
+        result.done = true;
+        finalize_suggestions();
+        return result;
+      }
+
+      std::vector<RefineOutcome> outcomes(level.size());
+      auto validate_one = [&](size_t i) {
+        const auto& entry = level[i];
+        if (entry.node->fds.Empty()) return;
+        outcomes[i] = Refines(entry.lhs, entry.node->fds);
+      };
+      if (pool_ != nullptr && level.size() > 1) {
+        pool_->ParallelForDynamic(level.size(), 1, validate_one);
+      } else {
+        for (size_t i = 0; i < level.size(); ++i) validate_one(i);
+      }
+
+      size_t num_valid = 0;
+      std::vector<FD> invalid_fds;
+      for (size_t i = 0; i < level.size(); ++i) {
+        auto& entry = level[i];
+        if (entry.node->fds.Empty()) continue;
+        total_validations_ += static_cast<size_t>(entry.node->fds.Count());
+        AttributeSet invalid_rhss = entry.node->fds;
+        invalid_rhss.AndNot(outcomes[i].valid_rhss);
+        num_valid += static_cast<size_t>(outcomes[i].valid_rhss.Count());
+        entry.node->fds = outcomes[i].valid_rhss;
+        entry.node->confirmed = entry.node->fds;
+        ForEachBit(invalid_rhss,
+                   [&](int rhs) { invalid_fds.emplace_back(entry.lhs, rhs); });
+        for (auto& suggestion : outcomes[i].suggestions) {
+          result.comparison_suggestions.push_back(suggestion);
+        }
+      }
+
+      for (const FD& fd : invalid_fds) {
+        for (int attr = 0; attr < m; ++attr) {
+          if (fd.lhs.Test(attr) || attr == fd.rhs) continue;
+          if (tree_->ContainsFdOrGeneralization(fd.lhs, attr)) continue;
+          AttributeSet new_lhs = fd.lhs.With(attr);
+          if (tree_->ContainsFdOrGeneralization(new_lhs, fd.rhs)) continue;
+          tree_->AddFd(new_lhs, fd.rhs);
+        }
+      }
+
+      ++current_level_number_;
+      if (static_cast<double>(invalid_fds.size()) >
+          threshold_ * static_cast<double>(num_valid)) {
+        finalize_suggestions();
+        return result;
+      }
+    }
+  }
+
+  size_t total_validations() const { return total_validations_; }
+  int current_level() const { return current_level_number_; }
+
+ private:
+  RefineOutcome RefinesWithPli(const Pli& lhs_pli,
+                               const std::vector<int>& rhs_attrs) const {
+    RefineOutcome out;
+    out.valid_rhss = AttributeSet(data_->num_attributes);
+    const size_t num_rhs = rhs_attrs.size();
+    std::vector<uint8_t> alive(num_rhs, 1);
+    size_t num_alive = num_rhs;
+    if (num_alive == 0) return out;
+
+    for (const auto& cluster : lhs_pli.clusters()) {
+      const ClusterId* first = data_->records.Record(cluster[0]);
+      for (size_t i = 1; i < cluster.size(); ++i) {
+        const ClusterId* rec = data_->records.Record(cluster[i]);
+        for (size_t j = 0; j < num_rhs; ++j) {
+          if (!alive[j]) continue;
+          ClusterId stored = first[rhs_attrs[j]];
+          if (stored == kUniqueCluster || stored != rec[rhs_attrs[j]]) {
+            alive[j] = 0;
+            --num_alive;
+            out.suggestions.emplace_back(cluster[0], cluster[i]);
+          }
+        }
+        if (num_alive == 0) return out;
+      }
+    }
+    for (size_t j = 0; j < num_rhs; ++j) {
+      if (alive[j]) out.valid_rhss.Set(rhs_attrs[j]);
+    }
+    return out;
+  }
+
+  const PreprocessedData* data_;
+  FDTree* tree_;
+  double threshold_;
+  ThreadPool* pool_;
+  PliCache* cache_;
+  MetricsRegistry* metrics_;
+  int current_level_number_ = 0;
+  size_t total_validations_ = 0;
+};
+
+}  // namespace legacy
+}  // namespace hyfd
+
+#endif  // HYFD_TESTS_LEGACY_VALIDATOR_H_

@@ -1,0 +1,450 @@
+// Differential suite for the hash-free refinement kernel (the "validator"
+// ctest label): the rewritten Validator must be indistinguishable — FD sets
+// AND comparison-suggestion batches, bit for bit — from the preserved
+// pre-kernel implementation (tests/legacy_validator.h) over the dataset
+// registry, both NULL semantics, thread counts {1, 2, 8}, and with the PLI
+// cache on and off; and from itself across thread counts on deliberately
+// skewed data whose giant pivot cluster forces the two-level task splitter
+// into its cluster-range and record-range paths.
+
+#include "core/refine_kernel.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/hyfd.h"
+#include "core/incremental.h"
+#include "core/inductor.h"
+#include "core/preprocessor.h"
+#include "core/validator.h"
+#include "data/datasets.h"
+#include "data/generators.h"
+#include "gtest/gtest.h"
+#include "legacy_validator.h"
+#include "test_util.h"
+
+namespace hyfd {
+namespace {
+
+using SuggestionBatch = std::vector<std::pair<RecordId, RecordId>>;
+
+/// Everything observable about one validation-only traversal: the final FD
+/// set, the per-Run() suggestion batches (phase boundaries included — the
+/// batches must align, not just their union), and the validation count.
+struct Trace {
+  FDSet fds;
+  std::vector<SuggestionBatch> batches;
+  size_t validations = 0;
+};
+
+/// Drives `validator` from an Inductor-seeded tree (∅ -> R, no sampling
+/// knowledge) to completion, resuming after every efficiency pause.
+template <typename Validator_, typename Result>
+Trace Drive(FDTree* tree, Validator_* validator) {
+  Trace trace;
+  while (true) {
+    Result r = validator->Run();
+    trace.batches.push_back(std::move(r.comparison_suggestions));
+    if (r.done) break;
+  }
+  trace.fds = tree->ToFdSet();
+  trace.validations = validator->total_validations();
+  return trace;
+}
+
+Trace RunKernelValidator(const PreprocessedData& data, double threshold,
+                         ThreadPool* pool = nullptr, PliCache* cache = nullptr,
+                         MetricsRegistry* metrics = nullptr) {
+  FDTree tree(data.num_attributes);
+  Inductor inductor(&tree);
+  inductor.Update({});
+  Validator validator(&data, &tree, threshold, pool, cache, metrics);
+  return Drive<Validator, ValidatorResult>(&tree, &validator);
+}
+
+Trace RunLegacyValidator(const PreprocessedData& data, double threshold,
+                         ThreadPool* pool = nullptr, PliCache* cache = nullptr) {
+  FDTree tree(data.num_attributes);
+  Inductor inductor(&tree);
+  inductor.Update({});
+  legacy::LegacyValidator validator(&data, &tree, threshold, pool, cache);
+  return Drive<legacy::LegacyValidator, legacy::LegacyValidatorResult>(
+      &tree, &validator);
+}
+
+void ExpectSameTrace(const Trace& expected, const Trace& actual,
+                     const std::string& context) {
+  hyfd::testing::ExpectSameFds(expected.fds, actual.fds, context);
+  EXPECT_EQ(expected.validations, actual.validations) << context;
+  ASSERT_EQ(expected.batches.size(), actual.batches.size())
+      << context << ": phase boundaries differ";
+  for (size_t b = 0; b < expected.batches.size(); ++b) {
+    EXPECT_EQ(expected.batches[b], actual.batches[b])
+        << context << ": suggestion batch " << b << " differs";
+  }
+}
+
+/// A Validator-side PliCache (no pinned singles — the shape HyFd hands it).
+std::unique_ptr<PliCache> MakeCache(const PreprocessedData& data,
+                                    bool thread_safe, NullSemantics nulls) {
+  PliCache::Config config;
+  config.thread_safe = thread_safe;
+  return std::make_unique<PliCache>(data.num_attributes, data.num_records,
+                                    config, nulls);
+}
+
+/// Skewed relation for the splitter: a Zipf key-space gives column 0 one
+/// giant cluster covering most rows (well past the splitter's 4096-record
+/// grain), plus planted and accidental FDs on top of it.
+Relation SkewedGiantClusterRelation(size_t rows = 12000) {
+  GeneratorConfig config;
+  config.rows = rows;
+  config.seed = 99;
+  config.columns = {
+      ColumnSpec{.cardinality = 2, .distribution = Distribution::kZipf},
+      ColumnSpec{.cardinality = 40},
+      ColumnSpec{.cardinality = 12, .sources = {0, 1}},
+      ColumnSpec{.cardinality = 5, .distribution = Distribution::kZipf},
+      ColumnSpec{.cardinality = 600},
+  };
+  return Generate(config);
+}
+
+// ---- GroupRowsByCodes unit tests ------------------------------------------
+
+/// Naive oracle: rows carrying kUniqueCluster in a grouping attribute are
+/// dropped; the rest group by their exact code tuple.
+std::map<std::vector<ClusterId>, std::vector<uint32_t>> NaiveGroups(
+    const CompressedRecords& records, const std::vector<int>& attrs,
+    const std::vector<RecordId>& rows, size_t* dropped) {
+  std::map<std::vector<ClusterId>, std::vector<uint32_t>> groups;
+  *dropped = 0;
+  for (uint32_t p = 0; p < rows.size(); ++p) {
+    std::vector<ClusterId> key;
+    bool unique = false;
+    for (int attr : attrs) {
+      ClusterId c = records.Cluster(rows[p], attr);
+      if (c == kUniqueCluster) {
+        unique = true;
+        break;
+      }
+      key.push_back(c);
+    }
+    if (unique) {
+      ++*dropped;
+      continue;
+    }
+    groups[key].push_back(p);
+  }
+  return groups;
+}
+
+TEST(GroupRowsByCodesTest, MatchesNaiveGroupingOnRandomData) {
+  Relation r = testing::RandomRelation(5, 400, 17, 6);
+  PreprocessedData data = Preprocess(r);
+  RefineArena arena;
+  const std::vector<std::vector<int>> attr_sets = {
+      {}, {1}, {1, 2}, {1, 2, 3}, {4, 2, 1}};
+  for (const auto& cluster : data.plis[0].clusters()) {
+    for (const std::vector<int>& attrs : attr_sets) {
+      const size_t num_groups =
+          GroupRowsByCodes(data.records, attrs.data(), attrs.size(),
+                           cluster.data(), cluster.size(),
+                           /*code_bound=*/data.num_records, &arena);
+      size_t naive_dropped = 0;
+      auto naive = NaiveGroups(data.records, attrs, cluster, &naive_dropped);
+
+      ASSERT_EQ(arena.group_offsets.size(), num_groups + 1);
+      EXPECT_EQ(arena.group_offsets[0], 0u);
+      EXPECT_EQ(arena.dropped, naive_dropped);
+      EXPECT_EQ(num_groups, naive.size());
+      EXPECT_EQ(arena.group_offsets[num_groups],
+                cluster.size() - naive_dropped);
+
+      // Each kernel group must be exactly one naive group, in stable
+      // (ascending-position) member order.
+      for (size_t g = 0; g < num_groups; ++g) {
+        const uint32_t begin = arena.group_offsets[g];
+        const uint32_t end = arena.group_offsets[g + 1];
+        ASSERT_LT(begin, end);
+        std::vector<ClusterId> key;
+        for (int attr : attrs) {
+          key.push_back(
+              data.records.Cluster(cluster[arena.grouped_idx[begin]], attr));
+        }
+        auto it = naive.find(key);
+        ASSERT_NE(it, naive.end());
+        std::vector<uint32_t> members(arena.grouped_idx.begin() + begin,
+                                      arena.grouped_idx.begin() + end);
+        EXPECT_EQ(members, it->second);
+      }
+    }
+  }
+}
+
+TEST(GroupRowsByCodesTest, SingleAttributeGroupsInFirstEncounterOrder) {
+  Relation r = testing::RandomRelation(3, 200, 23, 4);
+  PreprocessedData data = Preprocess(r);
+  RefineArena arena;
+  const int attr = 1;
+  const auto& cluster = data.plis[0].clusters().at(0);
+  const size_t num_groups =
+      GroupRowsByCodes(data.records, &attr, 1, cluster.data(), cluster.size(),
+                       data.num_records, &arena);
+  // With one grouping attribute the hierarchical order degenerates to plain
+  // first-encounter order of the codes.
+  std::vector<ClusterId> seen;
+  for (size_t g = 0; g < num_groups; ++g) {
+    ClusterId code = data.records.Cluster(
+        cluster[arena.grouped_idx[arena.group_offsets[g]]], attr);
+    for (ClusterId prev : seen) EXPECT_NE(prev, code);
+    seen.push_back(code);
+  }
+  // First-encounter: walking the cluster in order must meet the group codes
+  // in exactly `seen` order.
+  std::vector<ClusterId> encounter;
+  for (RecordId rec : cluster) {
+    ClusterId code = data.records.Cluster(rec, attr);
+    if (code == kUniqueCluster) continue;
+    bool known = false;
+    for (ClusterId prev : encounter) known = known || prev == code;
+    if (!known) encounter.push_back(code);
+  }
+  EXPECT_EQ(seen, encounter);
+}
+
+TEST(GroupRowsByCodesTest, EmptyInputAndDegenerateShapes) {
+  Relation r = testing::RandomRelation(3, 50, 29, 3);
+  PreprocessedData data = Preprocess(r);
+  RefineArena arena;
+  const int attr = 1;
+  EXPECT_EQ(GroupRowsByCodes(data.records, &attr, 1, nullptr, 0,
+                             data.num_records, &arena),
+            0u);
+  // num_attrs == 0: every row lands in the one trivial group.
+  std::vector<RecordId> rows = {3, 1, 4, 1};
+  const size_t num_groups = GroupRowsByCodes(
+      data.records, nullptr, 0, rows.data(), rows.size(), 1, &arena);
+  ASSERT_EQ(num_groups, 1u);
+  EXPECT_EQ(arena.group_offsets[1], 4u);
+  EXPECT_EQ(arena.dropped, 0u);
+}
+
+// ---- Kernel task splitting ------------------------------------------------
+
+TEST(RefineKernelTest, RecordRangeSplitsMergeToWholeClusterResult) {
+  Relation r = SkewedGiantClusterRelation(3000);
+  PreprocessedData data = Preprocess(r);
+  // Compare-to-first job: pivot on the skewed column, every other column an
+  // RHS. This is the one shape whose records are independent, so record
+  // ranges of one cluster must merge to the whole-cluster witnesses.
+  const std::vector<int> rhs = {1, 2, 3, 4};
+  RefineJob job;
+  job.records = &data.records;
+  job.clusters = &data.plis[0].clusters();
+  job.rhs_attrs = rhs.data();
+  job.num_rhs = rhs.size();
+
+  RefineArena arena;
+  RefineTaskOut whole;
+  RunRefineTask(job, 0, job.clusters->size(), 0, 0, &arena, &whole);
+
+  for (uint32_t step : {64u, 777u, 100000u}) {
+    RefineTaskOut merged;
+    bool first = true;
+    for (size_t ci = 0; ci < job.clusters->size(); ++ci) {
+      const auto size = static_cast<uint32_t>((*job.clusters)[ci].size());
+      for (uint32_t begin = 0; begin < size; begin += step) {
+        RefineTaskOut part;
+        RunRefineTask(job, ci, ci + 1, begin, std::min(size, begin + step),
+                      &arena, &part);
+        if (first) {
+          merged = std::move(part);
+          first = false;
+        } else {
+          MergeTaskOut(&merged, std::move(part));
+        }
+      }
+    }
+    ASSERT_EQ(merged.witnesses.size(), whole.witnesses.size());
+    for (size_t j = 0; j < whole.witnesses.size(); ++j) {
+      EXPECT_EQ(merged.witnesses[j].pos, whole.witnesses[j].pos)
+          << "rhs " << rhs[j] << " step " << step;
+      EXPECT_EQ(merged.witnesses[j].a, whole.witnesses[j].a);
+      EXPECT_EQ(merged.witnesses[j].b, whole.witnesses[j].b);
+    }
+  }
+}
+
+// ---- Validator vs legacy oracle -------------------------------------------
+
+TEST(RefineKernelDifferentialTest, MatchesLegacyAcrossRegistryThreadsAndCache) {
+  // Full sweep: every registry profile × both NULL semantics × threads
+  // {1, 2, 8} × cache {off, on}, against one serial cache-less legacy
+  // baseline each. Rows/columns are capped for runtime; the profiles keep
+  // their cardinality mix, which is what varies the kernel shapes.
+  for (const DatasetSpec& spec : PaperDatasets()) {
+    Relation r = MakeDataset(spec.name, std::min<size_t>(spec.default_rows, 150),
+                             std::min(spec.columns, 7));
+    for (NullSemantics nulls :
+         {NullSemantics::kNullEqualsNull, NullSemantics::kNullUnequal}) {
+      PreprocessedData data = Preprocess(r, nulls);
+      // Threshold 0: every level with one invalid FD pauses, maximizing the
+      // number of phase boundaries the batches must reproduce.
+      Trace baseline = RunLegacyValidator(data, 0.0);
+      for (int threads : {1, 2, 8}) {
+        std::unique_ptr<ThreadPool> pool;
+        if (threads > 1) {
+          pool = std::make_unique<ThreadPool>(static_cast<size_t>(threads));
+        }
+        for (bool cache_on : {false, true}) {
+          std::unique_ptr<PliCache> cache;
+          if (cache_on) cache = MakeCache(data, threads > 1, nulls);
+          Trace trace = RunKernelValidator(data, 0.0, pool.get(), cache.get());
+          ExpectSameTrace(baseline, trace,
+                          spec.name + (nulls == NullSemantics::kNullUnequal
+                                           ? " (null!=null)"
+                                           : "") +
+                              " threads=" + std::to_string(threads) +
+                              (cache_on ? " cache" : ""));
+        }
+      }
+    }
+  }
+}
+
+TEST(RefineKernelDifferentialTest, CacheHitPathMatchesLegacyColdPath) {
+  // Second traversal over a warm cache serves multi-attribute LHSs from
+  // Probe() — the collected partitions must therefore be byte-identical to
+  // what the legacy grouping pass would have built. The planted FD
+  // {0,1} -> 2 guarantees a surviving two-attribute LHS whose partition the
+  // first pass collects (early-exited scans are never cached).
+  GeneratorConfig gen;
+  gen.rows = 300;
+  gen.seed = 37;
+  gen.columns = {ColumnSpec{.cardinality = 18},
+                 ColumnSpec{.cardinality = 15},
+                 ColumnSpec{.cardinality = 9, .sources = {0, 1}},
+                 ColumnSpec{.cardinality = 4},
+                 ColumnSpec{.cardinality = 6}};
+  Relation r = Generate(gen);
+  PreprocessedData data = Preprocess(r);
+  Trace baseline = RunLegacyValidator(data, 0.0);
+
+  auto cache = MakeCache(data, false, NullSemantics::kNullEqualsNull);
+  Trace cold = RunKernelValidator(data, 0.0, nullptr, cache.get());
+  Trace warm = RunKernelValidator(data, 0.0, nullptr, cache.get());
+  ExpectSameTrace(baseline, cold, "cold cache");
+  ExpectSameTrace(baseline, warm, "warm cache");
+  EXPECT_GT(cache->counters().hits, 0u) << "second pass never hit the cache";
+}
+
+TEST(RefineKernelDifferentialTest, SkewedGiantClusterIsThreadInvariant) {
+  // The splitter's stress shape: one pivot cluster holds most of the mass,
+  // so the per-node-only baseline would serialize on it while the kernel
+  // splits it into cluster/record ranges. Results must not notice.
+  Relation r = SkewedGiantClusterRelation();
+  PreprocessedData data = Preprocess(r);
+  Trace baseline = RunLegacyValidator(data, 0.0);
+  for (int threads : {1, 2, 8}) {
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 1) {
+      pool = std::make_unique<ThreadPool>(static_cast<size_t>(threads));
+    }
+    Trace trace = RunKernelValidator(data, 0.0, pool.get());
+    ExpectSameTrace(baseline, trace,
+                    "skewed threads=" + std::to_string(threads));
+  }
+}
+
+TEST(RefineKernelDifferentialTest, FullPipelineBitIdenticalOnSkewedData) {
+  // End to end: the whole hybrid loop (sampling + induction + validation)
+  // on the skewed relation must return identical FDs *and* identical
+  // sampling statistics for any thread count — the suggestions fed back to
+  // the Sampler are part of the contract, not just the FD set.
+  Relation r = SkewedGiantClusterRelation(6000);
+  FDSet baseline_fds;
+  HyFdStats baseline_stats;
+  for (int threads : {1, 2, 8}) {
+    HyFdConfig config;
+    config.num_threads = threads;
+    HyFd algo(config);
+    FDSet fds = algo.Discover(r);
+    if (threads == 1) {
+      baseline_fds = fds;
+      baseline_stats = algo.stats();
+      continue;
+    }
+    hyfd::testing::ExpectSameFds(baseline_fds, fds,
+                  "pipeline threads=" + std::to_string(threads));
+    EXPECT_EQ(baseline_stats.comparisons, algo.stats().comparisons)
+        << "threads=" << threads;
+    EXPECT_EQ(baseline_stats.non_fds, algo.stats().non_fds)
+        << "threads=" << threads;
+    EXPECT_EQ(baseline_stats.validations, algo.stats().validations)
+        << "threads=" << threads;
+  }
+}
+
+TEST(RefineKernelDifferentialTest, RestrictedModeMatchesFullRediscovery) {
+  // Incremental sessions drive the kernel's restricted (touched-clusters)
+  // visit lists; after every batch the session must agree with a
+  // from-scratch discovery on the concatenated relation.
+  Relation full = SkewedGiantClusterRelation(900);
+  const size_t seed_rows = 600;
+  for (int threads : {1, 8}) {
+    IncrementalConfig config;
+    config.num_threads = threads;
+    IncrementalHyFd session(full.HeadRows(seed_rows), config);
+    for (size_t from = seed_rows; from < full.num_rows(); from += 100) {
+      const size_t to = std::min(full.num_rows(), from + 100);
+      std::vector<std::vector<std::optional<std::string>>> batch;
+      for (size_t row = from; row < to; ++row) {
+        std::vector<std::optional<std::string>> cells(
+            static_cast<size_t>(full.num_columns()));
+        for (int c = 0; c < full.num_columns(); ++c) {
+          if (!full.IsNull(row, c)) {
+            cells[static_cast<size_t>(c)] = full.Value(row, c);
+          }
+        }
+        batch.push_back(std::move(cells));
+      }
+      const FDSet& incremental = session.ApplyBatch(batch);
+      FDSet scratch = DiscoverFds(full.HeadRows(to));
+      hyfd::testing::ExpectSameFds(scratch, incremental,
+                    "restricted mode, threads=" + std::to_string(threads) +
+                        ", rows=" + std::to_string(to));
+      EXPECT_GT(session.last_batch_stats().fds_revalidated, 0u)
+          << "batch never exercised the restricted path";
+    }
+  }
+}
+
+TEST(RefineKernelTest, SuggestionBufferGaugesTrackPeakAndArena) {
+  Relation r = testing::RandomRelation(5, 200, 41, 2);
+  PreprocessedData data = Preprocess(r);
+  MetricsRegistry metrics;
+  Trace trace = RunKernelValidator(data, 0.0, nullptr, nullptr, &metrics);
+
+  size_t total = 0;
+  size_t max_batch = 0;
+  for (const auto& batch : trace.batches) {
+    total += batch.size();
+    max_batch = std::max(max_batch, batch.size());
+  }
+  ASSERT_GT(total, 0u) << "data produced no violations — test is vacuous";
+
+  // The peak gauge samples the buffer before each per-level dedup, so it
+  // dominates every deduplicated batch the caller ever saw.
+  EXPECT_GE(metrics.GetGauge("validator.suggestions_peak")->value(), max_batch);
+  EXPECT_EQ(metrics.GetCounter("validator.suggestions")->value(), total);
+  EXPECT_GT(metrics.GetGauge("validator.arena_bytes")->value(), 0u);
+}
+
+}  // namespace
+}  // namespace hyfd
