@@ -41,16 +41,60 @@ IncrementalHyFd::IncrementalHyFd(Relation relation, IncrementalConfig config)
 
   PliCache::Counters cache_before;
   if (cache_ != nullptr) cache_before = cache_->counters();
+  live_.assign(relation_.num_rows(), 1);
+  num_live_rows_ = relation_.num_rows();
   RunInitialDiscovery();
   BuildColumnStates();
   identity_epoch_ = relation_.IdentityEpoch();
 
-  stats_ = IncrementalBatchStats{};
+  // stats_ keeps the seeding run's sampling/validation attribution (it was
+  // zeroed here once, which made the seed report claim zero work).
   stats_.num_fds = fds_.size();
   FillReport(total_timer.ElapsedSeconds(), cache_before);
 }
 
 void IncrementalHyFd::Reseed() {
+  if (num_live_rows_ != relation_.num_rows()) {
+    // A reseed rebuilds value identity from scratch, so this is the one
+    // place tombstones are physically compacted away: the relation shrinks
+    // to its live rows (in id order) and row ids re-anchor to the compacted
+    // relation.
+    std::vector<std::vector<std::optional<std::string>>> rows;
+    rows.reserve(num_live_rows_);
+    const size_t n = relation_.num_rows();
+    const int m = relation_.num_columns();
+    for (size_t r = 0; r < n; ++r) {
+      if (live_[r] == 0) continue;
+      auto& row = rows.emplace_back();
+      row.reserve(static_cast<size_t>(m));
+      for (int c = 0; c < m; ++c) {
+        if (relation_.IsNull(r, c)) {
+          row.emplace_back(std::nullopt);
+        } else {
+          row.emplace_back(relation_.Value(r, c));
+        }
+      }
+    }
+    relation_ = Relation::FromRows(relation_.schema(), rows);
+  }
+  live_.assign(relation_.num_rows(), 1);
+  num_live_rows_ = relation_.num_rows();
+
+  // Discovery attribution restarts from zero: stats_ already carries this
+  // batch's identity (batch_rows, deleted_rows, append timing), and the full
+  // re-discovery below must not stack on top of in-flight counters.
+  stats_.reseeded = true;
+  stats_.touched_clusters = 0;
+  stats_.fds_invalidated = 0;
+  stats_.fds_revalidated = 0;
+  stats_.generalization_candidates = 0;
+  stats_.fds_generalized = 0;
+  stats_.validations = 0;
+  stats_.comparisons = 0;
+  stats_.phase_switches = 0;
+  stats_.sampling_seconds = 0;
+  stats_.validation_seconds = 0;
+
   data_ = Preprocess(relation_, config_.null_semantics);
   tree_ = FDTree(relation_.num_columns());
   negative_cover_.clear();
@@ -78,18 +122,22 @@ void IncrementalHyFd::RunInitialDiscovery() {
   Validator validator(&data_, &tree_, config_.efficiency_threshold,
                       pool_.get(), cache_.get());
   std::vector<std::pair<RecordId, RecordId>> suggestions;
+  ValidatorResult vr;
   while (true) {
     timer.Restart();
-    auto new_non_fds = sampler.Run(suggestions);
-    for (const AttributeSet& non_fd : new_non_fds) {
-      negative_cover_.insert(non_fd);
+    auto new_non_fds = sampler.RunWithWitnesses(suggestions);
+    std::vector<AttributeSet> batch;
+    batch.reserve(new_non_fds.size());
+    for (SampledNonFd& found : new_non_fds) {
+      negative_cover_.emplace(found.agree, std::make_pair(found.a, found.b));
+      batch.push_back(std::move(found.agree));
     }
-    inductor_->Update(std::move(new_non_fds));
+    inductor_->Update(std::move(batch));
     stats_.sampling_seconds += timer.ElapsedSeconds();
     HYFD_AUDIT_ONLY(tree_.CheckInvariants());
 
     timer.Restart();
-    ValidatorResult vr = validator.Run();
+    vr = validator.Run();
     stats_.validation_seconds += timer.ElapsedSeconds();
     HYFD_AUDIT_ONLY(tree_.CheckInvariants());
     if (vr.done) break;
@@ -98,6 +146,11 @@ void IncrementalHyFd::RunInitialDiscovery() {
   }
   stats_.comparisons = sampler.total_comparisons();
   stats_.validations = validator.total_validations();
+  // Fold the final pass's violation suggestions into the witnessed cover.
+  // The tree is already settled (any agree set these pairs produce can only
+  // restate known constraints), but the extra witnesses keep more of the
+  // cover alive across future deletes.
+  MatchPairs(std::move(vr.comparison_suggestions));
 
   // The Validator confirmed every node it settled; make the seed state
   // explicit (and audited) regardless of the path that produced it.
@@ -244,19 +297,77 @@ std::vector<AttributeSet> IncrementalHyFd::MatchPairs(
   for (const auto& [a, b] : pairs) {
     data_.records.MatchInto(a, b, &agree);
     ++stats_.comparisons;
-    if (negative_cover_.insert(agree).second) new_non_fds.push_back(agree);
+    if (negative_cover_.emplace(agree, std::make_pair(a, b)).second) {
+      new_non_fds.push_back(agree);
+    }
   }
   return new_non_fds;
 }
 
 const FDSet& IncrementalHyFd::ApplyBatch(
     const std::vector<std::vector<std::optional<std::string>>>& rows) {
-  // Reject the whole batch before appending anything: a mid-batch width
-  // failure would leave the relation half-grown.
-  for (const auto& row : rows) {
-    HYFD_CHECK(row.size() == static_cast<size_t>(relation_.num_columns()),
-               "IncrementalHyFd::ApplyBatch: row width does not match the "
-               "schema");
+  return ApplyCrud(rows, {}, {});
+}
+
+const FDSet& IncrementalHyFd::DeleteRows(const std::vector<RecordId>& ids) {
+  return ApplyCrud({}, ids, {});
+}
+
+const FDSet& IncrementalHyFd::UpdateRows(
+    const std::vector<
+        std::pair<RecordId, std::vector<std::optional<std::string>>>>&
+        updates) {
+  return ApplyCrud({}, {}, updates);
+}
+
+const FDSet& IncrementalHyFd::ApplyMixed(
+    const std::vector<std::vector<std::optional<std::string>>>& inserts,
+    const std::vector<RecordId>& deletes,
+    const std::vector<
+        std::pair<RecordId, std::vector<std::optional<std::string>>>>&
+        updates) {
+  return ApplyCrud(inserts, deletes, updates);
+}
+
+bool IncrementalHyFd::IsRowLive(RecordId id) const {
+  HYFD_CHECK(static_cast<size_t>(id) < live_.size(),
+             "IncrementalHyFd::IsRowLive: row id out of range");
+  return live_[id] != 0;
+}
+
+const FDSet& IncrementalHyFd::ApplyCrud(
+    const std::vector<std::vector<std::optional<std::string>>>& inserts,
+    const std::vector<RecordId>& deletes,
+    const std::vector<
+        std::pair<RecordId, std::vector<std::optional<std::string>>>>&
+        updates) {
+  // Reject the whole batch before mutating anything: a mid-batch width or
+  // id failure would leave the relation half-grown.
+  const auto check_width =
+      [&](const std::vector<std::optional<std::string>>& row) {
+        HYFD_CHECK(row.size() == static_cast<size_t>(relation_.num_columns()),
+                   "IncrementalHyFd: row width does not match the schema");
+      };
+  for (const auto& row : inserts) check_width(row);
+  for (const auto& [id, row] : updates) check_width(row);
+
+  // Dead rows: explicit deletes plus the old versions of updates. Every id
+  // must name a distinct live physical row.
+  std::vector<RecordId> dead;
+  dead.reserve(deletes.size() + updates.size());
+  dead.insert(dead.end(), deletes.begin(), deletes.end());
+  for (const auto& [id, row] : updates) dead.push_back(id);
+  {
+    std::vector<uint8_t> claimed(relation_.num_rows(), 0);
+    for (RecordId id : dead) {
+      HYFD_CHECK(static_cast<size_t>(id) < relation_.num_rows(),
+                 "IncrementalHyFd: delete/update id out of range");
+      HYFD_CHECK(live_[id] != 0,
+                 "IncrementalHyFd: delete/update of an already-dead row");
+      HYFD_CHECK(claimed[id] == 0,
+                 "IncrementalHyFd: row deleted/updated twice in one batch");
+      claimed[id] = 1;
+    }
   }
   // Detect out-of-band mutation of the owned relation (or derived state)
   // before building on top of it.
@@ -266,20 +377,28 @@ const FDSet& IncrementalHyFd::ApplyBatch(
   Timer timer;
   ++num_batches_;
   stats_ = IncrementalBatchStats{};
-  stats_.batch_rows = rows.size();
+  stats_.batch_rows = inserts.size() + updates.size();
+  stats_.deleted_rows = dead.size();
   PliCache::Counters cache_before;
   if (cache_ != nullptr) cache_before = cache_->counters();
 
-  if (rows.empty()) {
+  if (inserts.empty() && updates.empty() && dead.empty()) {
     stats_.num_fds = fds_.size();
     FillReport(total_timer.ElapsedSeconds(), cache_before);
     return fds_;
   }
 
-  // --- 1. Append rows and grow the derived state in place. -----------------
+  // --- 1. Append new rows, tombstone dead ones. ----------------------------
   const size_t old_n = data_.num_records;
-  for (const auto& row : rows) relation_.AppendRow(row);
+  for (const auto& row : inserts) relation_.AppendRow(row);
+  for (const auto& [id, row] : updates) relation_.AppendRow(row);
   const size_t new_n = relation_.num_rows();
+  live_.resize(new_n, 1);
+  num_live_rows_ += new_n - old_n;
+  for (RecordId id : dead) {
+    live_[id] = 0;
+    --num_live_rows_;
+  }
 
   if (relation_.IdentityEpoch() != identity_epoch_) {
     // The batch widened a numeric column to string and split codes of
@@ -287,8 +406,8 @@ const FDSet& IncrementalHyFd::ApplyBatch(
     // Every piece of derived state — PLIs, compressed records, the tree's
     // confirmed proofs, the negative cover's agree sets — was computed under
     // the old identity and may be wrong, so grow-in-place is unsound.
-    // Rebuild everything from the (rare) changed relation instead.
-    stats_.reseeded = true;
+    // Rebuild everything from the (rare) changed relation instead; Reseed
+    // also compacts away this batch's tombstones.
     stats_.append_seconds = timer.ElapsedSeconds();
     Reseed();
     stats_.num_fds = fds_.size();
@@ -296,6 +415,8 @@ const FDSet& IncrementalHyFd::ApplyBatch(
     return fds_;
   }
 
+  // --- 2. Shrink, then grow, the derived state in place. -------------------
+  if (!dead.empty()) ShrinkDerivedState(dead);
   Validator::ClusterDelta delta;
   GrowDerivedState(old_n, new_n, &delta);
   if (cache_ != nullptr) {
@@ -305,14 +426,18 @@ const FDSet& IncrementalHyFd::ApplyBatch(
   }
   stats_.append_seconds = timer.ElapsedSeconds();
 
-  // --- 2. Targeted sampling: only pairs involving a new row. ---------------
+  // Deletes can make FDs valid: repair the cover downward before the loop.
+  timer.Restart();
+  const FDSet fds_before = dead.empty() ? FDSet{} : fds_;
+  if (!dead.empty()) RepairCoverAfterDeletes();
+
+  // --- 3. Targeted sampling: only pairs involving a new row. ---------------
   // Within each touched cluster, every new member (ids ≥ old_n sort to the
   // tail) is matched against its predecessor and against the cluster's first
   // record — the same neighbor heuristic cluster-windowing starts from, here
   // restricted to windows that contain a new row. Completeness of the final
   // FD set never depends on this selection (the Validator settles every
   // candidate); it only seeds the negative cover cheaply.
-  timer.Restart();
   std::vector<std::pair<RecordId, RecordId>> pairs;
   for (int c = 0; c < data_.num_attributes; ++c) {
     const auto& clusters = data_.plis[static_cast<size_t>(c)].clusters();
@@ -335,18 +460,20 @@ const FDSet& IncrementalHyFd::ApplyBatch(
   stats_.sampling_seconds += timer.ElapsedSeconds();
   HYFD_AUDIT_ONLY(tree_.CheckInvariants());
 
-  // --- 3. Hybrid loop seeded from the previous tree. ------------------------
-  // Previously-confirmed FDs take the restricted touched-clusters check;
-  // candidates the Inductor just specialized get the full check. Phase
-  // switches replay the Validator's violation suggestions through the
-  // Inductor instead of a fresh sampling sweep — the suggestions already
-  // pinpoint the disagreeing pairs.
+  // --- 4. Hybrid loop seeded from the (repaired) tree. ---------------------
+  // FDs with a surviving proof take the restricted touched-clusters check —
+  // on a pure-delete batch every touched list is empty, so they validate at
+  // zero scan cost; generalization candidates and freshly specialized
+  // candidates get the full check. Phase switches replay the Validator's
+  // violation suggestions through the Inductor instead of a fresh sampling
+  // sweep — the suggestions already pinpoint the disagreeing pairs.
   Validator validator(&data_, &tree_, config_.efficiency_threshold,
                       pool_.get(), cache_.get());
   validator.set_delta(&delta);
+  ValidatorResult vr;
   while (true) {
     timer.Restart();
-    ValidatorResult vr = validator.Run();
+    vr = validator.Run();
     stats_.validation_seconds += timer.ElapsedSeconds();
     HYFD_AUDIT_ONLY(tree_.CheckInvariants());
     if (vr.done) break;
@@ -361,12 +488,178 @@ const FDSet& IncrementalHyFd::ApplyBatch(
   stats_.fds_invalidated += validator.delta_invalidated();
   stats_.fds_revalidated = validator.restricted_validations();
   stats_.validations = validator.total_validations();
+  // Fold the final pass's violation suggestions into the witnessed cover
+  // (tree no-op — the loop is settled — but richer witnesses survive more
+  // future deletes).
+  MatchPairs(std::move(vr.comparison_suggestions));
   HYFD_AUDIT_ONLY(if (cache_ != nullptr) cache_->CheckInvariants());
 
   fds_ = tree_.ToFdSet();
+  if (!dead.empty()) {
+    for (const FD& fd : fds_) {
+      if (!fds_before.Contains(fd)) ++stats_.fds_generalized;
+    }
+  }
   stats_.num_fds = fds_.size();
   FillReport(total_timer.ElapsedSeconds(), cache_before);
   return fds_;
+}
+
+void IncrementalHyFd::ShrinkDerivedState(const std::vector<RecordId>& dead) {
+  const int m = data_.num_attributes;
+  std::vector<std::pair<uint32_t, RecordId>> removals;
+  std::vector<std::pair<uint32_t, RecordId>> demoted;
+  std::vector<uint32_t> emptied;
+  std::vector<int32_t> remap;
+  for (int c = 0; c < m; ++c) {
+    ColumnState& state = column_states_[static_cast<size_t>(c)];
+    Pli& pli = data_.plis[static_cast<size_t>(c)];
+    const std::vector<uint32_t>& codes = relation_.segment(c).codes();
+
+    // Classify each dead row in this column — cluster member vs implicit
+    // singleton — from its compressed cell (wiped only after all columns).
+    removals.clear();
+    for (RecordId r : dead) {
+      const ClusterId cid = data_.records.Cluster(r, c);
+      if (cid != kUniqueCluster) {
+        removals.emplace_back(static_cast<uint32_t>(cid), r);
+        continue;
+      }
+      // The dead row was an implicit singleton: drop its value-index entry
+      // so a future equal insert cannot resurrect it as a cluster partner.
+      const uint32_t code = codes[r];
+      if (code == kNullCode) {
+        if (config_.null_semantics == NullSemantics::kNullUnequal) continue;
+        if (state.has_null_singleton && state.null_record == r) {
+          state.has_null_singleton = false;
+        }
+      } else if (auto it = state.singleton_of.find(code);
+                 it != state.singleton_of.end() && it->second == r) {
+        state.singleton_of.erase(it);
+      }
+    }
+
+    pli.RemoveRows(removals, dead.size(), &demoted, &emptied);
+
+    // Demoted survivors become implicit singletons: restamp their cell and
+    // migrate the value index from the cluster map to the singleton map.
+    for (const auto& [slot, survivor] : demoted) {
+      data_.records.SetCluster(survivor, c, kUniqueCluster);
+      const uint32_t code = codes[survivor];
+      if (code == kNullCode) {
+        state.has_null_cluster = false;
+        state.has_null_singleton = true;
+        state.null_record = survivor;
+      } else {
+        state.cluster_of.erase(code);
+        state.singleton_of.emplace(code, survivor);
+      }
+    }
+    // Slots whose members all died: the value itself is gone from the
+    // relation; unmap it (the slot index may be recycled by compaction).
+    for (uint32_t slot : emptied) {
+      uint32_t code = 0;
+      bool found = false;
+      for (const auto& [s, r] : removals) {
+        if (s == slot) {
+          code = codes[r];
+          found = true;
+          break;
+        }
+      }
+      HYFD_CHECK(found, "IncrementalHyFd: emptied slot without a removal");
+      if (code == kNullCode) {
+        state.has_null_cluster = false;
+      } else {
+        state.cluster_of.erase(code);
+      }
+    }
+
+    // Compact when the empty-slot fraction crosses the threshold: drop the
+    // empties, renumber surviving slots, restamp moved members' cells, and
+    // renumber the value index.
+    if (pli.num_empty_slots() > 0 &&
+        static_cast<double>(pli.num_empty_slots()) >
+            config_.pli_compact_threshold *
+                static_cast<double>(pli.clusters().size())) {
+      pli.CompactSlots(&remap);
+      const auto& clusters = pli.clusters();
+      for (size_t old_slot = 0; old_slot < remap.size(); ++old_slot) {
+        const int32_t new_slot = remap[old_slot];
+        if (new_slot < 0 || static_cast<size_t>(new_slot) == old_slot) {
+          continue;
+        }
+        for (RecordId member : clusters[static_cast<size_t>(new_slot)]) {
+          data_.records.SetCluster(member, c, new_slot);
+        }
+      }
+      for (auto& [code, ci] : state.cluster_of) {
+        HYFD_CHECK(remap[ci] >= 0,
+                   "IncrementalHyFd: value index points at a dropped slot");
+        ci = static_cast<uint32_t>(remap[ci]);
+      }
+      if (state.has_null_cluster) {
+        HYFD_CHECK(remap[state.null_cluster] >= 0,
+                   "IncrementalHyFd: NULL index points at a dropped slot");
+        state.null_cluster = static_cast<uint32_t>(remap[state.null_cluster]);
+      }
+    }
+  }
+  // Wipe the dead rows' cells last: the per-column classification above
+  // reads them.
+  data_.records.RemoveRows(dead);
+  HYFD_AUDIT_ONLY({
+    for (const Pli& pli : data_.plis) pli.CheckInvariants();
+    data_.records.CheckInvariants(data_.plis);
+  });
+}
+
+void IncrementalHyFd::RepairCoverAfterDeletes() {
+  // Drop every agree set whose witnessing pair lost a row: the set may have
+  // no other live witness, and a stale entry would wrongly pin all FDs it
+  // once refuted (unsound); dropping a still-true set merely costs the
+  // Validator one full re-check (the sound direction).
+  for (auto it = negative_cover_.begin(); it != negative_cover_.end();) {
+    const auto& [a, b] = it->second;
+    if (live_[a] == 0 || live_[b] == 0) {
+      it = negative_cover_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Rebuild the candidate tree as the minimal cover of the surviving
+  // constraints. This must happen on *every* delete batch — violations the
+  // Validator refuted without a recorded pair are not in the cover, so "no
+  // witness died" proves nothing. Subset probing of the old LHSs would be
+  // incomplete: a new minimal FD after a delete need not have its LHS below
+  // any old one.
+  FDTree old_tree = std::move(tree_);
+  tree_ = FDTree(data_.num_attributes);
+  inductor_ = std::make_unique<Inductor>(&tree_);
+  std::vector<AttributeSet> kept;
+  kept.reserve(negative_cover_.size());
+  for (const auto& [agree, witness] : negative_cover_) kept.push_back(agree);
+  // Canonical order (as Sampler::Run emits) so the rebuilt tree never
+  // depends on hash-map iteration order.
+  std::sort(kept.begin(), kept.end(),
+            [](const AttributeSet& a, const AttributeSet& b) {
+              const int ca = a.Count();
+              const int cb = b.Count();
+              if (ca != cb) return ca > cb;
+              return a < b;
+            });
+  inductor_->Update(std::move(kept));
+
+  // Transfer proofs: an FD with a confirmed generalization in the old tree
+  // is still valid (deletes only remove violating pairs; insert-induced
+  // violations are caught by the restricted re-check over touched
+  // clusters). The unconfirmed remainder are the downward candidates the
+  // Validator must settle from scratch.
+  tree_.ConfirmFrom(old_tree);
+  stats_.generalization_candidates =
+      tree_.CountFds() - tree_.CountConfirmedFds();
+  HYFD_AUDIT_ONLY(tree_.CheckInvariants());
 }
 
 const FDSet& IncrementalHyFd::ApplyBatchStrings(
@@ -404,9 +697,15 @@ void IncrementalHyFd::FillReport(double total_seconds,
   report_.SetCounter("incremental.batches",
                      static_cast<uint64_t>(num_batches_));
   report_.SetCounter("incremental.batch_rows", stats_.batch_rows);
+  report_.SetCounter("incremental.deleted_rows", stats_.deleted_rows);
+  report_.SetCounter("incremental.live_rows",
+                     static_cast<uint64_t>(num_live_rows_));
   report_.SetCounter("incremental.touched_clusters", stats_.touched_clusters);
   report_.SetCounter("incremental.fds_invalidated", stats_.fds_invalidated);
   report_.SetCounter("incremental.fds_revalidated", stats_.fds_revalidated);
+  report_.SetCounter("incremental.generalization_candidates",
+                     stats_.generalization_candidates);
+  report_.SetCounter("incremental.fds_generalized", stats_.fds_generalized);
   report_.SetCounter("incremental.validations", stats_.validations);
   report_.SetCounter("incremental.comparisons", stats_.comparisons);
   report_.SetCounter("incremental.phase_switches",

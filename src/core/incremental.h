@@ -39,14 +39,30 @@ struct IncrementalConfig {
   /// append via the compressed-records fingerprint.
   bool enable_pli_cache = true;
   size_t pli_cache_budget_bytes = PliCache::kDefaultBudgetBytes;
+  /// Deletes leave emptied cluster slots in place (slot indexes stay stable
+  /// for the delta machinery); when a column's empty-slot fraction crosses
+  /// this threshold its PLI is compacted and cluster ids renumbered.
+  double pli_compact_threshold = 0.3;
   /// If set, every ApplyBatch() mirrors its structured report here (the
   /// same document `report()` exposes).
   RunReport* run_report = nullptr;
 };
 
-/// Counters and timings of the last ApplyBatch() call.
+/// Counters and timings of the last ApplyBatch()/DeleteRows()/UpdateRows()
+/// call (or of the seeding/reseeding discovery).
 struct IncrementalBatchStats {
   size_t batch_rows = 0;
+  /// Rows tombstoned by this batch (deletes plus the old versions of
+  /// updates).
+  size_t deleted_rows = 0;
+  /// After a delete-driven cover rebuild: stored FDs with no surviving
+  /// proof — the downward (generalization) candidates the repair loop
+  /// validates from scratch (FDTree::CollectGeneralizationCandidates).
+  size_t generalization_candidates = 0;
+  /// FDs in the post-batch cover that were not minimal FDs before it — on a
+  /// delete/update batch these moved *down* the lattice (violating pairs
+  /// died). Only computed when rows were deleted.
+  size_t fds_generalized = 0;
   /// Stripped clusters (summed over attributes) that received a new row —
   /// the restricted validation scope.
   size_t touched_clusters = 0;
@@ -93,12 +109,30 @@ struct IncrementalBatchStats {
 /// with it — Validator::ClusterDelta), while candidates specialized during
 /// this batch get the standard full check.
 ///
+/// DeleteRows()/UpdateRows() close the other half of the CRUD surface.
+/// Deletes tombstone rows in place: each column PLI erases the dead ids from
+/// its clusters (Pli::RemoveRows — lone survivors are demoted to implicit
+/// singletons, emptied slots linger until compaction), the compressed
+/// records wipe the dead cells, and row ids are never reused. Deletes can
+/// make previously-false FDs *valid*, so the session keeps a *witnessed*
+/// negative cover — every agree set remembers the record pair that produced
+/// it — and on a delete batch drops the entries whose witness died, rebuilds
+/// the candidate tree from the surviving agree sets, and transfers proofs
+/// via FDTree::ConfirmFrom (a confirmed FD survives deletion; only
+/// insert-touched clusters need re-checking). The stored-but-unconfirmed
+/// remainder are exactly the generalization candidates; the normal
+/// Validator/Sampler loop then settles them downward and re-specializes
+/// anything the batch's inserted rows broke. An update is delete + insert
+/// sharing one such repair pass.
+///
 /// Equivalence guarantee: after every batch, fds() equals what a from-
-/// scratch HyFD run on the concatenated relation returns. Rows only ever
-/// break FDs (an FD invalid on a prefix stays invalid on every extension),
-/// so the seeded tree is a superset-closure starting point, and the
-/// exhaustive Validator — not sampling completeness — is what settles every
-/// candidate. tests/incremental_test.cc enforces this differentially.
+/// scratch HyFD run on the current *live* rows returns. For appends the
+/// seeded tree is a superset-closure starting point (rows only break FDs);
+/// for deletes the rebuilt-from-witnesses tree is a generalization-closure
+/// starting point (dropping an agree set can only make the tree too
+/// general, and the exhaustive Validator — not sampling completeness — is
+/// what settles every candidate). tests/incremental_test.cc enforces both
+/// differentially.
 class IncrementalHyFd {
  public:
   /// Takes ownership of `relation` and runs one full discovery to seed the
@@ -123,10 +157,49 @@ class IncrementalHyFd {
   const FDSet& ApplyBatchStrings(
       const std::vector<std::vector<std::string>>& rows);
 
-  /// The owned relation, including every applied batch. Mutating the
-  /// relation behind the session's back is detected: the next ApplyBatch()
-  /// throws ContractViolation (PreprocessedData::CheckSyncedWith).
+  /// Tombstones the listed rows and returns the FD set of the surviving live
+  /// rows. Ids are positions in relation() (the physical row space — ids are
+  /// never reused); each must be live and listed once, or the whole batch is
+  /// rejected with ContractViolation before any state changes.
+  const FDSet& DeleteRows(const std::vector<RecordId>& ids);
+
+  /// Replaces each listed row: the old id is tombstoned and the new version
+  /// appended (receiving a fresh id), both sides sharing one repair pass.
+  /// Same id/width contract as DeleteRows()/ApplyBatch().
+  const FDSet& UpdateRows(
+      const std::vector<
+          std::pair<RecordId, std::vector<std::optional<std::string>>>>&
+          updates);
+
+  /// The whole CRUD surface in one batch sharing a single repair pass —
+  /// for mixed workloads this is ~3x cheaper than three separate calls
+  /// (one cover repair, one state growth, one hybrid loop instead of
+  /// three). A delete/update id must not name a row inserted by the same
+  /// call. New physical ids: `inserts` first (in order), then the updates'
+  /// fresh versions (in order).
+  const FDSet& ApplyMixed(
+      const std::vector<std::vector<std::optional<std::string>>>& inserts,
+      const std::vector<RecordId>& deletes,
+      const std::vector<
+          std::pair<RecordId, std::vector<std::optional<std::string>>>>&
+          updates);
+
+  /// The owned relation, including every applied batch *and every
+  /// tombstoned row* — deletes never rewrite the relation (row ids stay
+  /// stable); consult IsRowLive() for liveness. Exception: a batch that
+  /// moves the value-identity epoch reseeds the session, which compacts the
+  /// relation to its live rows and re-anchors ids. Mutating the relation
+  /// behind the session's back is detected: the next batch throws
+  /// ContractViolation (PreprocessedData::CheckSyncedWith).
   const Relation& relation() const { return relation_; }
+
+  /// True iff physical row `id` has not been deleted (or replaced by
+  /// UpdateRows). Out-of-range ids throw.
+  bool IsRowLive(RecordId id) const;
+
+  /// Rows the FD set is computed over: relation().num_rows() minus
+  /// tombstones.
+  size_t num_live_rows() const { return num_live_rows_; }
 
   const IncrementalBatchStats& last_batch_stats() const { return stats_; }
   /// Structured report of the last ApplyBatch() (or of the seeding run).
@@ -160,14 +233,38 @@ class IncrementalHyFd {
   /// negative cover, column indexes) and re-runs discovery on the current
   /// relation. The escape hatch for batches that change value identity
   /// retroactively (IdentityEpoch() moved): stale clusters cannot be grown,
-  /// they must be rebuilt.
+  /// they must be rebuilt. If rows are tombstoned, the relation is first
+  /// compacted to its live rows (re-anchoring ids). Resets the discovery-
+  /// attribution stats fields and tags stats_.reseeded itself, so the
+  /// in-flight batch's append timing survives untouched.
   void Reseed();
+  /// The shared CRUD path behind ApplyBatch/DeleteRows/UpdateRows: appends
+  /// `inserts` plus the new versions of `updates`, tombstones `deletes` plus
+  /// the old versions of `updates`, repairs the cover, and re-runs the
+  /// hybrid loop once over the combined delta.
+  const FDSet& ApplyCrud(
+      const std::vector<std::vector<std::optional<std::string>>>& inserts,
+      const std::vector<RecordId>& deletes,
+      const std::vector<
+          std::pair<RecordId, std::vector<std::optional<std::string>>>>&
+          updates);
+  /// Shrinks PLIs + compressed records for the (live, distinct) `dead` rows:
+  /// erases them from their clusters, demotes lone survivors, maintains the
+  /// per-column value indexes, and compacts columns whose empty-slot
+  /// fraction crossed config_.pli_compact_threshold.
+  void ShrinkDerivedState(const std::vector<RecordId>& dead);
+  /// Drops witnessed agree sets whose witness died, rebuilds the candidate
+  /// tree from the survivors, and transfers proofs from the old tree
+  /// (FDTree::ConfirmFrom). The unconfirmed remainder are the batch's
+  /// generalization candidates.
+  void RepairCoverAfterDeletes();
   /// Grows PLIs + compressed records for rows [old_n, new_n) and fills the
   /// touched-cluster delta.
   void GrowDerivedState(size_t old_n, size_t new_n,
                         Validator::ClusterDelta* delta);
   /// Matches record pairs (deduplicated) against the compressed records and
-  /// returns the agree sets not yet in the session's negative cover.
+  /// returns the agree sets not yet in the session's negative cover; fresh
+  /// ones are recorded in the cover with their witnessing pair.
   std::vector<AttributeSet> MatchPairs(
       std::vector<std::pair<RecordId, RecordId>> pairs);
   void FillReport(double total_seconds,
@@ -183,10 +280,21 @@ class IncrementalHyFd {
   std::unique_ptr<Inductor> inductor_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<PliCache> cache_;
-  /// All agree sets ever fed to the Inductor; duplicates are sound but
-  /// wasted work, so batches only forward fresh ones.
-  std::unordered_set<AttributeSet> negative_cover_;
+  /// The witnessed negative cover: every agree set ever observed, mapped to
+  /// the record pair that witnessed it. Duplicates are sound but wasted
+  /// work, so batches only forward fresh sets to the Inductor. On deletes,
+  /// entries whose witness died are dropped (the agree set may no longer
+  /// have any live witness — keeping it would wrongly pin FDs above it),
+  /// and the candidate tree is rebuilt from the survivors; an agree set's
+  /// identity depends only on its records' values, so entries with live
+  /// witnesses stay valid verbatim.
+  std::unordered_map<AttributeSet, std::pair<RecordId, RecordId>>
+      negative_cover_;
   std::vector<ColumnState> column_states_;
+  /// Liveness per physical row id; tombstones are never reused. Sized to
+  /// relation().num_rows().
+  std::vector<uint8_t> live_;
+  size_t num_live_rows_ = 0;
   /// Relation::IdentityEpoch() the derived state was built under; a change
   /// after an append means codes split retroactively → Reseed().
   uint64_t identity_epoch_ = 0;

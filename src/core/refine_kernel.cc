@@ -141,6 +141,7 @@ void RunCompareToFirst(const RefineJob& job, size_t cluster_begin,
   for (size_t ci = cluster_begin; ci < cluster_end; ++ci) {
     const auto& cluster =
         (*job.clusters)[job.visit != nullptr ? (*job.visit)[ci] : ci];
+    if (cluster.size() < 2) continue;  // tombstoned empty slot
     const ClusterId* first = records.Record(cluster[0]);
     const size_t begin = rec_end > 0 ? std::max<size_t>(rec_begin, 1) : 1;
     const size_t end = rec_end > 0 ? rec_end : cluster.size();

@@ -27,11 +27,11 @@ Sampler::Sampler(const PreprocessedData* data, double efficiency_threshold,
       non_fds_(pool != nullptr ? pool->num_threads() * 4 : 1) {}
 
 void Sampler::MatchPair(RecordId a, RecordId b,
-                        std::vector<AttributeSet>* new_non_fds) {
+                        std::vector<SampledNonFd>* new_non_fds) {
   ++total_comparisons_;
   data_->records.MatchInto(a, b, &scratch_);
   if (non_fds_.Contains(scratch_)) return;
-  if (non_fds_.Insert(scratch_)) new_non_fds->push_back(scratch_);
+  if (non_fds_.Insert(scratch_)) new_non_fds->push_back({scratch_, a, b});
 }
 
 void Sampler::SortClustersOfAttribute(int attr) {
@@ -75,7 +75,7 @@ void Sampler::InitializeClusterSortings() {
   }
 }
 
-void Sampler::RunWindow(Efficiency* eff, std::vector<AttributeSet>* new_non_fds) {
+void Sampler::RunWindow(Efficiency* eff, std::vector<SampledNonFd>* new_non_fds) {
   const auto& clusters = sorted_clusters_[static_cast<size_t>(eff->attribute)];
   const size_t w = eff->window;
   if (metrics_ != nullptr) metrics_->GetCounter("sampler.windows")->Add(1);
@@ -120,7 +120,7 @@ void Sampler::RunWindow(Efficiency* eff, std::vector<AttributeSet>* new_non_fds)
   // that exactly one worker wins per distinct agree set. Freshly discovered
   // sets land in per-worker buffers merged below.
   struct WorkerState {
-    std::vector<AttributeSet> fresh;
+    std::vector<SampledNonFd> fresh;
     AttributeSet scratch;
   };
   std::vector<WorkerState> workers(pool_->num_threads());
@@ -144,7 +144,8 @@ void Sampler::RunWindow(Efficiency* eff, std::vector<AttributeSet>* new_non_fds)
                                      &state.scratch);
             if (non_fds_.Contains(state.scratch)) continue;
             if (non_fds_.Insert(state.scratch)) {
-              state.fresh.push_back(state.scratch);
+              state.fresh.push_back(
+                  {state.scratch, cluster[i], cluster[i + w - 1]});
             }
           }
           ++k;
@@ -157,8 +158,8 @@ void Sampler::RunWindow(Efficiency* eff, std::vector<AttributeSet>* new_non_fds)
   size_t results = 0;
   for (WorkerState& state : workers) {
     results += state.fresh.size();
-    for (AttributeSet& agree : state.fresh) {
-      new_non_fds->push_back(std::move(agree));
+    for (SampledNonFd& found : state.fresh) {
+      new_non_fds->push_back(std::move(found));
     }
   }
   total_comparisons_ += total_pairs;
@@ -166,7 +167,7 @@ void Sampler::RunWindow(Efficiency* eff, std::vector<AttributeSet>* new_non_fds)
   eff->results += results;
 }
 
-void Sampler::RunProgressive(std::vector<AttributeSet>* new_non_fds) {
+void Sampler::RunProgressive(std::vector<SampledNonFd>* new_non_fds) {
   while (true) {
     Efficiency* best = nullptr;
     for (auto& eff : efficiencies_) {
@@ -179,7 +180,7 @@ void Sampler::RunProgressive(std::vector<AttributeSet>* new_non_fds) {
   }
 }
 
-void Sampler::RunRandom(std::vector<AttributeSet>* new_non_fds) {
+void Sampler::RunRandom(std::vector<SampledNonFd>* new_non_fds) {
   const size_t n = data_->num_records;
   if (n < 2) return;
   constexpr size_t kBatch = 1000;
@@ -208,7 +209,16 @@ void Sampler::RunRandom(std::vector<AttributeSet>* new_non_fds) {
 
 std::vector<AttributeSet> Sampler::Run(
     const std::vector<std::pair<RecordId, RecordId>>& suggestions) {
+  std::vector<SampledNonFd> found = RunWithWitnesses(suggestions);
   std::vector<AttributeSet> new_non_fds;
+  new_non_fds.reserve(found.size());
+  for (SampledNonFd& f : found) new_non_fds.push_back(std::move(f.agree));
+  return new_non_fds;
+}
+
+std::vector<SampledNonFd> Sampler::RunWithWitnesses(
+    const std::vector<std::pair<RecordId, RecordId>>& suggestions) {
+  std::vector<SampledNonFd> new_non_fds;
   if (!initialized_) {
     initialized_ = true;
     if (strategy_ == SamplingStrategy::kClusterWindowing) {
@@ -241,14 +251,16 @@ std::vector<AttributeSet> Sampler::Run(
   }
   // Canonical batch order: descending bit count (the Inductor specializes
   // longest-first anyway), ties lexicographic. Parallel window runs append
-  // in worker order, so this sort is what makes the returned batch — and
-  // hence the induced FDTree — bit-identical for any thread count.
+  // in worker order, so this sort is what makes the returned agree-set batch
+  // — and hence the induced FDTree — bit-identical for any thread count.
+  // (The *witnesses* riding along are not canonical: which pair first
+  // inserted a set into the sharded cover is a race; see SampledNonFd.)
   std::sort(new_non_fds.begin(), new_non_fds.end(),
-            [](const AttributeSet& a, const AttributeSet& b) {
-              const int ca = a.Count();
-              const int cb = b.Count();
+            [](const SampledNonFd& a, const SampledNonFd& b) {
+              const int ca = a.agree.Count();
+              const int cb = b.agree.Count();
               if (ca != cb) return ca > cb;
-              return a < b;
+              return a.agree < b.agree;
             });
   return new_non_fds;
 }

@@ -22,6 +22,20 @@ enum class SamplingStrategy {
   kRandomPairs,
 };
 
+/// A freshly discovered non-FD agree set together with the record pair that
+/// witnessed it. The incremental session keys its witnessed negative cover on
+/// these: when a witness row dies (DeleteRows/UpdateRows) the agree set can
+/// no longer be trusted and is dropped from the cover. With a thread pool the
+/// winning witness for an agree set is whichever worker inserts it first, so
+/// witnesses (unlike the agree-set batch itself) are not deterministic across
+/// thread counts — dropping a still-true set only costs re-validation work,
+/// never correctness.
+struct SampledNonFd {
+  AttributeSet agree;
+  RecordId a = 0;
+  RecordId b = 0;
+};
+
 /// HyFD's Sampler component (paper §6, Algorithm 2).
 ///
 /// Compares carefully chosen record pairs on the compressed records and
@@ -56,6 +70,12 @@ class Sampler {
   std::vector<AttributeSet> Run(
       const std::vector<std::pair<RecordId, RecordId>>& suggestions);
 
+  /// Same phase as Run(), but keeps the witnessing record pair of every
+  /// newly discovered agree set (IncrementalHyFd's witnessed negative
+  /// cover). The agree-set batch and all counters are identical to Run()'s.
+  std::vector<SampledNonFd> RunWithWitnesses(
+      const std::vector<std::pair<RecordId, RecordId>>& suggestions);
+
   size_t total_comparisons() const { return total_comparisons_; }
   size_t num_non_fds() const { return non_fds_.size(); }
   double current_threshold() const { return threshold_; }
@@ -79,16 +99,16 @@ class Sampler {
   };
 
   /// Compares records `a`,`b`; records a new non-FD if the agree set is new.
-  void MatchPair(RecordId a, RecordId b, std::vector<AttributeSet>* new_non_fds);
+  void MatchPair(RecordId a, RecordId b, std::vector<SampledNonFd>* new_non_fds);
 
   /// Slides the current window of `eff` over its attribute's sorted clusters
   /// (Algorithm 2, runWindow), across the pool when one is attached.
-  void RunWindow(Efficiency* eff, std::vector<AttributeSet>* new_non_fds);
+  void RunWindow(Efficiency* eff, std::vector<SampledNonFd>* new_non_fds);
 
   void InitializeClusterSortings();
   void SortClustersOfAttribute(int attr);
-  void RunProgressive(std::vector<AttributeSet>* new_non_fds);
-  void RunRandom(std::vector<AttributeSet>* new_non_fds);
+  void RunProgressive(std::vector<SampledNonFd>* new_non_fds);
+  void RunRandom(std::vector<SampledNonFd>* new_non_fds);
 
   const PreprocessedData* data_;
   SamplingStrategy strategy_;

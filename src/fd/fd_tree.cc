@@ -90,6 +90,54 @@ void ConfirmAllRec(FDTree::Node* node) {
   }
 }
 
+/// Recursive twin of FindGeneralization over the `confirmed` bits. The
+/// rhs_attrs pruning stays valid: confirmed ⊆ fds ⊆ rhs_attrs.
+bool FindConfirmedGeneralization(const FDTree::Node* node,
+                                 const AttributeSet& lhs, int rhs, int from) {
+  if (node->confirmed.Test(rhs)) return true;
+  if (!node->rhs_attrs.Test(rhs)) return false;
+  for (int attr = from < 0 ? lhs.First() : lhs.NextAfter(from);
+       attr != AttributeSet::kNpos; attr = lhs.NextAfter(attr)) {
+    const FDTree::Node* child = node->Child(attr);
+    if (child != nullptr && FindConfirmedGeneralization(child, lhs, rhs, attr)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ConfirmFromRec(FDTree::Node* node, AttributeSet* path,
+                    const FDTree& proven) {
+  ForEachBit(node->fds, [&](int rhs) {
+    if (proven.ContainsConfirmedFdOrGeneralization(*path, rhs)) {
+      node->confirmed.Set(rhs);
+    }
+  });
+  if (node->children.empty()) return;
+  for (size_t attr = 0; attr < node->children.size(); ++attr) {
+    FDTree::Node* child = node->children[attr].get();
+    if (child == nullptr) continue;
+    path->Set(static_cast<int>(attr));
+    ConfirmFromRec(child, path, proven);
+    path->Reset(static_cast<int>(attr));
+  }
+}
+
+void CollectUnconfirmedRec(const FDTree::Node* node, AttributeSet* path,
+                           std::vector<FD>* out) {
+  ForEachBit(node->fds, [&](int rhs) {
+    if (!node->confirmed.Test(rhs)) out->emplace_back(*path, rhs);
+  });
+  if (node->children.empty()) return;
+  for (size_t attr = 0; attr < node->children.size(); ++attr) {
+    const FDTree::Node* child = node->children[attr].get();
+    if (child == nullptr) continue;
+    path->Set(static_cast<int>(attr));
+    CollectUnconfirmedRec(child, path, out);
+    path->Reset(static_cast<int>(attr));
+  }
+}
+
 size_t CountNodesRec(const FDTree::Node* node) {
   size_t n = 1;
   for (const auto& child : node->children) {
@@ -270,6 +318,25 @@ size_t FDTree::CountConfirmedFds() const {
   return CountConfirmedFdsRec(root_.get());
 }
 void FDTree::ConfirmAll() { ConfirmAllRec(root_.get()); }
+
+bool FDTree::ContainsConfirmedFdOrGeneralization(const AttributeSet& lhs,
+                                                 int rhs) const {
+  return FindConfirmedGeneralization(root_.get(), lhs, rhs, -1);
+}
+
+void FDTree::ConfirmFrom(const FDTree& proven) {
+  HYFD_CHECK(proven.num_attributes() == num_attributes_,
+             "FDTree::ConfirmFrom: attribute counts disagree");
+  AttributeSet path(num_attributes_);
+  ConfirmFromRec(root_.get(), &path, proven);
+}
+
+std::vector<FD> FDTree::CollectGeneralizationCandidates() const {
+  std::vector<FD> out;
+  AttributeSet path(num_attributes_);
+  CollectUnconfirmedRec(root_.get(), &path, &out);
+  return out;
+}
 size_t FDTree::CountNodes() const { return CountNodesRec(root_.get()); }
 int FDTree::Depth() const { return DepthRec(root_.get()); }
 size_t FDTree::MemoryBytes() const { return MemoryBytesRec(root_.get()); }

@@ -99,6 +99,25 @@ class FDTree {
   /// Marks every stored FD as validated-on-data (confirmed = fds everywhere);
   /// used when seeding an incremental session from a completed discovery.
   void ConfirmAll();
+
+  /// True iff the tree stores a *confirmed* LHS → rhs or confirmed
+  /// generalization X → rhs with X ⊆ LHS.
+  bool ContainsConfirmedFdOrGeneralization(const AttributeSet& lhs,
+                                           int rhs) const;
+
+  /// Transfers proof obligations after a delete-driven cover rebuild
+  /// (IncrementalHyFd): marks each stored FD LHS → rhs confirmed iff
+  /// `proven` holds a confirmed generalization X → rhs with X ⊆ LHS. Sound
+  /// because deleting rows can only remove violating pairs — a proven
+  /// generalization still implies the (weaker) specialization on the
+  /// shrunken data; violations introduced by *inserted* rows are caught by
+  /// the Validator's restricted re-check over touched clusters.
+  void ConfirmFrom(const FDTree& proven);
+
+  /// The stored-but-unconfirmed FDs — after ConfirmFrom() these are exactly
+  /// the downward (generalization) candidates the delete repair loop must
+  /// validate from scratch, since no surviving proof covers them.
+  std::vector<FD> CollectGeneralizationCandidates() const;
   size_t CountNodes() const;
   /// Depth of the deepest node (longest stored LHS).
   int Depth() const;

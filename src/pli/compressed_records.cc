@@ -28,6 +28,18 @@ void CompressedRecords::Append(size_t new_num_records) {
   num_records_ = new_num_records;
 }
 
+void CompressedRecords::RemoveRows(const std::vector<RecordId>& rows) {
+  for (RecordId r : rows) {
+    HYFD_CHECK(static_cast<size_t>(r) < num_records_,
+               "CompressedRecords::RemoveRows: record id out of range");
+    ClusterId* cells = &values_[static_cast<size_t>(r) * num_attributes_];
+    for (int attr = 0; attr < num_attributes_; ++attr) {
+      cells[attr] = kUniqueCluster;
+    }
+  }
+  ++tombstone_epoch_;
+}
+
 uint64_t CompressedRecords::Fingerprint() const {
   uint64_t h = 1469598103934665603ull;
   auto mix = [&h](uint64_t v) {
@@ -36,6 +48,7 @@ uint64_t CompressedRecords::Fingerprint() const {
   };
   mix(num_records_);
   mix(static_cast<uint64_t>(num_attributes_));
+  mix(tombstone_epoch_);
   for (ClusterId c : values_) mix(static_cast<uint64_t>(static_cast<uint32_t>(c)));
   return h;
 }

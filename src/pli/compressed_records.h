@@ -52,6 +52,13 @@ class CompressedRecords {
   /// via SetCluster as the per-column PLIs grow). Shrinking throws.
   void Append(size_t new_num_records);
 
+  /// Tombstones deleted rows: every cell of each listed record is reset to
+  /// kUniqueCluster (a dead row agrees with nothing — two kUniqueCluster
+  /// entries never match) and the tombstone epoch is bumped so the
+  /// fingerprint moves even when the dead rows were all-unique already.
+  /// The matrix keeps its physical row count; row ids are never reused.
+  void RemoveRows(const std::vector<RecordId>& rows);
+
   /// Overwrites one cell; used only while replaying a batch append so the
   /// matrix tracks the grown PLIs (new rows joining clusters, old singletons
   /// promoted into fresh clusters).
@@ -59,10 +66,12 @@ class CompressedRecords {
     values_[static_cast<size_t>(r) * num_attributes_ + attr] = c;
   }
 
-  /// FNV-1a fingerprint over the matrix shape and every cluster id. Keys the
-  /// PliCache binding (HyFd's owned cross-run cache, PliCache::Rebind): equal
-  /// fingerprints ⇒ identical compressed input, so cached partitions remain
-  /// valid; any append or edit changes the fingerprint.
+  /// FNV-1a fingerprint over the matrix shape, the tombstone epoch, and
+  /// every cluster id. Keys the PliCache binding (HyFd's owned cross-run
+  /// cache, PliCache::Rebind): equal fingerprints ⇒ identical compressed
+  /// input, so cached partitions remain valid; any append, edit, or delete
+  /// changes the fingerprint (deletes through the epoch — wiping an
+  /// all-unique row leaves the cells untouched).
   uint64_t Fingerprint() const;
 
   /// Deep audit for the grown state: rebuilds the matrix from `plis` (which
@@ -78,6 +87,7 @@ class CompressedRecords {
   std::vector<ClusterId> values_;
   size_t num_records_ = 0;
   int num_attributes_ = 0;
+  uint64_t tombstone_epoch_ = 0;  ///< bumped once per RemoveRows() call
 };
 
 }  // namespace hyfd

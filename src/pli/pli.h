@@ -39,6 +39,15 @@ struct ClusterVectorHash {
 ///     π_A? — the FD check X→A.
 ///   * Intersect(other, n): π_{X∪Y} from π_X and π_Y — TANE-style lattice
 ///     traversal.
+///
+/// Deletes (IncrementalHyFd::DeleteRows/UpdateRows) shrink the partition in
+/// place via RemoveRows(): dead record ids are erased from their slots, a
+/// slot that drops to one survivor is eagerly demoted (the survivor becomes
+/// an implicit singleton and the slot empties), and emptied slots linger so
+/// slot indexes stay stable until CompactSlots() renumbers them. A PLI that
+/// has seen RemoveRows() is "tombstoned": slots are always size 0 or ≥ 2,
+/// num_records() stays the physical row count, and the live-record count
+/// drives NumClusters()/IsConstant()/IsUnique()/Error().
 class Pli {
  public:
   Pli() = default;
@@ -47,29 +56,41 @@ class Pli {
   const std::vector<std::vector<RecordId>>& clusters() const { return clusters_; }
   size_t num_records() const { return num_records_; }
 
-  /// Number of stripped (size ≥ 2) clusters.
+  /// Records not removed by RemoveRows(); == num_records() for fresh PLIs.
+  size_t num_live_records() const { return num_live_; }
+
+  /// Slots emptied by RemoveRows() and not yet compacted away.
+  size_t num_empty_slots() const { return num_empty_slots_; }
+
+  /// True once RemoveRows() ran (empty slots become legal, counts go
+  /// live-aware). Cleared by CompactSlots() only if no rows are dead.
+  bool tombstoned() const { return tombstoned_; }
+
+  /// Number of slots, including tombstoned empties — the bound kernel code
+  /// tables are sized with (RefineJob::other_code_bound), so it must track
+  /// slot *indexes*, not live clusters.
   size_t NumStrippedClusters() const { return clusters_.size(); }
 
-  /// Number of equivalence classes including implicit singletons; equals the
-  /// number of distinct values of X in the relation.
+  /// Number of equivalence classes over *live* records, including implicit
+  /// singletons; equals the number of distinct values of X among live rows.
   size_t NumClusters() const { return num_clusters_total_; }
 
   /// Records covered by stripped clusters.
   size_t NumNonUniqueRecords() const { return size_; }
 
-  /// True iff every record is unique in X (X is a key).
-  bool IsUnique() const { return clusters_.empty(); }
+  /// True iff every live record is unique in X (X is a key).
+  bool IsUnique() const { return clusters_.size() == num_empty_slots_; }
 
-  /// True iff all records fall into one cluster (X is constant). Degenerate
-  /// relations with < 2 records are constant as well.
+  /// True iff all live records fall into one cluster (X is constant).
+  /// Degenerate relations with < 2 live records are constant as well.
   bool IsConstant() const {
-    return num_records_ < 2 ||
-           (clusters_.size() == 1 && clusters_[0].size() == num_records_);
+    return num_live_ < 2 ||
+           (size_ == num_live_ && clusters_.size() - num_empty_slots_ == 1);
   }
 
   /// TANE's partition error e(X): (non-unique records − stripped clusters).
   /// e(X) == e(X∪A) is equivalent to X→A (Huhtala et al., 1999).
-  size_t Error() const { return size_ - clusters_.size(); }
+  size_t Error() const { return size_ - (clusters_.size() - num_empty_slots_); }
 
   /// Grows the partition in place after a batch of rows was appended to the
   /// underlying relation (IncrementalHyFd::ApplyBatch). `appends` lists
@@ -83,6 +104,30 @@ class Pli {
   void AppendRows(size_t new_num_records,
                   const std::vector<std::pair<uint32_t, RecordId>>& appends,
                   std::vector<std::vector<RecordId>> new_clusters);
+
+  /// Shrinks the partition in place after rows were deleted from the
+  /// underlying relation (IncrementalHyFd::DeleteRows/UpdateRows).
+  /// `removals` lists (slot index, dead record id) pairs for dead rows that
+  /// were members of a stripped cluster; `num_dead_rows` is the total number
+  /// of rows dying in this batch (≥ removals.size() — rows that were implicit
+  /// singletons in this attribute die too and only shrink the live count).
+  /// A slot left with exactly one member is eagerly demoted: the survivor is
+  /// erased as well (it becomes an implicit singleton) and reported through
+  /// `demoted` as (slot, survivor) so the caller can restamp its compressed
+  /// cell; slots whose members all died are reported through `emptied`.
+  /// Demoted slots are NOT in `emptied`. Emptied slots stay in place (slot
+  /// indexes remain stable) until CompactSlots(). Throws ContractViolation if
+  /// a removal names a nonexistent slot or a record not in that slot.
+  void RemoveRows(const std::vector<std::pair<uint32_t, RecordId>>& removals,
+                  size_t num_dead_rows,
+                  std::vector<std::pair<uint32_t, RecordId>>* demoted,
+                  std::vector<uint32_t>* emptied);
+
+  /// Drops empty slots and renumbers the survivors, preserving their order.
+  /// `remap` receives one entry per old slot: the new slot index, or -1 for
+  /// dropped empties. The caller must restamp compressed cells / code maps of
+  /// every moved slot. No-op (remap = identity) when there are no empties.
+  void CompactSlots(std::vector<int32_t>* remap);
 
   /// Builds the probing table: record → cluster id, kUniqueCluster for
   /// singletons.
@@ -100,19 +145,24 @@ class Pli {
   size_t MemoryBytes() const;
 
   /// Deep structural audit of the stripped partition (paper §5): every
-  /// cluster holds ≥ 2 strictly ascending record ids, clusters are pairwise
-  /// disjoint, all ids are in [0, num_records()), and the cached size /
-  /// cluster-count fields are re-derivable from the clusters. Throws
-  /// ContractViolation on the first violation. Runs automatically after
-  /// every construction (hence after every intersection) in audit builds
-  /// (-DHYFD_AUDIT=ON); callable from any build.
+  /// cluster holds ≥ 2 strictly ascending record ids (never exactly one —
+  /// RemoveRows demotes survivors eagerly), clusters are pairwise disjoint,
+  /// all ids are in [0, num_records()), and the cached size / cluster-count /
+  /// live-count fields are mutually consistent. Empty clusters are legal only
+  /// on tombstoned PLIs. Throws ContractViolation on the first violation.
+  /// Runs automatically after every construction (hence after every
+  /// intersection) in audit builds (-DHYFD_AUDIT=ON); callable from any
+  /// build.
   void CheckInvariants() const;
 
  private:
   std::vector<std::vector<RecordId>> clusters_;
-  size_t num_records_ = 0;
+  size_t num_records_ = 0;         ///< physical rows, incl. tombstoned
+  size_t num_live_ = 0;            ///< rows not removed by RemoveRows()
   size_t size_ = 0;                ///< records in stripped clusters
-  size_t num_clusters_total_ = 0;  ///< incl. singletons
+  size_t num_clusters_total_ = 0;  ///< live classes incl. singletons
+  size_t num_empty_slots_ = 0;     ///< tombstoned, not yet compacted
+  bool tombstoned_ = false;        ///< RemoveRows() has run
 };
 
 }  // namespace hyfd

@@ -127,6 +127,45 @@ class JsonParser {
     return true;
   }
 
+  /// Reads exactly four hex digits at pos_ into `*cp`.
+  bool ParseHex4(uint32_t* cp) {
+    if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      value <<= 4;
+      if (h >= '0' && h <= '9') {
+        value |= static_cast<uint32_t>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        value |= static_cast<uint32_t>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        value |= static_cast<uint32_t>(h - 'A' + 10);
+      } else {
+        return Fail("non-hex digit in \\u escape");
+      }
+    }
+    *cp = value;
+    return true;
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
   bool ParseString(std::string* out) {
     SkipWhitespace();
     if (pos_ >= text_.size() || text_[pos_] != '"') return Fail("expected string");
@@ -147,6 +186,30 @@ class JsonParser {
           case 'n': out->push_back('\n'); break;
           case 'r': out->push_back('\r'); break;
           case 't': out->push_back('\t'); break;
+          case 'u': {
+            uint32_t cp = 0;
+            if (!ParseHex4(&cp)) return false;
+            if (cp >= 0xD800 && cp <= 0xDBFF) {
+              // High surrogate: must be immediately followed by an escaped
+              // low surrogate (this writer only ever emits BMP escapes, but
+              // round-tripping arbitrary JSON needs the pair rule).
+              if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                  text_[pos_ + 1] != 'u') {
+                return Fail("unpaired high surrogate in \\u escape");
+              }
+              pos_ += 2;
+              uint32_t low = 0;
+              if (!ParseHex4(&low)) return false;
+              if (low < 0xDC00 || low > 0xDFFF) {
+                return Fail("unpaired high surrogate in \\u escape");
+              }
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+            } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+              return Fail("unpaired low surrogate in \\u escape");
+            }
+            AppendUtf8(cp, out);
+            break;
+          }
           default:
             return Fail("unsupported escape sequence");
         }

@@ -20,8 +20,9 @@ namespace hyfd {
 // The bench harness emits run reports as JSON and CI must be able to
 // validate them without external dependencies, so the report layer carries
 // its own small recursive-descent parser (objects, arrays, strings, numbers,
-// booleans, null; no \uXXXX surrogate pairs — report fields never need
-// them).
+// booleans, null, and \uXXXX escapes including surrogate pairs — the writer
+// escapes control characters as \u00XX, so the parser must round-trip them;
+// unpaired surrogates are a parse error, not a crash).
 // ---------------------------------------------------------------------------
 
 struct JsonValue {

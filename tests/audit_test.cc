@@ -131,6 +131,125 @@ TEST(PliAuditTest, ValidPartitionPasses) {
   EXPECT_NO_THROW(good.Intersect(good).CheckInvariants());
 }
 
+// ---------------------------------------------------------------------------
+// Tombstone (RemoveRows) negatives: the delete path's contracts can fire.
+// ---------------------------------------------------------------------------
+
+TEST(PliRemoveAuditTest, RemovalNotInTheStatedClusterFires) {
+  Pli pli({{0, 1}, {2, 3}}, 4);
+  std::vector<std::pair<uint32_t, RecordId>> demoted;
+  std::vector<uint32_t> emptied;
+  // Record 2 lives in slot 1, not slot 0.
+  EXPECT_THROW(pli.RemoveRows({{0, RecordId{2}}}, 1, &demoted, &emptied),
+               ContractViolation);
+}
+
+TEST(PliRemoveAuditTest, NonexistentClusterFires) {
+  Pli pli({{0, 1}}, 4);
+  std::vector<std::pair<uint32_t, RecordId>> demoted;
+  std::vector<uint32_t> emptied;
+  EXPECT_THROW(pli.RemoveRows({{7, RecordId{0}}}, 1, &demoted, &emptied),
+               ContractViolation);
+}
+
+TEST(PliRemoveAuditTest, DuplicateRemovalFires) {
+  Pli pli({{0, 1, 2}}, 4);
+  std::vector<std::pair<uint32_t, RecordId>> demoted;
+  std::vector<uint32_t> emptied;
+  EXPECT_THROW(
+      pli.RemoveRows({{0, RecordId{1}}, {0, RecordId{1}}}, 2, &demoted,
+                     &emptied),
+      ContractViolation);
+}
+
+TEST(PliRemoveAuditTest, DeadCountBelowRemovalsFires) {
+  Pli pli({{0, 1, 2}}, 4);
+  std::vector<std::pair<uint32_t, RecordId>> demoted;
+  std::vector<uint32_t> emptied;
+  // Two cluster removals cannot come from one dead row.
+  EXPECT_THROW(
+      pli.RemoveRows({{0, RecordId{0}}, {0, RecordId{1}}}, 1, &demoted,
+                     &emptied),
+      ContractViolation);
+}
+
+TEST(PliRemoveAuditTest, TombstonedPliPassesAndAccessorsAreLiveAware) {
+  // {0,1,2} {3,4} over 6 records (record 5 an implicit singleton). Killing
+  // records 1, 3, 4 empties slot 1 and leaves slot 0 at {0, 2}.
+  Pli pli({{0, 1, 2}, {3, 4}}, 6);
+  const size_t clusters_before = pli.NumClusters();
+  std::vector<std::pair<uint32_t, RecordId>> demoted;
+  std::vector<uint32_t> emptied;
+  pli.RemoveRows({{0, RecordId{1}}, {1, RecordId{3}}, {1, RecordId{4}}}, 3,
+                 &demoted, &emptied);
+  EXPECT_NO_THROW(pli.CheckInvariants());
+  EXPECT_TRUE(pli.tombstoned());
+  EXPECT_EQ(pli.num_empty_slots(), 1u);
+  EXPECT_EQ(emptied, std::vector<uint32_t>{1});
+  EXPECT_TRUE(demoted.empty());
+  EXPECT_EQ(pli.num_live_records(), 3u);  // records 0, 2, 5
+  // Live view: one real cluster {0,2} plus the implicit singleton 5. The
+  // emptied slot stays in place (indexes are stable) but counts nowhere.
+  EXPECT_EQ(pli.NumClusters(), 2u);
+  EXPECT_LT(pli.NumClusters(), clusters_before);
+  EXPECT_FALSE(pli.IsUnique());
+  EXPECT_FALSE(pli.IsConstant());
+  EXPECT_EQ(pli.Error(), 1u);  // {0,2} violates once
+  EXPECT_EQ(pli.clusters().size(), 2u);  // physical slots, empties included
+}
+
+TEST(PliRemoveAuditTest, LoneSurvivorIsDemotedOut) {
+  Pli pli({{0, 2}}, 4);
+  std::vector<std::pair<uint32_t, RecordId>> demoted;
+  std::vector<uint32_t> emptied;
+  pli.RemoveRows({{0, RecordId{2}}}, 1, &demoted, &emptied);
+  // Record 0 cannot remain as a size-1 stripped cluster: it is handed back
+  // for the caller to restamp as an implicit singleton, and the slot empties.
+  ASSERT_EQ(demoted.size(), 1u);
+  EXPECT_EQ(demoted[0].first, 0u);
+  EXPECT_EQ(demoted[0].second, RecordId{0});
+  EXPECT_TRUE(emptied.empty());
+  EXPECT_EQ(pli.num_empty_slots(), 1u);
+  EXPECT_NO_THROW(pli.CheckInvariants());
+  EXPECT_TRUE(pli.IsUnique());  // every live record now a singleton
+}
+
+TEST(PliRemoveAuditTest, CompactSlotsDropsEmptiesAndClearsTombstone) {
+  Pli pli({{0, 1}, {2, 3}, {4, 5}}, 6);
+  std::vector<std::pair<uint32_t, RecordId>> demoted;
+  std::vector<uint32_t> emptied;
+  pli.RemoveRows({{1, RecordId{2}}, {1, RecordId{3}}}, 2, &demoted, &emptied);
+  ASSERT_EQ(pli.num_empty_slots(), 1u);
+
+  std::vector<int32_t> remap;
+  pli.CompactSlots(&remap);
+  EXPECT_EQ(pli.clusters().size(), 2u);
+  EXPECT_EQ(pli.num_empty_slots(), 0u);
+  ASSERT_EQ(remap.size(), 3u);
+  EXPECT_EQ(remap[0], 0);
+  EXPECT_EQ(remap[1], -1);  // the dropped slot
+  EXPECT_EQ(remap[2], 1);   // {4,5} moved down
+  // Rows 2 and 3 are still dead, so the PLI stays tombstoned (live < total).
+  EXPECT_TRUE(pli.tombstoned());
+  EXPECT_NO_THROW(pli.CheckInvariants());
+}
+
+TEST(PliRemoveAuditTest, StaleCompressedRecordsFire) {
+  // Shrinking a PLI without wiping the dead rows' compressed cells must be
+  // caught by the records-vs-PLIs cross-check: the dead row still points at
+  // its old cluster.
+  Relation r = testing::RandomRelation(2, 30, 21, 2);
+  PreprocessedData data = Preprocess(r);
+  ASSERT_FALSE(data.plis[0].clusters().empty());
+  const uint32_t slot = 0;
+  const std::vector<RecordId> cluster = data.plis[0].clusters()[slot];
+  ASSERT_GE(cluster.size(), 2u);
+  std::vector<std::pair<uint32_t, RecordId>> demoted;
+  std::vector<uint32_t> emptied;
+  data.plis[0].RemoveRows({{slot, cluster[0]}}, 1, &demoted, &emptied);
+  EXPECT_THROW(data.records.CheckInvariants(data.plis), ContractViolation);
+}
+
 TEST(FdTreeAuditTest, StoredRhsMissingFromRhsAttrsFires) {
   FDTree tree(3);
   tree.root()->fds.Set(1);  // bypasses AddFd's rhs_attrs maintenance

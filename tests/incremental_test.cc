@@ -326,6 +326,363 @@ TEST(IncrementalStatsTest, CountersAndReportTrackTheBatch) {
   EXPECT_EQ(mirror.ToJson(), report.ToJson());
 }
 
+// ---------------------------------------------------------------------------
+// CRUD differential: random append/delete/update ladders against from-scratch
+// discovery (and the brute-force oracle) on the *live* rows.
+// ---------------------------------------------------------------------------
+
+using Row = std::vector<std::optional<std::string>>;
+
+/// Seeds a session, then drives `num_steps` random operations — insert a
+/// slice of `full`'s unused tail, delete random live rows, or update random
+/// live rows to other rows' content — while mirroring the live rows in a
+/// plain model. After every step the session's FD set must equal a
+/// from-scratch run (and optionally the brute-force oracle) on the model.
+void RunCrudSchedule(const Relation& full, size_t initial_rows,
+                     size_t num_steps, IncrementalConfig config, uint64_t seed,
+                     bool check_brute_force, const std::string& context) {
+  std::mt19937_64 rng(seed * 2654435761u + 99u);
+  IncrementalHyFd session(full.HeadRows(initial_rows), config);
+  HyFdConfig scratch_config;
+  scratch_config.null_semantics = config.null_semantics;
+
+  // The model: (session physical id, row content) of every live row.
+  std::vector<std::pair<RecordId, Row>> live;
+  for (size_t r = 0; r < initial_rows; ++r) {
+    live.emplace_back(static_cast<RecordId>(r), RowOf(full, r));
+  }
+  size_t next_source = initial_rows;  // next unused row of `full`
+
+  const auto check = [&](const FDSet& got, const std::string& step_context) {
+    std::vector<Row> rows;
+    rows.reserve(live.size());
+    for (const auto& [id, row] : live) rows.push_back(row);
+    Relation model = Relation::FromRows(full.schema(), rows);
+    FDSet scratch = DiscoverFds(model, scratch_config);
+    testing::ExpectSameFds(scratch, got, step_context);
+    if (check_brute_force) {
+      FDSet brute = DiscoverFdsBruteForce(model, config.null_semantics);
+      testing::ExpectSameFds(brute, got, step_context + " vs oracle");
+    }
+    EXPECT_EQ(session.num_live_rows(), live.size()) << step_context;
+    for (const auto& [id, row] : live) {
+      EXPECT_TRUE(session.IsRowLive(id)) << step_context;
+    }
+  };
+
+  // Moves `k` random live entries to the tail of `live` and returns their
+  // (distinct) physical ids, in tail order.
+  const auto pick_tail = [&](size_t k) {
+    std::vector<RecordId> ids;
+    for (size_t i = 0; i < k; ++i) {
+      const size_t pick = rng() % (live.size() - i);
+      std::swap(live[pick], live[live.size() - 1 - i]);
+    }
+    for (size_t i = live.size() - k; i < live.size(); ++i) {
+      ids.push_back(live[i].first);
+    }
+    return ids;
+  };
+
+  for (size_t step = 0; step < num_steps; ++step) {
+    const std::string step_context =
+        context + " step " + std::to_string(step + 1);
+    const int op = static_cast<int>(rng() % 4);
+    if (op == 3 && live.size() > 5 && next_source + 2 <= full.num_rows()) {
+      // Mixed batch through the single-repair-pass path: 2 inserts, 2
+      // deletes, 2 updates in one ApplyMixed call. Session id order:
+      // inserts first, then the updates' fresh versions.
+      const std::vector<RecordId> victims = pick_tail(4);
+      std::vector<RecordId> deletes(victims.begin(), victims.begin() + 2);
+      std::vector<std::pair<RecordId, Row>> updates;
+      updates.emplace_back(victims[2], RowOf(full, rng() % full.num_rows()));
+      updates.emplace_back(victims[3], RowOf(full, rng() % full.num_rows()));
+      auto inserts = Slice(full, next_source, next_source + 2);
+      next_source += 2;
+
+      const RecordId base = static_cast<RecordId>(session.relation().num_rows());
+      // pick_tail left victims[0..3] in tail order; entries for victims[0,1]
+      // (the deletes) sit at positions live.size()-4 and live.size()-3.
+      live.erase(live.end() - 4, live.end() - 2);
+      live.emplace_back(base, inserts[0]);
+      live.emplace_back(base + 1, inserts[1]);
+      // The update victims' entries were at the (old) tail; rewrite them.
+      live[live.size() - 4] = {base + 2, updates[0].second};
+      live[live.size() - 3] = {base + 3, updates[1].second};
+      check(session.ApplyMixed(inserts, deletes, updates),
+            step_context + " mixed");
+      for (RecordId id : victims) EXPECT_FALSE(session.IsRowLive(id));
+    } else if (op == 0 && next_source < full.num_rows()) {
+      const size_t k =
+          1 + rng() % std::min<size_t>(5, full.num_rows() - next_source);
+      const RecordId base = static_cast<RecordId>(session.relation().num_rows());
+      auto batch = Slice(full, next_source, next_source + k);
+      for (size_t i = 0; i < k; ++i) {
+        live.emplace_back(base + static_cast<RecordId>(i), batch[i]);
+      }
+      next_source += k;
+      check(session.ApplyBatch(batch), step_context + " insert");
+    } else if (op == 1 && live.size() > 3) {
+      const size_t k = 1 + rng() % std::min<size_t>(5, live.size() - 2);
+      const std::vector<RecordId> ids = pick_tail(k);
+      live.resize(live.size() - k);
+      check(session.DeleteRows(ids), step_context + " delete");
+      EXPECT_EQ(session.last_batch_stats().deleted_rows, k) << step_context;
+      for (RecordId id : ids) EXPECT_FALSE(session.IsRowLive(id));
+    } else if (live.size() > 1) {
+      const size_t k = 1 + rng() % std::min<size_t>(4, live.size() - 1);
+      const std::vector<RecordId> ids = pick_tail(k);
+      std::vector<std::pair<RecordId, Row>> updates;
+      for (RecordId id : ids) {
+        updates.emplace_back(id, RowOf(full, rng() % full.num_rows()));
+      }
+      // ApplyCrud appends the new versions in update order, so the i-th
+      // update's fresh row gets physical id base + i.
+      const RecordId base = static_cast<RecordId>(session.relation().num_rows());
+      for (size_t i = 0; i < k; ++i) {
+        live[live.size() - k + i] = {base + static_cast<RecordId>(i),
+                                     updates[i].second};
+      }
+      check(session.UpdateRows(updates), step_context + " update");
+      for (RecordId id : ids) EXPECT_FALSE(session.IsRowLive(id));
+    }
+  }
+}
+
+// The acceptance-criteria matrix: seeds × threads {1, 8} × cache {on, off},
+// brute-force checked after every step.
+class IncrementalCrudDifferentialTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IncrementalCrudDifferentialTest, MatchesFromScratchAfterEveryStep) {
+  const uint64_t seed = GetParam();
+  Relation full = testing::RandomRelation(5, 140, seed, 3);
+  for (int threads : {1, 8}) {
+    for (bool cache : {true, false}) {
+      IncrementalConfig config;
+      config.num_threads = threads;
+      config.enable_pli_cache = cache;
+      RunCrudSchedule(
+          full, /*initial_rows=*/70, /*num_steps=*/8, config, seed,
+          /*check_brute_force=*/true,
+          "crud threads=" + std::to_string(threads) +
+              " cache=" + (cache ? std::string("on") : std::string("off")));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalCrudDifferentialTest,
+                         ::testing::Range(uint64_t{800}, uint64_t{806}));
+
+// Deletes/updates under both NULL semantics: a dead NULL singleton or a
+// demoted NULL cluster must update the per-column NULL bookkeeping exactly
+// like a coded value.
+class IncrementalCrudNullSemanticsTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IncrementalCrudNullSemanticsTest, BothSemanticsMatchFromScratch) {
+  const uint64_t seed = GetParam();
+  Relation full = testing::RandomRelation(4, 100, seed, 3, /*null_rate=*/0.2);
+  for (NullSemantics nulls :
+       {NullSemantics::kNullEqualsNull, NullSemantics::kNullUnequal}) {
+    IncrementalConfig config;
+    config.null_semantics = nulls;
+    RunCrudSchedule(full, /*initial_rows=*/50, /*num_steps=*/8, config, seed,
+                    /*check_brute_force=*/true,
+                    nulls == NullSemantics::kNullEqualsNull
+                        ? "crud null==null"
+                        : "crud null!=null");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalCrudNullSemanticsTest,
+                         ::testing::Range(uint64_t{810}, uint64_t{814}));
+
+// Aggressive compaction (threshold 0): every delete batch immediately drops
+// emptied slots and renumbers cluster ids — the remap path must keep the
+// compressed records and value indexes consistent.
+TEST(IncrementalCrudTest, ImmediateCompactionStaysCorrect) {
+  Relation full = testing::RandomRelation(4, 120, 816, 2);
+  IncrementalConfig config;
+  config.pli_compact_threshold = 0.0;
+  RunCrudSchedule(full, /*initial_rows=*/80, /*num_steps=*/10, config, 816,
+                  /*check_brute_force=*/true, "compact-always");
+}
+
+// And the opposite: never compact, so tombstoned slots accumulate.
+TEST(IncrementalCrudTest, NeverCompactStaysCorrect) {
+  Relation full = testing::RandomRelation(4, 120, 817, 2);
+  IncrementalConfig config;
+  config.pli_compact_threshold = 1e9;
+  RunCrudSchedule(full, /*initial_rows=*/80, /*num_steps=*/10, config, 817,
+                  /*check_brute_force=*/true, "compact-never");
+}
+
+TEST(IncrementalCrudTest, DeleteMakesAnFdValid) {
+  // A→B is violated only by the pair (row 0, row 1); deleting row 1 makes it
+  // valid, so the repaired cover must *generalize* (B→A held throughout).
+  Relation r = Relation::FromStringRows(
+      Schema({"a", "b"}), {{"1", "x"}, {"1", "y"}, {"2", "z"}, {"3", "w"}});
+  IncrementalHyFd session(r);
+  FD a_to_b(AttributeSet(2, {0}), 1);
+  EXPECT_FALSE(session.fds().Contains(a_to_b));
+
+  session.DeleteRows({1});
+  EXPECT_TRUE(session.fds().Contains(a_to_b));
+  EXPECT_GE(session.last_batch_stats().fds_generalized, 1u);
+  EXPECT_EQ(session.num_live_rows(), 3u);
+  Relation expected = Relation::FromStringRows(
+      Schema({"a", "b"}), {{"1", "x"}, {"2", "z"}, {"3", "w"}});
+  testing::ExpectSameFds(DiscoverFds(expected), session.fds(),
+                         "after deleting the violating row");
+}
+
+TEST(IncrementalCrudTest, DeleteDownToOneRowAndRecover) {
+  Relation full = testing::RandomRelation(3, 20, 818, 2);
+  IncrementalHyFd session(full);
+  std::vector<RecordId> all_but_one;
+  for (RecordId id = 1; id < 20; ++id) all_but_one.push_back(id);
+  const FDSet& fds = session.DeleteRows(all_but_one);
+  EXPECT_EQ(session.num_live_rows(), 1u);
+  // One live row: every attribute is constant, so ∅ → A for all A.
+  testing::ExpectSameFds(DiscoverFds(full.HeadRows(1)), fds, "one live row");
+  // The session keeps working: re-add rows and land on the right answer.
+  const FDSet& regrown = session.ApplyBatch(Slice(full, 5, 15));
+  Relation expected{full.schema()};
+  expected.AppendRow(RowOf(full, 0));
+  for (size_t r = 5; r < 15; ++r) expected.AppendRow(RowOf(full, r));
+  testing::ExpectSameFds(DiscoverFds(expected), regrown, "regrown");
+}
+
+TEST(IncrementalCrudTest, BadIdsRejectTheWholeBatch) {
+  Relation r = testing::RandomRelation(3, 20, 819, 3);
+  IncrementalHyFd session(r);
+  const FDSet before = session.fds();
+
+  EXPECT_THROW(session.DeleteRows({RecordId{20}}), ContractViolation);
+  EXPECT_THROW(session.DeleteRows({RecordId{3}, RecordId{3}}),
+               ContractViolation);
+  session.DeleteRows({RecordId{5}});
+  EXPECT_THROW(session.DeleteRows({RecordId{5}}), ContractViolation);
+  EXPECT_THROW(session.UpdateRows({{RecordId{5}, RowOf(r, 0)}}),
+               ContractViolation);
+  // Updating and deleting are one id space: a too-narrow update row is a
+  // width violation even when the id is fine.
+  EXPECT_THROW(
+      session.UpdateRows({{RecordId{2}, {std::optional<std::string>("x")}}}),
+      ContractViolation);
+  EXPECT_THROW(session.IsRowLive(RecordId{1000}), ContractViolation);
+
+  // Nothing of the rejected batches landed; the session still answers.
+  EXPECT_EQ(session.num_live_rows(), 19u);
+  EXPECT_FALSE(session.IsRowLive(RecordId{5}));
+  std::vector<Row> rows;
+  for (size_t row = 0; row < 20; ++row) {
+    if (row != 5) rows.push_back(RowOf(r, row));
+  }
+  testing::ExpectSameFds(DiscoverFds(Relation::FromRows(r.schema(), rows)),
+                         session.fds(), "after rejected batches");
+}
+
+TEST(IncrementalCrudTest, CrudStatsAndReportCounters) {
+  Relation full = testing::RandomRelation(5, 100, 820, 3);
+  IncrementalHyFd session(full.HeadRows(90));
+  session.UpdateRows({{RecordId{3}, RowOf(full, 91)},
+                      {RecordId{7}, RowOf(full, 92)}});
+  const IncrementalBatchStats& stats = session.last_batch_stats();
+  EXPECT_EQ(stats.batch_rows, 2u);
+  EXPECT_EQ(stats.deleted_rows, 2u);
+  EXPECT_EQ(session.num_live_rows(), 90u);
+  EXPECT_EQ(session.relation().num_rows(), 92u);  // ids never reused
+
+  bool saw_deleted = false;
+  bool saw_live = false;
+  bool saw_candidates = false;
+  bool saw_generalized = false;
+  for (const auto& [name, value] : session.report().counters) {
+    if (name == "incremental.deleted_rows") {
+      saw_deleted = true;
+      EXPECT_EQ(value, 2u);
+    }
+    if (name == "incremental.live_rows") {
+      saw_live = true;
+      EXPECT_EQ(value, 90u);
+    }
+    if (name == "incremental.generalization_candidates") saw_candidates = true;
+    if (name == "incremental.fds_generalized") saw_generalized = true;
+  }
+  EXPECT_TRUE(saw_deleted);
+  EXPECT_TRUE(saw_live);
+  EXPECT_TRUE(saw_candidates);
+  EXPECT_TRUE(saw_generalized);
+  EXPECT_TRUE(RunReport::ValidateJsonSchema(session.report().ToJson()).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Seed/reseed stats attribution (the last_batch_stats() regression).
+// ---------------------------------------------------------------------------
+
+TEST(IncrementalStatsTest, SeedDiscoveryAttributionIsVisible) {
+  Relation r = testing::RandomRelation(5, 80, 821, 3);
+  IncrementalHyFd session(r);
+  // The ctor's full discovery is real work; its attribution must survive
+  // into last_batch_stats() instead of being zeroed after the fact.
+  EXPECT_GT(session.last_batch_stats().validations, 0u);
+  EXPECT_GT(session.last_batch_stats().comparisons, 0u);
+  EXPECT_EQ(session.last_batch_stats().num_fds, session.fds().size());
+}
+
+TEST(IncrementalStatsTest, ReseedBatchReportsOnlyItsOwnDiscovery) {
+  // A widening batch triggers Reseed() mid-ApplyBatch. The reported counters
+  // must describe the fresh full discovery alone — not the in-flight batch
+  // counters stacked on top — so they must equal a fresh session seeded on
+  // the same final relation (discovery is deterministic serially).
+  Relation r = Relation::FromStringRows(
+      Schema({"a", "b", "c"}),
+      {{"07", "x", "p"}, {"7", "y", "q"}, {"8", "x", "p"}, {"9", "y", "q"}});
+  IncrementalHyFd session(r);
+  session.ApplyBatchStrings({{"n/a", "x", "q"}});
+  EXPECT_TRUE(session.last_batch_stats().reseeded);
+  EXPECT_EQ(session.last_batch_stats().batch_rows, 1u);
+
+  Relation grown = Relation::FromStringRows(
+      Schema({"a", "b", "c"}), {{"07", "x", "p"},
+                                {"7", "y", "q"},
+                                {"8", "x", "p"},
+                                {"9", "y", "q"},
+                                {"n/a", "x", "q"}});
+  IncrementalHyFd fresh(grown);
+  EXPECT_EQ(session.last_batch_stats().validations,
+            fresh.last_batch_stats().validations);
+  EXPECT_EQ(session.last_batch_stats().comparisons,
+            fresh.last_batch_stats().comparisons);
+  testing::ExpectSameFds(fresh.fds(), session.fds(), "reseed vs fresh");
+}
+
+TEST(IncrementalCrudTest, ReseedAfterDeletesCompactsToLiveRows) {
+  // Tombstone a row, then widen a column: the reseed path must rebuild from
+  // the *live* rows only (never resurrect the dead one), compacting the
+  // relation and re-anchoring ids.
+  Relation r = Relation::FromStringRows(
+      Schema({"a", "b"}), {{"07", "x"}, {"7", "y"}, {"8", "x"}, {"9", "y"}});
+  IncrementalHyFd session(r);
+  session.DeleteRows({RecordId{2}});
+  session.ApplyBatchStrings({{"n/a", "z"}});
+  EXPECT_TRUE(session.last_batch_stats().reseeded);
+  EXPECT_EQ(session.num_live_rows(), 4u);
+  EXPECT_EQ(session.relation().num_rows(), 4u);  // compacted: tombstone gone
+  Relation expected = Relation::FromStringRows(
+      Schema({"a", "b"}), {{"07", "x"}, {"7", "y"}, {"9", "y"}, {"n/a", "z"}});
+  testing::ExpectSameFds(DiscoverFds(expected), session.fds(),
+                         "reseed after delete");
+  // The compacted session keeps working differentially.
+  const FDSet& after = session.DeleteRows({RecordId{1}});
+  Relation smaller = Relation::FromStringRows(
+      Schema({"a", "b"}), {{"07", "x"}, {"9", "y"}, {"n/a", "z"}});
+  testing::ExpectSameFds(DiscoverFds(smaller), after,
+                         "delete after reseed");
+}
+
 TEST(IncrementalStatsTest, CacheRebindsAcrossBatches) {
   Relation full = testing::RandomRelation(5, 120, 19, 3);
   IncrementalConfig config;

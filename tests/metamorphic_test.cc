@@ -234,6 +234,55 @@ TEST_P(MetamorphicIncrementalTest, DuplicateBatchIsAFixpoint) {
                          "incremental duplicate batch");
 }
 
+TEST_P(MetamorphicIncrementalTest, DeleteThenReinsertIsAFixpoint) {
+  // Deleting rows and re-inserting identical content must land on exactly
+  // the FD set of the untouched session: FD validity sees values, never
+  // physical ids or tombstone history.
+  const uint64_t seed = GetParam();
+  Relation r = testing::RandomRelation(4, 48, seed, 3, /*null_rate=*/0.1);
+  IncrementalHyFd session(r);
+  FDSet before = session.fds();
+  std::mt19937_64 rng(seed ^ 0xC13FA9A9ull);
+
+  std::vector<RecordId> victims;
+  while (victims.size() < 8) {
+    RecordId pick = static_cast<RecordId>(rng() % r.num_rows());
+    if (std::find(victims.begin(), victims.end(), pick) == victims.end()) {
+      victims.push_back(pick);
+    }
+  }
+  std::vector<std::vector<std::optional<std::string>>> content;
+  for (RecordId id : victims) content.push_back(RowOf(r, id));
+
+  session.DeleteRows(victims);
+  testing::ExpectSameFds(before, session.ApplyBatch(content),
+                         "delete then reinsert");
+  EXPECT_EQ(session.num_live_rows(), r.num_rows());
+}
+
+TEST_P(MetamorphicIncrementalTest, UpdateToSameValueIsAFixpoint) {
+  // An update that rewrites rows to their current content is a logical
+  // no-op: the old version dies, an identical one is born.
+  const uint64_t seed = GetParam();
+  Relation r = testing::RandomRelation(4, 48, seed, 3, /*null_rate=*/0.1);
+  IncrementalHyFd session(r);
+  FDSet before = session.fds();
+  std::mt19937_64 rng(seed ^ 0x94D049BBull);
+
+  std::vector<std::pair<RecordId, std::vector<std::optional<std::string>>>>
+      updates;
+  std::vector<RecordId> used;
+  while (updates.size() < 6) {
+    RecordId pick = static_cast<RecordId>(rng() % r.num_rows());
+    if (std::find(used.begin(), used.end(), pick) != used.end()) continue;
+    used.push_back(pick);
+    updates.emplace_back(pick, RowOf(r, pick));
+  }
+  testing::ExpectSameFds(before, session.UpdateRows(updates),
+                         "update to same value");
+  EXPECT_EQ(session.num_live_rows(), r.num_rows());
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, MetamorphicIncrementalTest,
                          ::testing::Range(uint64_t{820}, uint64_t{826}));
 

@@ -208,6 +208,73 @@ TEST(JsonQuoteTest, EscapesControlCharacters) {
   EXPECT_EQ(JsonQuote(std::string("\x01", 1)), "\"\\u0001\"");
 }
 
+TEST(JsonParserTest, ParsesUnicodeEscapes) {
+  // BMP code points: ASCII, 2-byte, and 3-byte UTF-8.
+  auto v = ParseJson(R"({"s": "\u0041\u00e9\u20ac"})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->Find("s")->string, "A\xC3\xA9\xE2\x82\xAC");  // A é €
+  // Control characters, exactly as JsonQuote writes them.
+  v = ParseJson(R"({"s": "\u0001\u001f"})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->Find("s")->string, std::string("\x01\x1f", 2));
+  // A surrogate pair combines into one astral code point (U+1F600).
+  v = ParseJson(R"({"s": "\ud83d\ude00"})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->Find("s")->string, "\xF0\x9F\x98\x80");
+  // Uppercase hex digits are legal.
+  v = ParseJson(R"({"s": "\u00E9"})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->Find("s")->string, "\xC3\xA9");
+}
+
+TEST(JsonParserTest, RejectsBrokenUnicodeEscapes) {
+  std::string error;
+  // Unpaired high surrogate (end of string, non-escape follower, and a
+  // following non-surrogate escape).
+  EXPECT_FALSE(ParseJson(R"({"s": "\ud83d"})", &error).has_value());
+  EXPECT_FALSE(ParseJson(R"({"s": "\ud83dx"})").has_value());
+  EXPECT_FALSE(ParseJson(R"({"s": "\ud83d\u0041"})").has_value());
+  // A lone low surrogate.
+  EXPECT_FALSE(ParseJson(R"({"s": "\ude00"})").has_value());
+  // Malformed hex.
+  EXPECT_FALSE(ParseJson(R"({"s": "\u00g1"})").has_value());
+  EXPECT_FALSE(ParseJson(R"({"s": "\u00"})").has_value());
+}
+
+TEST(RunReportTest, ControlCharactersRoundTripThroughEveryStringField) {
+  // The writer escapes control characters as \u00XX; the parser must bring
+  // them back byte-identical in every string-valued field of the schema.
+  const std::string hostile = std::string("ctl:\x01\x02\x1f", 7) + "\ttail";
+  RunReport report;
+  report.algorithm = "hyfd" + hostile;
+  report.dataset = "data" + hostile;
+  report.result_kind = "fds" + hostile;
+  report.MarkIncomplete("reason" + hostile);
+  report.external_cache_rejected = true;
+  report.external_cache_rejection_reason = "why" + hostile;
+  report.memory_components = {{"comp" + hostile, 17}};
+  report.AddPhase("phase" + hostile, 0.5);
+  report.SetCounter("counter" + hostile, 3);
+
+  std::string error;
+  auto parsed = RunReport::FromJson(report.ToJson(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->algorithm, report.algorithm);
+  EXPECT_EQ(parsed->dataset, report.dataset);
+  EXPECT_EQ(parsed->result_kind, report.result_kind);
+  ASSERT_EQ(parsed->degradation_reasons.size(), 1u);
+  EXPECT_EQ(parsed->degradation_reasons[0], "reason" + hostile);
+  EXPECT_EQ(parsed->external_cache_rejection_reason, "why" + hostile);
+  ASSERT_EQ(parsed->memory_components.size(), 1u);
+  EXPECT_EQ(parsed->memory_components[0].first, "comp" + hostile);
+  ASSERT_EQ(parsed->phases.size(), 1u);
+  EXPECT_EQ(parsed->phases[0].name, "phase" + hostile);
+  ASSERT_EQ(parsed->counters.size(), 1u);
+  EXPECT_EQ(parsed->counters[0].first, "counter" + hostile);
+  // And the whole document survives a second trip bit-identically.
+  EXPECT_EQ(parsed->ToJson(), report.ToJson());
+}
+
 // Every algorithm in the registry, plus HyUCC, must emit a schema-valid
 // report with non-empty phase timings — the PR's acceptance gate, enforced
 // here in tier-1 (CI's bench_report_smoke covers the same ground on a
