@@ -1,0 +1,403 @@
+// Load benchmark + CI gate for the multi-tenant FD profiling service
+// (src/service/): runs a ladder of N-client × M-table rungs over a real
+// loopback socket, each client replaying randomized mixed CRUD batches and
+// firing interleaved FD/UCC/report queries. Per rung it emits one run report
+// with p50/p95/p99 latency per request type and the aggregate ingest
+// throughput, archived as BENCH_service.json.
+//
+// Like bench_storage, this is a gate, not just a stopwatch: after every rung
+// each table's FD set and content fingerprint are checked against a
+// single-threaded IncrementalHyFd oracle replaying the same schedule, and
+// the process exits non-zero on any divergence.
+//
+// Flags: --ladder=2x2,8x4 (rungs as CLIENTSxTABLES), --ops=N (mixed batches
+//        per table, default 10), --cols=N (default 3), --outdir=DIR.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <random>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/incremental.h"
+#include "data/relation.h"
+#include "data/schema.h"
+#include "fd/fd_set.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "util/attribute_set.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace hyfd;
+using namespace hyfd::service;
+
+Row RandomRow(int cols, std::mt19937_64& rng, int domain = 4) {
+  Row row(static_cast<size_t>(cols));
+  for (int c = 0; c < cols; ++c) {
+    if (rng() % 16 == 0) {
+      row[static_cast<size_t>(c)] = std::nullopt;
+    } else {
+      row[static_cast<size_t>(c)] =
+          "v" + std::to_string(rng() % static_cast<uint64_t>(domain));
+    }
+  }
+  return row;
+}
+
+struct Op {
+  Rows inserts;
+  std::vector<uint64_t> deletes;
+  std::vector<std::pair<uint64_t, Row>> updates;
+};
+
+/// Deterministic mixed-CRUD schedule; mirrors the session's physical id
+/// assignment (inserts first, then updates' fresh versions) so delete and
+/// update ids always name live rows. Same generator as tests/service_test.cc.
+std::vector<Op> MakeSchedule(int cols, size_t num_ops, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<Op> ops;
+  std::vector<uint64_t> live;
+  uint64_t next_id = 0;
+  for (size_t i = 0; i < num_ops; ++i) {
+    Op op;
+    const size_t inserts = 4 + rng() % 8;
+    for (size_t k = 0; k < inserts; ++k) op.inserts.push_back(RandomRow(cols, rng));
+    std::vector<uint64_t> victims = live;
+    for (size_t v = victims.size(); v > 1; --v) {
+      std::swap(victims[v - 1], victims[rng() % v]);
+    }
+    size_t want_deletes = victims.empty() ? 0 : rng() % 3;
+    size_t want_updates = victims.empty() ? 0 : rng() % 2;
+    size_t taken = 0;
+    for (size_t d = 0; d < want_deletes && taken < victims.size(); ++d) {
+      op.deletes.push_back(victims[taken++]);
+    }
+    for (size_t u = 0; u < want_updates && taken < victims.size(); ++u) {
+      op.updates.emplace_back(victims[taken++], RandomRow(cols, rng));
+    }
+    for (uint64_t id : op.deletes) {
+      live.erase(std::find(live.begin(), live.end(), id));
+    }
+    for (const auto& [id, row] : op.updates) {
+      live.erase(std::find(live.begin(), live.end(), id));
+    }
+    for (size_t k = 0; k < op.inserts.size(); ++k) live.push_back(next_id++);
+    for (size_t k = 0; k < op.updates.size(); ++k) live.push_back(next_id++);
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+std::unique_ptr<IncrementalHyFd> MakeOracle(
+    const std::vector<std::string>& columns, const std::vector<Op>& ops) {
+  auto oracle =
+      std::make_unique<IncrementalHyFd>(Relation::FromRows(Schema(columns), {}));
+  for (const Op& op : ops) {
+    std::vector<RecordId> deletes;
+    for (uint64_t id : op.deletes) deletes.push_back(static_cast<RecordId>(id));
+    std::vector<std::pair<RecordId, Row>> updates;
+    for (const auto& [id, row] : op.updates) {
+      updates.emplace_back(static_cast<RecordId>(id), row);
+    }
+    oracle->ApplyMixed(op.inserts, deletes, updates);
+  }
+  return oracle;
+}
+
+FDSet ToFdSet(const ReplyBody& reply, int cols) {
+  FDSet set;
+  for (const WireFd& fd : reply.fds) {
+    AttributeSet lhs(cols);
+    for (uint32_t attr : fd.lhs) lhs.Set(static_cast<int>(attr));
+    set.Add(lhs, static_cast<int>(fd.rhs));
+  }
+  set.Canonicalize();
+  return set;
+}
+
+/// Latency samples per request type, merged across client threads.
+class LatencyTable {
+ public:
+  void Record(const std::string& type, double seconds) {
+    std::lock_guard<std::mutex> lock(mu_);
+    samples_[type].push_back(seconds * 1e6);
+  }
+
+  /// Emits <type>.p{50,95,99}_us + <type>.count counters into `report`.
+  void FillCounters(RunReport* report) const {
+    for (const auto& [type, samples] : samples_) {
+      std::vector<double> sorted = samples;
+      std::sort(sorted.begin(), sorted.end());
+      report->SetCounter("latency." + type + ".count", sorted.size());
+      report->SetCounter("latency." + type + ".p50_us", Percentile(sorted, 50));
+      report->SetCounter("latency." + type + ".p95_us", Percentile(sorted, 95));
+      report->SetCounter("latency." + type + ".p99_us", Percentile(sorted, 99));
+    }
+  }
+
+  void Print() const {
+    std::printf("  %-14s %8s %10s %10s %10s\n", "request", "count", "p50_us",
+                "p95_us", "p99_us");
+    for (const auto& [type, samples] : samples_) {
+      std::vector<double> sorted = samples;
+      std::sort(sorted.begin(), sorted.end());
+      std::printf("  %-14s %8zu %10ju %10ju %10ju\n", type.c_str(),
+                  sorted.size(),
+                  static_cast<uintmax_t>(Percentile(sorted, 50)),
+                  static_cast<uintmax_t>(Percentile(sorted, 95)),
+                  static_cast<uintmax_t>(Percentile(sorted, 99)));
+    }
+  }
+
+ private:
+  static uint64_t Percentile(const std::vector<double>& sorted, double p) {
+    if (sorted.empty()) return 0;
+    const size_t idx = std::min(
+        sorted.size() - 1,
+        static_cast<size_t>(p / 100.0 * static_cast<double>(sorted.size())));
+    return static_cast<uint64_t>(sorted[idx]);
+  }
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<double>> samples_;
+};
+
+struct Rung {
+  int clients = 0;
+  int tables = 0;
+};
+
+std::vector<Rung> ParseLadder(const std::string& spec) {
+  std::vector<Rung> rungs;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string part = spec.substr(pos, comma - pos);
+    const size_t x = part.find('x');
+    if (x != std::string::npos) {
+      Rung rung;
+      rung.clients = std::max(1, std::atoi(part.substr(0, x).c_str()));
+      rung.tables = std::max(1, std::atoi(part.substr(x + 1).c_str()));
+      rungs.push_back(rung);
+    }
+    pos = comma + 1;
+  }
+  return rungs;
+}
+
+/// One rung: drive the service, measure, verify against the oracle. Returns
+/// false on any divergence or request failure.
+bool RunRung(const Rung& rung, size_t ops_per_table, int cols,
+             bench::ReportSink* sink) {
+  ServerConfig config;
+  config.service.num_workers = 4;
+  config.max_connections = static_cast<size_t>(rung.clients) + 2;
+  ServiceServer server(config);
+  server.Start();
+
+  const std::vector<std::string> columns = Schema::Generic(cols).names();
+  std::vector<std::string> names;
+  std::vector<std::vector<Op>> schedules;
+  size_t total_rows = 0;
+  {
+    ServiceClient admin(server.port());
+    for (int t = 0; t < rung.tables; ++t) {
+      names.push_back("table" + std::to_string(t));
+      schedules.push_back(
+          MakeSchedule(cols, ops_per_table, 5000 + static_cast<uint64_t>(t)));
+      for (const Op& op : schedules.back()) {
+        total_rows += op.inserts.size() + op.updates.size();
+      }
+      if (!admin.CreateTable(names.back(), columns).ok()) {
+        std::fprintf(stderr, "FAIL: create %s\n", names.back().c_str());
+        return false;
+      }
+    }
+  }
+
+  struct Cursor {
+    std::mutex mu;
+    std::atomic<size_t> next{0};
+  };
+  std::vector<Cursor> cursors(static_cast<size_t>(rung.tables));
+  LatencyTable latencies;
+  std::atomic<int> failures{0};
+
+  Timer wall;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < rung.clients; ++c) {
+    threads.emplace_back([&, c] {
+      ServiceClient client(server.port());
+      std::mt19937_64 rng(7000 + static_cast<uint64_t>(c));
+      Timer timer;
+      while (true) {
+        int claimed = -1;
+        const size_t start = rng() % static_cast<size_t>(rung.tables);
+        for (int probe = 0; probe < rung.tables; ++probe) {
+          const size_t t = (start + static_cast<size_t>(probe)) %
+                           static_cast<size_t>(rung.tables);
+          if (cursors[t].next < schedules[t].size()) {
+            claimed = static_cast<int>(t);
+            break;
+          }
+        }
+        if (claimed < 0) break;
+        {
+          std::unique_lock<std::mutex> lock(
+              cursors[static_cast<size_t>(claimed)].mu);
+          const size_t i = cursors[static_cast<size_t>(claimed)].next;
+          if (i < schedules[static_cast<size_t>(claimed)].size()) {
+            const Op& op = schedules[static_cast<size_t>(claimed)][i];
+            timer.Restart();
+            ServiceClient::Outcome r =
+                client.ApplyMixed(names[static_cast<size_t>(claimed)],
+                                  op.inserts, op.deletes, op.updates);
+            latencies.Record("apply_mixed", timer.ElapsedSeconds());
+            if (r.ok()) {
+              cursors[static_cast<size_t>(claimed)].next = i + 1;
+            } else {
+              ++failures;
+            }
+          }
+        }
+        const std::string& target =
+            names[rng() % static_cast<size_t>(rung.tables)];
+        switch (rng() % 3) {
+          case 0: {
+            timer.Restart();
+            if (!client.QueryFds(target).ok()) ++failures;
+            latencies.Record("query_fds", timer.ElapsedSeconds());
+            break;
+          }
+          case 1: {
+            timer.Restart();
+            if (!client.QueryUccs(target).ok()) ++failures;
+            latencies.Record("query_uccs", timer.ElapsedSeconds());
+            break;
+          }
+          default: {
+            timer.Restart();
+            if (!client.FetchReport(target).ok()) ++failures;
+            latencies.Record("fetch_report", timer.ElapsedSeconds());
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double load_seconds = wall.ElapsedSeconds();
+
+  bool ok = failures.load() == 0;
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: %d requests failed during the load phase\n",
+                 failures.load());
+  }
+
+  // The gate: final state must be bit-identical to the single-threaded
+  // oracle replaying the same schedules.
+  Timer verify;
+  size_t total_fds = 0;
+  {
+    ServiceClient verifier(server.port());
+    for (int t = 0; t < rung.tables; ++t) {
+      std::unique_ptr<IncrementalHyFd> oracle =
+          MakeOracle(columns, schedules[static_cast<size_t>(t)]);
+      ServiceClient::Outcome fds =
+          verifier.QueryFds(names[static_cast<size_t>(t)]);
+      ServiceClient::Outcome report =
+          verifier.FetchReport(names[static_cast<size_t>(t)]);
+      if (!fds.ok() || !report.ok()) {
+        std::fprintf(stderr, "FAIL: verify queries on %s\n",
+                     names[static_cast<size_t>(t)].c_str());
+        ok = false;
+        continue;
+      }
+      total_fds += fds.reply.fds.size();
+      if (!(ToFdSet(fds.reply, cols) == oracle->fds())) {
+        std::fprintf(stderr, "FAIL: FD divergence vs oracle on %s\n",
+                     names[static_cast<size_t>(t)].c_str());
+        ok = false;
+      }
+      if (report.reply.content_fingerprint !=
+          oracle->LiveRelation().ContentFingerprint()) {
+        std::fprintf(stderr, "FAIL: content fingerprint divergence on %s\n",
+                     names[static_cast<size_t>(t)].c_str());
+        ok = false;
+      }
+    }
+  }
+  const double verify_seconds = verify.ElapsedSeconds();
+  server.Stop();
+
+  const double throughput = load_seconds > 0
+                                ? static_cast<double>(total_rows) / load_seconds
+                                : 0;
+  std::printf("rung %dx%d: %zu rows in %.3fs (%.0f rows/s), verify %.3fs\n",
+              rung.clients, rung.tables, total_rows, load_seconds, throughput,
+              verify_seconds);
+  latencies.Print();
+
+  RunReport report;
+  report.algorithm = "service";
+  report.dataset = "rung_" + std::to_string(rung.clients) + "x" +
+                   std::to_string(rung.tables);
+  report.rows = total_rows;
+  report.columns = cols;
+  report.result_kind = "fds";
+  report.result_count = total_fds;
+  report.total_seconds = load_seconds + verify_seconds;
+  report.AddPhase("load", load_seconds);
+  report.AddPhase("verify", verify_seconds);
+  report.SetCounter("service.clients", static_cast<uint64_t>(rung.clients));
+  report.SetCounter("service.tables", static_cast<uint64_t>(rung.tables));
+  report.SetCounter("service.ingest_rows_per_sec",
+                    static_cast<uint64_t>(throughput));
+  report.SetCounter("service.request_failures",
+                    static_cast<uint64_t>(failures.load()));
+  latencies.FillCounters(&report);
+  if (!ok) report.MarkIncomplete("divergence or request failures (see stderr)");
+  sink->Add(report);
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hyfd::bench;
+
+  Flags flags(argc, argv);
+  const std::string ladder = flags.GetString("ladder", "2x2,8x4");
+  const size_t ops = static_cast<size_t>(flags.GetInt("ops", 10));
+  const int cols = static_cast<int>(flags.GetInt("cols", 3));
+  const std::string outdir = flags.GetString("outdir", ".");
+
+  std::vector<Rung> rungs = ParseLadder(ladder);
+  if (rungs.empty()) {
+    std::fprintf(stderr, "bad --ladder spec '%s' (want e.g. 2x2,8x4)\n",
+                 ladder.c_str());
+    return 1;
+  }
+
+  ReportSink sink("service");
+  bool ok = true;
+  for (const Rung& rung : rungs) {
+    ok = RunRung(rung, ops, cols, &sink) && ok;
+  }
+  ok = sink.WriteJson(outdir + "/BENCH_service.json") && ok;
+  std::printf(ok ? "service bench: OK\n" : "service bench: FAILURES\n");
+  return ok ? 0 : 1;
+}

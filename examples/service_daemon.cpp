@@ -1,0 +1,158 @@
+// service_daemon — the multi-tenant FD profiling service as a runnable
+// daemon, plus a bundled client walkthrough of the wire protocol.
+//
+//   $ ./service_daemon                  # demo: in-process server + client tour
+//   $ ./service_daemon --serve          # run the daemon (ephemeral port)
+//   $ ./service_daemon --serve --port=7744
+//   $ ./service_daemon --connect=7744   # run the client tour against a daemon
+//
+// In --serve mode the daemon prints its port and runs until stdin closes
+// (Ctrl-D) — pair it with --connect from another terminal.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "service/client.h"
+#include "service/server.h"
+
+namespace {
+
+using namespace hyfd::service;
+
+const char* FlagValue(int argc, char** argv, const char* name) {
+  std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return nullptr;
+}
+
+bool HasFlag(int argc, char** argv, const char* name) {
+  std::string plain = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (plain == argv[i]) return true;
+  }
+  return FlagValue(argc, argv, name) != nullptr;
+}
+
+void PrintFds(const ReplyBody& reply, const std::vector<std::string>& columns) {
+  for (const WireFd& fd : reply.fds) {
+    std::string lhs;
+    for (uint32_t attr : fd.lhs) {
+      if (!lhs.empty()) lhs += ", ";
+      lhs += columns[attr];
+    }
+    std::printf("    [%s] -> %s\n", lhs.c_str(), columns[fd.rhs].c_str());
+  }
+}
+
+/// The client tour: one tenant lifecycle over the binary socket protocol.
+int RunClientTour(uint16_t port) {
+  ServiceClient client(port);
+  const std::vector<std::string> columns = {"emp_id", "name", "dept",
+                                            "dept_head", "salary_band"};
+
+  std::printf("== create table 'employees' ==\n");
+  ServiceClient::Outcome r = client.CreateTable("employees", columns);
+  if (!r.ok()) {
+    std::fprintf(stderr, "create failed: %s\n", r.message.c_str());
+    return 1;
+  }
+
+  std::printf("== ingest a batch ==\n");
+  r = client.IngestBatch("employees",
+                         {{"1", "ada", "eng", "grace", "senior"},
+                          {"2", "bob", "eng", "grace", "junior"},
+                          {"3", "cyd", "sales", "ada", "senior"},
+                          {"4", "dan", "sales", "ada", "junior"},
+                          {"5", "eve", "eng", "grace", "senior"}});
+  if (!r.ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n", r.message.c_str());
+    return 1;
+  }
+  std::printf("  live rows: %ju, FDs: %ju (batch did %ju validations)\n",
+              static_cast<uintmax_t>(r.reply.status.live_rows),
+              static_cast<uintmax_t>(r.reply.status.num_fds),
+              static_cast<uintmax_t>(r.reply.status.last_validations));
+
+  std::printf("== mixed batch: hire one, fire one, promote one ==\n");
+  r = client.ApplyMixed("employees",
+                        /*inserts=*/{{"6", "fay", "sales", "ada", "junior"}},
+                        /*deletes=*/{1},  // physical row id of bob's row
+                        /*updates=*/{{3, {"4", "dan", "sales", "ada", "senior"}}});
+  if (!r.ok()) {
+    std::fprintf(stderr, "mixed batch failed: %s\n", r.message.c_str());
+    return 1;
+  }
+
+  std::printf("== minimal FDs ==\n");
+  r = client.QueryFds("employees");
+  if (!r.ok()) return 1;
+  PrintFds(r.reply, columns);
+
+  std::printf("== FDs discoverable from {dept, dept_head} alone ==\n");
+  r = client.QueryFdsFiltered("employees", {2, 3});
+  if (!r.ok()) return 1;
+  PrintFds(r.reply, columns);
+
+  std::printf("== candidate keys (minimal UCCs) ==\n");
+  r = client.QueryUccs("employees");
+  if (!r.ok()) return 1;
+  for (const auto& ucc : r.reply.uccs) {
+    std::string cols;
+    for (uint32_t attr : ucc) {
+      if (!cols.empty()) cols += ", ";
+      cols += columns[attr];
+    }
+    std::printf("    {%s}\n", cols.c_str());
+  }
+
+  std::printf("== session report ==\n");
+  r = client.FetchReport("employees");
+  if (!r.ok()) return 1;
+  std::printf("  content fingerprint: %016jx\n",
+              static_cast<uintmax_t>(r.reply.content_fingerprint));
+  std::printf("  %s\n", r.reply.report_json.c_str());
+
+  std::printf("== drop table ==\n");
+  if (!client.DropTable("employees").ok()) return 1;
+  std::printf("done\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* connect = FlagValue(argc, argv, "connect");
+  if (connect != nullptr) {
+    return RunClientTour(static_cast<uint16_t>(std::atoi(connect)));
+  }
+
+  ServerConfig config;
+  const char* port = FlagValue(argc, argv, "port");
+  if (port != nullptr) config.port = static_cast<uint16_t>(std::atoi(port));
+
+  ServiceServer server(config);
+  server.Start();
+  std::printf("hyfd service listening on 127.0.0.1:%u\n", server.port());
+
+  if (HasFlag(argc, argv, "serve")) {
+    std::printf("serving until stdin closes (Ctrl-D to stop)...\n");
+    int c;
+    while ((c = std::getchar()) != EOF) {
+    }
+    server.Stop();
+    std::printf("stopped\n");
+    return 0;
+  }
+
+  // Demo: tour the protocol against the in-process server.
+  int rc = RunClientTour(server.port());
+  server.Stop();
+  return rc;
+}

@@ -2,6 +2,20 @@
 
 namespace hyfd {
 
+const char* GuardianReasonCode(GuardianReason reason) {
+  switch (reason) {
+    case GuardianReason::kNone:
+      return "guardian.none";
+    case GuardianReason::kLhsCapPruned:
+      return "guardian.lhs_cap_pruned";
+    case GuardianReason::kBudgetUnenforceable:
+      return "guardian.budget_unenforceable";
+    case GuardianReason::kAdmissionDenied:
+      return "guardian.admission_denied";
+  }
+  return "guardian.unknown";
+}
+
 void MemoryGuardian::Check(FDTree* tree, size_t extra_bytes) {
   if (limit_bytes_ == 0) return;
   while (tree->MemoryBytes() + extra_bytes > limit_bytes_) {

@@ -2,10 +2,35 @@
 #define HYFD_CORE_GUARDIAN_H_
 
 #include <cstddef>
+#include <cstdint>
 
 #include "fd/fd_tree.h"
 
 namespace hyfd {
+
+/// Machine-readable outcome of a MemoryGuardian intervention. `complete ==
+/// false` in a run report says *that* a result was degraded; this code says
+/// *why*, in a form callers (and the service error path) can branch on
+/// without parsing prose. Values are part of the wire protocol and the
+/// run-report counter `guardian.reason_code` — append only, never renumber.
+enum class GuardianReason : uint32_t {
+  kNone = 0,
+  /// The FDTree was pruned to an LHS cap: the result is a strict subset of
+  /// the full answer (every FD with a longer minimal LHS is missing).
+  kLhsCapPruned = 1,
+  /// The cap reached its floor (LHS size 1) with the footprint still over
+  /// budget: the budget was unenforceable and the run overran it.
+  kBudgetUnenforceable = 2,
+  /// Work was refused up-front by an admission check before any state was
+  /// touched (the multi-tenant service's backstop): nothing was degraded,
+  /// the work simply did not run.
+  kAdmissionDenied = 3,
+};
+
+/// Stable lower_snake_case code for a reason ("guardian.lhs_cap_pruned",
+/// ...) — the string surfaced in service error responses and degradation
+/// messages.
+const char* GuardianReasonCode(GuardianReason reason);
 
 /// HyFD's memory Guardian (paper §9) — an optional best-effort safeguard.
 ///
@@ -50,6 +75,32 @@ class MemoryGuardian {
   /// Largest observed overrun (bytes over the limit) across all give-ups;
   /// 0 when the budget was always enforceable.
   size_t overrun_bytes() const { return overrun_bytes_; }
+
+  /// Strongest intervention so far: kBudgetUnenforceable dominates
+  /// kLhsCapPruned (an overrun is worse than a clean prune), kNone when the
+  /// guardian never had to act. Fed into the run report as the counter
+  /// `guardian.reason_code`.
+  GuardianReason reason() const {
+    if (give_ups_ > 0) return GuardianReason::kBudgetUnenforceable;
+    if (times_pruned_ > 0) return GuardianReason::kLhsCapPruned;
+    return GuardianReason::kNone;
+  }
+
+  /// Up-front admission check for a unit of work estimated at
+  /// `estimated_bytes` on top of `committed_bytes` already retained, against
+  /// `limit_bytes` (0 = unlimited). Returns kNone to admit or
+  /// kAdmissionDenied to refuse — refusal happens *before* any state is
+  /// touched, which is the property the service's lifecycle tests pin down
+  /// (a rejected batch leaves the session byte-identical).
+  static GuardianReason AdmitWork(size_t committed_bytes,
+                                  size_t estimated_bytes, size_t limit_bytes) {
+    if (limit_bytes == 0) return GuardianReason::kNone;
+    if (committed_bytes > limit_bytes ||
+        estimated_bytes > limit_bytes - committed_bytes) {
+      return GuardianReason::kAdmissionDenied;
+    }
+    return GuardianReason::kNone;
+  }
 
  private:
   size_t limit_bytes_;

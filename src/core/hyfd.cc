@@ -163,6 +163,7 @@ FDSet HyFd::Discover(const Relation& relation) {
   stats_.guardian_prunes = guardian.times_pruned();
   stats_.guardian_give_ups = guardian.give_ups();
   stats_.guardian_overrun_bytes = guardian.overrun_bytes();
+  stats_.guardian_reason = guardian.reason();
 
   FDSet result = tree.ToFdSet();
   stats_.num_fds = result.size();
@@ -181,8 +182,13 @@ FDSet HyFd::Discover(const Relation& relation) {
     report_.MarkIncomplete(
         "memory guardian pruned FDs with LHS size > " +
         std::to_string(stats_.pruned_lhs_cap) + " (limit " +
-        std::to_string(config_.memory_limit_bytes) + " bytes)");
+        std::to_string(config_.memory_limit_bytes) + " bytes) [" +
+        GuardianReasonCode(stats_.guardian_reason) + "]");
   }
+  // Always emitted (0 == kNone): a consumer can branch on the code without
+  // first checking whether the guardian acted at all.
+  report_.SetCounter("guardian.reason_code",
+                     static_cast<uint64_t>(stats_.guardian_reason));
   report_.pruned_lhs_cap = stats_.pruned_lhs_cap;
   report_.guardian_prunes = stats_.guardian_prunes;
   report_.guardian_give_ups = stats_.guardian_give_ups;

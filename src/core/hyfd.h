@@ -6,6 +6,7 @@
 #include <memory>
 #include <string>
 
+#include "core/guardian.h"
 #include "core/sampler.h"
 #include "data/relation.h"
 #include "fd/fd_set.h"
@@ -92,6 +93,12 @@ struct HyFdStats {
   /// exceeded its memory budget by `guardian_overrun_bytes`.
   int guardian_give_ups = 0;
   size_t guardian_overrun_bytes = 0;
+  /// Machine-readable guardian outcome (kNone when the guardian never had to
+  /// act). Mirrored into the run report as counter `guardian.reason_code`
+  /// and rendered by GuardianReasonCode() in degradation messages, so a
+  /// caller — in particular the service error path — never has to parse
+  /// prose to learn why a result was degraded.
+  GuardianReason guardian_reason = GuardianReason::kNone;
   /// An external `HyFdConfig::pli_cache` was supplied but incompatible with
   /// this run, so it was ignored (reason below). Performance-only: results
   /// are unaffected, but a caller sharing one cache across algorithms wants

@@ -59,23 +59,7 @@ void IncrementalHyFd::Reseed() {
     // place tombstones are physically compacted away: the relation shrinks
     // to its live rows (in id order) and row ids re-anchor to the compacted
     // relation.
-    std::vector<std::vector<std::optional<std::string>>> rows;
-    rows.reserve(num_live_rows_);
-    const size_t n = relation_.num_rows();
-    const int m = relation_.num_columns();
-    for (size_t r = 0; r < n; ++r) {
-      if (live_[r] == 0) continue;
-      auto& row = rows.emplace_back();
-      row.reserve(static_cast<size_t>(m));
-      for (int c = 0; c < m; ++c) {
-        if (relation_.IsNull(r, c)) {
-          row.emplace_back(std::nullopt);
-        } else {
-          row.emplace_back(relation_.Value(r, c));
-        }
-      }
-    }
-    relation_ = Relation::FromRows(relation_.schema(), rows);
+    relation_ = LiveRelation();
   }
   live_.assign(relation_.num_rows(), 1);
   num_live_rows_ = relation_.num_rows();
@@ -333,6 +317,31 @@ bool IncrementalHyFd::IsRowLive(RecordId id) const {
   HYFD_CHECK(static_cast<size_t>(id) < live_.size(),
              "IncrementalHyFd::IsRowLive: row id out of range");
   return live_[id] != 0;
+}
+
+Relation IncrementalHyFd::LiveRelation() const {
+  if (num_live_rows_ == relation_.num_rows()) return relation_;
+  std::vector<std::vector<std::optional<std::string>>> rows;
+  rows.reserve(num_live_rows_);
+  const size_t n = relation_.num_rows();
+  const int m = relation_.num_columns();
+  for (size_t r = 0; r < n; ++r) {
+    if (live_[r] == 0) continue;
+    auto& row = rows.emplace_back();
+    row.reserve(static_cast<size_t>(m));
+    for (int c = 0; c < m; ++c) {
+      if (relation_.IsNull(r, c)) {
+        row.emplace_back(std::nullopt);
+      } else {
+        row.emplace_back(relation_.Value(r, c));
+      }
+    }
+  }
+  return Relation::FromRows(relation_.schema(), rows);
+}
+
+void IncrementalHyFd::set_pli_cache_budget_bytes(size_t budget_bytes) {
+  if (cache_ != nullptr) cache_->set_budget_bytes(budget_bytes);
 }
 
 const FDSet& IncrementalHyFd::ApplyCrud(

@@ -197,6 +197,20 @@ class IncrementalHyFd {
   /// UpdateRows). Out-of-range ids throw.
   bool IsRowLive(RecordId id) const;
 
+  /// Deep copy of the current *live* rows, tombstones compacted away and id
+  /// order preserved — the bridge from a long-lived session to the one-shot
+  /// discoverers (the service layer hands this to HyUcc for UCC queries).
+  /// When nothing is tombstoned this is a plain copy of relation().
+  Relation LiveRelation() const;
+
+  /// Re-budgets the session-owned PliCache, evicting immediately if the new
+  /// budget is lower; a no-op for sessions built with enable_pli_cache ==
+  /// false. The multi-tenant service calls this to apply per-tenant
+  /// fair-share partitioning of a global cache budget as tables come and
+  /// go. Like every other session call, callers must serialize it with the
+  /// session's other operations (the service's per-table lock does).
+  void set_pli_cache_budget_bytes(size_t budget_bytes);
+
   /// Rows the FD set is computed over: relation().num_rows() minus
   /// tombstones.
   size_t num_live_rows() const { return num_live_rows_; }

@@ -1,0 +1,133 @@
+#include "service/client.h"
+
+#include "service/net.h"
+#include "util/check.h"
+
+namespace hyfd::service {
+
+ServiceClient::ServiceClient(uint16_t port) : fd_(ConnectLoopback(port)) {
+  HYFD_CHECK(fd_ >= 0, "ServiceClient: cannot connect to 127.0.0.1:" +
+                           std::to_string(port));
+}
+
+ServiceClient::ServiceClient(ServiceClient&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+ServiceClient::~ServiceClient() { Close(); }
+
+void ServiceClient::Close() {
+  if (fd_ >= 0) {
+    CloseFd(fd_);
+    fd_ = -1;
+  }
+}
+
+bool ServiceClient::SendBytes(const std::string& bytes) {
+  return fd_ >= 0 && WriteAll(fd_, bytes.data(), bytes.size());
+}
+
+std::optional<Frame> ServiceClient::ReadResponse(std::string* error) {
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "not connected";
+    return std::nullopt;
+  }
+  Frame frame;
+  if (ReadFrame(fd_, &frame, error) != ReadStatus::kOk) return std::nullopt;
+  return frame;
+}
+
+ServiceClient::Outcome ServiceClient::Call(MessageType type,
+                                           const std::string& payload) {
+  Outcome outcome;
+  if (fd_ < 0 || !WriteFrame(fd_, type, payload)) {
+    outcome.code = ServiceError::kInternal;
+    outcome.message = "connection lost while sending";
+    return outcome;
+  }
+  std::string error;
+  std::optional<Frame> response = ReadResponse(&error);
+  if (!response.has_value()) {
+    outcome.code = ServiceError::kInternal;
+    outcome.message = error.empty() ? "connection closed" : error;
+    return outcome;
+  }
+  try {
+    if (response->type == MessageType::kReply) {
+      outcome.reply = DecodeReply(response->payload);
+    } else if (response->type == MessageType::kError) {
+      ErrorBody body = DecodeError(response->payload);
+      outcome.code = body.code;
+      outcome.reason_code = std::move(body.reason_code);
+      outcome.message = std::move(body.message);
+    } else {
+      outcome.code = ServiceError::kInternal;
+      outcome.message = "server sent a non-response frame";
+    }
+  } catch (const ProtocolError& e) {
+    outcome.code = ServiceError::kInternal;
+    outcome.message = std::string("unparseable response: ") + e.what();
+  }
+  return outcome;
+}
+
+ServiceClient::Outcome ServiceClient::CreateTable(
+    const std::string& table, const std::vector<std::string>& columns) {
+  CreateTableRequest req;
+  req.table = table;
+  req.columns = columns;
+  return Call(MessageType::kCreateTable, EncodeCreateTable(req));
+}
+
+ServiceClient::Outcome ServiceClient::IngestBatch(const std::string& table,
+                                                  const Rows& rows) {
+  IngestBatchRequest req;
+  req.table = table;
+  req.rows = rows;
+  return Call(MessageType::kIngestBatch, EncodeIngestBatch(req));
+}
+
+ServiceClient::Outcome ServiceClient::ApplyMixed(
+    const std::string& table, const Rows& inserts,
+    const std::vector<uint64_t>& deletes,
+    const std::vector<std::pair<uint64_t, Row>>& updates) {
+  ApplyMixedRequest req;
+  req.table = table;
+  req.inserts = inserts;
+  req.deletes = deletes;
+  req.updates = updates;
+  return Call(MessageType::kApplyMixed, EncodeApplyMixed(req));
+}
+
+ServiceClient::Outcome ServiceClient::QueryFds(const std::string& table) {
+  QueryFdsRequest req;
+  req.table = table;
+  return Call(MessageType::kQueryFds, EncodeQueryFds(req));
+}
+
+ServiceClient::Outcome ServiceClient::QueryFdsFiltered(
+    const std::string& table, const std::vector<uint32_t>& lhs_filter) {
+  QueryFdsRequest req;
+  req.table = table;
+  req.has_lhs_filter = true;
+  req.lhs_filter = lhs_filter;
+  return Call(MessageType::kQueryFds, EncodeQueryFds(req));
+}
+
+ServiceClient::Outcome ServiceClient::QueryUccs(const std::string& table) {
+  return Call(MessageType::kQueryUccs, EncodeTableRequest({table}));
+}
+
+ServiceClient::Outcome ServiceClient::FetchReport(const std::string& table) {
+  return Call(MessageType::kFetchReport, EncodeTableRequest({table}));
+}
+
+ServiceClient::Outcome ServiceClient::DropTable(const std::string& table) {
+  return Call(MessageType::kDropTable, EncodeTableRequest({table}));
+}
+
+ServiceClient::Outcome ServiceClient::ListTables() {
+  return Call(MessageType::kListTables, std::string());
+}
+
+}  // namespace hyfd::service

@@ -1,0 +1,75 @@
+#ifndef HYFD_SERVICE_CLIENT_H_
+#define HYFD_SERVICE_CLIENT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "service/protocol.h"
+
+namespace hyfd::service {
+
+/// Blocking loopback client for the profiling daemon: one connection, one
+/// request in flight at a time. Not thread-safe — give each client thread
+/// its own instance (connections are cheap; the stress harness does exactly
+/// this).
+class ServiceClient {
+ public:
+  /// Result of one call. `code == kNone` means `reply` is valid; any other
+  /// code carries the server's typed error (or kInternal with a local
+  /// message when the connection itself failed).
+  struct Outcome {
+    ServiceError code = ServiceError::kNone;
+    std::string reason_code;
+    std::string message;
+    ReplyBody reply;
+
+    bool ok() const { return code == ServiceError::kNone; }
+  };
+
+  /// Connects to 127.0.0.1:`port`; throws ContractViolation on failure.
+  explicit ServiceClient(uint16_t port);
+  ~ServiceClient();
+
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+  ServiceClient(ServiceClient&& other) noexcept;
+  ServiceClient& operator=(ServiceClient&&) = delete;
+
+  Outcome CreateTable(const std::string& table,
+                      const std::vector<std::string>& columns);
+  Outcome IngestBatch(const std::string& table, const Rows& rows);
+  Outcome ApplyMixed(const std::string& table, const Rows& inserts,
+                     const std::vector<uint64_t>& deletes,
+                     const std::vector<std::pair<uint64_t, Row>>& updates);
+  Outcome QueryFds(const std::string& table);
+  /// Only FDs whose LHS ⊆ `lhs_filter` are returned.
+  Outcome QueryFdsFiltered(const std::string& table,
+                           const std::vector<uint32_t>& lhs_filter);
+  Outcome QueryUccs(const std::string& table);
+  Outcome FetchReport(const std::string& table);
+  Outcome DropTable(const std::string& table);
+  Outcome ListTables();
+
+  // -- Raw stream access (the protocol negative corpus drives these). ------
+
+  /// Writes arbitrary bytes to the connection, bypassing the frame encoder.
+  bool SendBytes(const std::string& bytes);
+  /// Reads one response frame. nullopt on EOF or an unparseable stream
+  /// (`error`, if given, says which).
+  std::optional<Frame> ReadResponse(std::string* error = nullptr);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  Outcome Call(MessageType type, const std::string& payload);
+
+  int fd_ = -1;
+};
+
+}  // namespace hyfd::service
+
+#endif  // HYFD_SERVICE_CLIENT_H_

@@ -1,0 +1,146 @@
+#include "service/net.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace hyfd::service {
+
+namespace {
+
+/// MSG_NOSIGNAL on every send: a peer that disappeared must surface as an
+/// EPIPE return value on this thread, not as a process-wide SIGPIPE.
+constexpr int kSendFlags = MSG_NOSIGNAL;
+
+sockaddr_in LoopbackAddr(uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+int ListenLoopback(uint16_t port, uint16_t* chosen_port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = LoopbackAddr(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, SOMAXCONN) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  if (chosen_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+      ::close(fd);
+      return -1;
+    }
+    *chosen_port = ntohs(bound.sin_port);
+  }
+  return fd;
+}
+
+int ConnectLoopback(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr = LoopbackAddr(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+int AcceptConnection(int listen_fd) {
+  while (true) {
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return fd;
+    }
+    if (errno != EINTR) return -1;
+  }
+}
+
+long ReadExact(int fd, char* buf, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t got = ::recv(fd, buf + done, n - done, 0);
+    if (got == 0) return done == 0 ? 0 : -1;  // EOF: clean only at offset 0
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    done += static_cast<size_t>(got);
+  }
+  return static_cast<long>(done);
+}
+
+bool WriteAll(int fd, const char* buf, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t sent = ::send(fd, buf + done, n - done, kSendFlags);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<size_t>(sent);
+  }
+  return true;
+}
+
+bool WriteFrame(int fd, MessageType type, std::string_view payload) {
+  std::string frame = EncodeFrame(type, payload);
+  return WriteAll(fd, frame.data(), frame.size());
+}
+
+ReadStatus ReadFrame(int fd, Frame* frame, std::string* error) {
+  char header_bytes[kFrameHeaderBytes];
+  long got = ReadExact(fd, header_bytes, kFrameHeaderBytes);
+  if (got == 0) return ReadStatus::kEof;
+  if (got < 0) {
+    if (error != nullptr) *error = "connection lost mid-header";
+    return ReadStatus::kBadFrame;
+  }
+  FrameHeader header;
+  try {
+    header = ParseFrameHeader(header_bytes);
+  } catch (const ProtocolError& e) {
+    if (error != nullptr) *error = e.what();
+    return ReadStatus::kBadFrame;
+  }
+  std::string payload(header.payload_bytes, '\0');
+  if (header.payload_bytes > 0 &&
+      ReadExact(fd, payload.data(), payload.size()) <= 0) {
+    if (error != nullptr) *error = "connection lost mid-payload";
+    return ReadStatus::kBadFrame;
+  }
+  try {
+    VerifyPayloadChecksum(header, payload);
+  } catch (const ProtocolError& e) {
+    if (error != nullptr) *error = e.what();
+    return ReadStatus::kBadFrame;
+  }
+  frame->type = header.type;
+  frame->payload = std::move(payload);
+  return ReadStatus::kOk;
+}
+
+void ShutdownFd(int fd) { ::shutdown(fd, SHUT_RDWR); }
+
+void CloseFd(int fd) { ::close(fd); }
+
+}  // namespace hyfd::service

@@ -1,0 +1,62 @@
+#ifndef HYFD_SERVICE_NET_H_
+#define HYFD_SERVICE_NET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "service/protocol.h"
+
+namespace hyfd::service {
+
+// Thin POSIX socket layer under the service: loopback TCP only (the daemon
+// is a local profiling sidecar, not an internet-facing server), blocking IO,
+// and frame-at-a-time reads/writes on raw fds. Everything returns typed
+// results instead of throwing — a peer disconnecting mid-frame is an
+// expected event on this layer, not an exceptional one.
+
+/// Binds a listening TCP socket on 127.0.0.1. `port == 0` picks an ephemeral
+/// port; on success `*chosen_port` holds the actual port. Returns the listen
+/// fd, or -1 on failure.
+int ListenLoopback(uint16_t port, uint16_t* chosen_port);
+
+/// Connects to 127.0.0.1:`port`. Returns the connected fd, or -1.
+int ConnectLoopback(uint16_t port);
+
+/// Blocking accept(2). Returns the connection fd, or -1 on error — which
+/// includes the listen fd having been shut down (the Stop() signal).
+int AcceptConnection(int listen_fd);
+
+/// Reads exactly `n` bytes. Returns n on success, 0 on clean EOF before any
+/// byte, and -1 on error or EOF mid-read (a truncated unit).
+long ReadExact(int fd, char* buf, size_t n);
+
+/// Writes all `n` bytes (retrying short writes). False on any error — with
+/// SIGPIPE suppressed, a vanished peer surfaces here as EPIPE.
+bool WriteAll(int fd, const char* buf, size_t n);
+
+/// Serializes and writes one frame. False on IO error.
+bool WriteFrame(int fd, MessageType type, std::string_view payload);
+
+/// Outcome of reading one frame off a connection.
+enum class ReadStatus {
+  kOk,        ///< `frame` holds a verified frame
+  kEof,       ///< clean close at a frame boundary
+  /// Header or checksum violation, or EOF mid-frame: the stream can no
+  /// longer be trusted; `error` says why.
+  kBadFrame,
+};
+
+/// Reads one complete frame (header + payload), validating magic, version,
+/// type, length bound, and payload checksum before returning it.
+ReadStatus ReadFrame(int fd, Frame* frame, std::string* error);
+
+/// shutdown(2) both directions — unblocks any thread blocked in read() on
+/// the fd without racing the eventual close().
+void ShutdownFd(int fd);
+
+void CloseFd(int fd);
+
+}  // namespace hyfd::service
+
+#endif  // HYFD_SERVICE_NET_H_

@@ -1,0 +1,465 @@
+#include "service/protocol.h"
+
+#include <cstring>
+
+#include "data/table_io.h"
+
+namespace hyfd::service {
+
+bool IsRequestType(MessageType type) {
+  switch (type) {
+    case MessageType::kCreateTable:
+    case MessageType::kIngestBatch:
+    case MessageType::kApplyMixed:
+    case MessageType::kQueryFds:
+    case MessageType::kQueryUccs:
+    case MessageType::kFetchReport:
+    case MessageType::kDropTable:
+    case MessageType::kListTables:
+      return true;
+    case MessageType::kReply:
+    case MessageType::kError:
+      return false;
+  }
+  return false;
+}
+
+const char* ServiceErrorName(ServiceError error) {
+  switch (error) {
+    case ServiceError::kNone:
+      return "ok";
+    case ServiceError::kBadFrame:
+      return "bad_frame";
+    case ServiceError::kBadRequest:
+      return "bad_request";
+    case ServiceError::kUnknownTable:
+      return "unknown_table";
+    case ServiceError::kTableExists:
+      return "table_exists";
+    case ServiceError::kInvalidArgument:
+      return "invalid_argument";
+    case ServiceError::kBackpressure:
+      return "backpressure";
+    case ServiceError::kMemoryRejected:
+      return "memory_rejected";
+    case ServiceError::kShuttingDown:
+      return "shutting_down";
+    case ServiceError::kTooManyTables:
+      return "too_many_tables";
+    case ServiceError::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// WireWriter / WireReader
+// ---------------------------------------------------------------------------
+
+void WireWriter::U32(uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out_.append(buf, 4);
+}
+
+void WireWriter::U64(uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out_.append(buf, 8);
+}
+
+void WireWriter::Str(std::string_view s) {
+  U32(static_cast<uint32_t>(s.size()));
+  out_.append(s.data(), s.size());
+}
+
+void WireWriter::OptStr(const std::optional<std::string>& s) {
+  if (s.has_value()) {
+    U8(1);
+    Str(*s);
+  } else {
+    U8(0);
+  }
+}
+
+void WireReader::Need(size_t n) const {
+  if (remaining() < n) {
+    throw ProtocolError("payload truncated: need " + std::to_string(n) +
+                        " bytes, " + std::to_string(remaining()) + " left");
+  }
+}
+
+uint8_t WireReader::U8() {
+  Need(1);
+  return static_cast<uint8_t>(bytes_[pos_++]);
+}
+
+uint32_t WireReader::U32() {
+  Need(4);
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes_[pos_ + i])) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+uint64_t WireReader::U64() {
+  Need(8);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_ + i])) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+std::string WireReader::Str() {
+  uint32_t len = U32();
+  Need(len);
+  std::string s(bytes_.substr(pos_, len));
+  pos_ += len;
+  return s;
+}
+
+std::optional<std::string> WireReader::OptStr() {
+  uint8_t present = U8();
+  if (present > 1) {
+    throw ProtocolError("optional-string flag must be 0 or 1, got " +
+                        std::to_string(present));
+  }
+  if (present == 0) return std::nullopt;
+  return Str();
+}
+
+size_t WireReader::BoundedCount(uint64_t count, size_t min_bytes_each) {
+  const size_t min_each = min_bytes_each == 0 ? 1 : min_bytes_each;
+  if (count > remaining() / min_each) {
+    throw ProtocolError("element count " + std::to_string(count) +
+                        " cannot fit in " + std::to_string(remaining()) +
+                        " remaining bytes");
+  }
+  return static_cast<size_t>(count);
+}
+
+void WireReader::ExpectEnd() const {
+  if (remaining() != 0) {
+    throw ProtocolError(std::to_string(remaining()) +
+                        " trailing bytes after payload");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Request codecs
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void WriteRow(WireWriter& w, const Row& row) {
+  w.U32(static_cast<uint32_t>(row.size()));
+  for (const auto& cell : row) w.OptStr(cell);
+}
+
+Row ReadRow(WireReader& r) {
+  Row row;
+  const size_t cells = r.BoundedCount(r.U32(), 1);  // min 1 byte per cell flag
+  row.reserve(cells);
+  for (size_t i = 0; i < cells; ++i) row.push_back(r.OptStr());
+  return row;
+}
+
+void WriteRows(WireWriter& w, const Rows& rows) {
+  w.U64(rows.size());
+  for (const Row& row : rows) WriteRow(w, row);
+}
+
+Rows ReadRows(WireReader& r) {
+  Rows rows;
+  const size_t n = r.BoundedCount(r.U64(), 4);  // min: the u32 cell count
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) rows.push_back(ReadRow(r));
+  return rows;
+}
+
+}  // namespace
+
+std::string EncodeCreateTable(const CreateTableRequest& req) {
+  WireWriter w;
+  w.Str(req.table);
+  w.U32(static_cast<uint32_t>(req.columns.size()));
+  for (const std::string& name : req.columns) w.Str(name);
+  return w.Take();
+}
+
+CreateTableRequest DecodeCreateTable(std::string_view payload) {
+  WireReader r(payload);
+  CreateTableRequest req;
+  req.table = r.Str();
+  const size_t cols = r.BoundedCount(r.U32(), 4);
+  req.columns.reserve(cols);
+  for (size_t i = 0; i < cols; ++i) req.columns.push_back(r.Str());
+  r.ExpectEnd();
+  return req;
+}
+
+std::string EncodeIngestBatch(const IngestBatchRequest& req) {
+  WireWriter w;
+  w.Str(req.table);
+  WriteRows(w, req.rows);
+  return w.Take();
+}
+
+IngestBatchRequest DecodeIngestBatch(std::string_view payload) {
+  WireReader r(payload);
+  IngestBatchRequest req;
+  req.table = r.Str();
+  req.rows = ReadRows(r);
+  r.ExpectEnd();
+  return req;
+}
+
+std::string EncodeApplyMixed(const ApplyMixedRequest& req) {
+  WireWriter w;
+  w.Str(req.table);
+  WriteRows(w, req.inserts);
+  w.U64(req.deletes.size());
+  for (uint64_t id : req.deletes) w.U64(id);
+  w.U64(req.updates.size());
+  for (const auto& [id, row] : req.updates) {
+    w.U64(id);
+    WriteRow(w, row);
+  }
+  return w.Take();
+}
+
+ApplyMixedRequest DecodeApplyMixed(std::string_view payload) {
+  WireReader r(payload);
+  ApplyMixedRequest req;
+  req.table = r.Str();
+  req.inserts = ReadRows(r);
+  const size_t deletes = r.BoundedCount(r.U64(), 8);
+  req.deletes.reserve(deletes);
+  for (size_t i = 0; i < deletes; ++i) req.deletes.push_back(r.U64());
+  const size_t updates = r.BoundedCount(r.U64(), 12);  // u64 id + u32 count
+  req.updates.reserve(updates);
+  for (size_t i = 0; i < updates; ++i) {
+    uint64_t id = r.U64();
+    req.updates.emplace_back(id, ReadRow(r));
+  }
+  r.ExpectEnd();
+  return req;
+}
+
+std::string EncodeQueryFds(const QueryFdsRequest& req) {
+  WireWriter w;
+  w.Str(req.table);
+  w.U8(req.has_lhs_filter ? 1 : 0);
+  if (req.has_lhs_filter) {
+    w.U32(static_cast<uint32_t>(req.lhs_filter.size()));
+    for (uint32_t attr : req.lhs_filter) w.U32(attr);
+  }
+  return w.Take();
+}
+
+QueryFdsRequest DecodeQueryFds(std::string_view payload) {
+  WireReader r(payload);
+  QueryFdsRequest req;
+  req.table = r.Str();
+  uint8_t flag = r.U8();
+  if (flag > 1) {
+    throw ProtocolError("lhs-filter flag must be 0 or 1");
+  }
+  req.has_lhs_filter = flag == 1;
+  if (req.has_lhs_filter) {
+    const size_t n = r.BoundedCount(r.U32(), 4);
+    req.lhs_filter.reserve(n);
+    for (size_t i = 0; i < n; ++i) req.lhs_filter.push_back(r.U32());
+  }
+  r.ExpectEnd();
+  return req;
+}
+
+std::string EncodeTableRequest(const TableRequest& req) {
+  WireWriter w;
+  w.Str(req.table);
+  return w.Take();
+}
+
+TableRequest DecodeTableRequest(std::string_view payload) {
+  WireReader r(payload);
+  TableRequest req;
+  req.table = r.Str();
+  r.ExpectEnd();
+  return req;
+}
+
+// ---------------------------------------------------------------------------
+// Response codecs
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void WriteStatus(WireWriter& w, const TableStatus& s) {
+  w.U64(s.num_fds);
+  w.U64(s.live_rows);
+  w.U64(s.total_rows);
+  w.U64(s.num_batches);
+  w.U64(s.last_validations);
+  w.U64(s.last_comparisons);
+  w.U64(s.relation_version);
+}
+
+TableStatus ReadStatus(WireReader& r) {
+  TableStatus s;
+  s.num_fds = r.U64();
+  s.live_rows = r.U64();
+  s.total_rows = r.U64();
+  s.num_batches = r.U64();
+  s.last_validations = r.U64();
+  s.last_comparisons = r.U64();
+  s.relation_version = r.U64();
+  return s;
+}
+
+void WriteAttrList(WireWriter& w, const std::vector<uint32_t>& attrs) {
+  w.U32(static_cast<uint32_t>(attrs.size()));
+  for (uint32_t a : attrs) w.U32(a);
+}
+
+std::vector<uint32_t> ReadAttrList(WireReader& r) {
+  std::vector<uint32_t> attrs;
+  const size_t n = r.BoundedCount(r.U32(), 4);
+  attrs.reserve(n);
+  for (size_t i = 0; i < n; ++i) attrs.push_back(r.U32());
+  return attrs;
+}
+
+}  // namespace
+
+std::string EncodeReply(const ReplyBody& body) {
+  WireWriter w;
+  w.U32(static_cast<uint32_t>(body.request));
+  WriteStatus(w, body.status);
+  w.U64(body.fds.size());
+  for (const WireFd& fd : body.fds) {
+    WriteAttrList(w, fd.lhs);
+    w.U32(fd.rhs);
+  }
+  w.U64(body.uccs.size());
+  for (const auto& ucc : body.uccs) WriteAttrList(w, ucc);
+  w.Str(body.report_json);
+  w.U64(body.content_fingerprint);
+  w.U32(static_cast<uint32_t>(body.tables.size()));
+  for (const std::string& name : body.tables) w.Str(name);
+  return w.Take();
+}
+
+ReplyBody DecodeReply(std::string_view payload) {
+  WireReader r(payload);
+  ReplyBody body;
+  const uint32_t request = r.U32();
+  body.request = static_cast<MessageType>(request);
+  if (!IsRequestType(body.request)) {
+    throw ProtocolError("reply echoes unknown request type " +
+                        std::to_string(request));
+  }
+  body.status = ReadStatus(r);
+  const size_t fds = r.BoundedCount(r.U64(), 8);  // u32 lhs count + u32 rhs
+  body.fds.reserve(fds);
+  for (size_t i = 0; i < fds; ++i) {
+    WireFd fd;
+    fd.lhs = ReadAttrList(r);
+    fd.rhs = r.U32();
+    body.fds.push_back(std::move(fd));
+  }
+  const size_t uccs = r.BoundedCount(r.U64(), 4);
+  body.uccs.reserve(uccs);
+  for (size_t i = 0; i < uccs; ++i) body.uccs.push_back(ReadAttrList(r));
+  body.report_json = r.Str();
+  body.content_fingerprint = r.U64();
+  const size_t tables = r.BoundedCount(r.U32(), 4);
+  body.tables.reserve(tables);
+  for (size_t i = 0; i < tables; ++i) body.tables.push_back(r.Str());
+  r.ExpectEnd();
+  return body;
+}
+
+std::string EncodeError(const ErrorBody& body) {
+  WireWriter w;
+  w.U32(static_cast<uint32_t>(body.code));
+  w.Str(body.code_name);
+  w.Str(body.reason_code);
+  w.Str(body.message);
+  return w.Take();
+}
+
+ErrorBody DecodeError(std::string_view payload) {
+  WireReader r(payload);
+  ErrorBody body;
+  body.code = static_cast<ServiceError>(r.U32());
+  body.code_name = r.Str();
+  body.reason_code = r.Str();
+  body.message = r.Str();
+  r.ExpectEnd();
+  return body;
+}
+
+// ---------------------------------------------------------------------------
+// Frames
+// ---------------------------------------------------------------------------
+
+std::string EncodeFrame(MessageType type, std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  out.append(kFrameMagic, sizeof(kFrameMagic));
+  WireWriter w;
+  w.U32(kProtocolVersion);
+  w.U32(static_cast<uint32_t>(type));
+  w.U64(payload.size());
+  w.U64(FingerprintBytes(std::string(payload)));
+  out += w.bytes();
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+FrameHeader ParseFrameHeader(const char* bytes) {
+  if (std::memcmp(bytes, kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    throw ProtocolError("bad frame magic");
+  }
+  WireReader r(std::string_view(bytes + sizeof(kFrameMagic),
+                                kFrameHeaderBytes - sizeof(kFrameMagic)));
+  FrameHeader header;
+  const uint32_t version = r.U32();
+  if (version != kProtocolVersion) {
+    throw ProtocolError("unsupported protocol version " +
+                        std::to_string(version) + " (expected " +
+                        std::to_string(kProtocolVersion) + ")");
+  }
+  const uint32_t type = r.U32();
+  header.type = static_cast<MessageType>(type);
+  if (!IsRequestType(header.type) && header.type != MessageType::kReply &&
+      header.type != MessageType::kError) {
+    throw ProtocolError("unknown message type " + std::to_string(type));
+  }
+  header.payload_bytes = r.U64();
+  if (header.payload_bytes > kMaxPayloadBytes) {
+    throw ProtocolError("payload length " +
+                        std::to_string(header.payload_bytes) +
+                        " exceeds the " + std::to_string(kMaxPayloadBytes) +
+                        "-byte bound");
+  }
+  header.checksum = r.U64();
+  return header;
+}
+
+void VerifyPayloadChecksum(const FrameHeader& header,
+                           const std::string& payload) {
+  if (payload.size() != header.payload_bytes) {
+    throw ProtocolError("payload size does not match header length");
+  }
+  if (FingerprintBytes(payload) != header.checksum) {
+    throw ProtocolError("payload checksum mismatch");
+  }
+}
+
+}  // namespace hyfd::service

@@ -1,0 +1,293 @@
+#ifndef HYFD_SERVICE_PROTOCOL_H_
+#define HYFD_SERVICE_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hyfd::service {
+
+// ---------------------------------------------------------------------------
+// Frame format
+//
+// Every message on a service connection — request or response — is one frame,
+// in the spirit of the binary table format (data/table_io.h): a fixed
+// magic/version header, an explicit payload length, and a payload checksum,
+// all little-endian, so a reader can reject a corrupt or foreign stream
+// before trusting a single payload byte.
+//
+//   offset  0  magic            "HYFDSVC\0" (8 bytes)
+//   offset  8  protocol version u32 (kProtocolVersion)
+//   offset 12  message type     u32 (MessageType)
+//   offset 16  payload length   u64 (bounded by kMaxPayloadBytes)
+//   offset 24  payload checksum u64 (FingerprintBytes of the payload)
+//   offset 32  payload
+//
+// A header violation (bad magic, unknown version, unknown type, oversized
+// length) or a checksum mismatch poisons the *stream* — after it the reader
+// cannot trust its framing — so the server answers with one kError frame
+// (ServiceError::kBadFrame) and closes the connection. A malformed payload
+// *inside* a well-formed frame (ProtocolError from a Decode* function) only
+// fails that request: the framing is still synchronized, so the server
+// answers kBadRequest and keeps the connection.
+// ---------------------------------------------------------------------------
+
+inline constexpr char kFrameMagic[8] = {'H', 'Y', 'F', 'D', 'S', 'V', 'C', '\0'};
+inline constexpr uint32_t kProtocolVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 32;
+/// Upper bound on one payload; a length prefix beyond it is rejected before
+/// any allocation (mirrors table_io's bounded-count rule).
+inline constexpr uint64_t kMaxPayloadBytes = uint64_t{64} << 20;
+
+/// Thrown by frame/payload decoding on any structural violation: truncated
+/// input, counts exceeding the remaining bytes, trailing bytes, out-of-range
+/// enum values. Always caught at the dispatch layer and turned into a typed
+/// error response — a malformed request can never crash the server or leave
+/// a session partially mutated.
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class MessageType : uint32_t {
+  kCreateTable = 1,
+  kIngestBatch = 2,
+  kApplyMixed = 3,
+  kQueryFds = 4,
+  kQueryUccs = 5,
+  kFetchReport = 6,
+  kDropTable = 7,
+  kListTables = 8,
+  // Responses.
+  kReply = 100,
+  kError = 101,
+};
+
+/// True for the request types a client may send (kReply/kError are
+/// server-to-client only).
+bool IsRequestType(MessageType type);
+
+/// Typed error taxonomy of the service, carried in every kError frame.
+/// Values are wire-stable: append only.
+enum class ServiceError : uint32_t {
+  kNone = 0,
+  /// Frame-level violation (magic/version/length/checksum): the connection
+  /// is closed after this response.
+  kBadFrame = 1,
+  /// Payload of a well-formed frame failed to decode.
+  kBadRequest = 2,
+  kUnknownTable = 3,
+  kTableExists = 4,
+  /// The session rejected the operation wholesale (bad row width, bad or
+  /// dead row ids, ...). Per the CRUD contract the session is untouched.
+  kInvalidArgument = 5,
+  /// Admission control: too many requests in flight. Retry later; nothing
+  /// was queued and no session was touched.
+  kBackpressure = 6,
+  /// Admission control: the memory guardian refused the work up-front
+  /// (ErrorBody::reason_code carries the GuardianReasonCode).
+  kMemoryRejected = 7,
+  kShuttingDown = 8,
+  kTooManyTables = 9,
+  kInternal = 10,
+};
+
+/// Stable lower_snake_case name ("backpressure", "unknown_table", ...).
+const char* ServiceErrorName(ServiceError error);
+
+// ---------------------------------------------------------------------------
+// Payload primitives
+// ---------------------------------------------------------------------------
+
+/// Appends little-endian primitives and length-prefixed strings to a byte
+/// buffer. The writing half of the wire codec.
+class WireWriter {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  /// u32 length + raw bytes.
+  void Str(std::string_view s);
+  /// u8 presence flag + Str when present (NULL cells).
+  void OptStr(const std::optional<std::string>& s);
+
+  std::string Take() { return std::move(out_); }
+  const std::string& bytes() const { return out_; }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked reader over one payload. Every accessor throws
+/// ProtocolError instead of reading past the end, and BoundedCount() rejects
+/// any element count that could not possibly fit in the remaining bytes
+/// *before* the caller reserves memory for it — a crafted length can fail
+/// the request but never trigger an allocation failure.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view bytes) : bytes_(bytes) {}
+
+  uint8_t U8();
+  uint32_t U32();
+  uint64_t U64();
+  std::string Str();
+  std::optional<std::string> OptStr();
+
+  /// Validates `count` elements of at least `min_bytes_each` fit in the
+  /// remaining input; returns count as size_t.
+  size_t BoundedCount(uint64_t count, size_t min_bytes_each);
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+  /// Throws unless the whole payload was consumed (trailing bytes are a
+  /// protocol violation, as in the table format).
+  void ExpectEnd() const;
+
+ private:
+  void Need(size_t n) const;
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+using Row = std::vector<std::optional<std::string>>;
+using Rows = std::vector<Row>;
+
+struct CreateTableRequest {
+  std::string table;
+  std::vector<std::string> columns;
+};
+
+struct IngestBatchRequest {
+  std::string table;
+  Rows rows;
+};
+
+struct ApplyMixedRequest {
+  std::string table;
+  Rows inserts;
+  std::vector<uint64_t> deletes;
+  std::vector<std::pair<uint64_t, Row>> updates;
+};
+
+struct QueryFdsRequest {
+  std::string table;
+  /// When set, only FDs whose LHS ⊆ lhs_filter are returned (the "which
+  /// columns determine things, given I only have these" query).
+  bool has_lhs_filter = false;
+  std::vector<uint32_t> lhs_filter;
+};
+
+/// QueryUccs / FetchReport / DropTable address a table and nothing else.
+struct TableRequest {
+  std::string table;
+};
+
+std::string EncodeCreateTable(const CreateTableRequest& req);
+std::string EncodeIngestBatch(const IngestBatchRequest& req);
+std::string EncodeApplyMixed(const ApplyMixedRequest& req);
+std::string EncodeQueryFds(const QueryFdsRequest& req);
+std::string EncodeTableRequest(const TableRequest& req);
+
+CreateTableRequest DecodeCreateTable(std::string_view payload);
+IngestBatchRequest DecodeIngestBatch(std::string_view payload);
+ApplyMixedRequest DecodeApplyMixed(std::string_view payload);
+QueryFdsRequest DecodeQueryFds(std::string_view payload);
+TableRequest DecodeTableRequest(std::string_view payload);
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// Session counters attached to every successful table-addressed response —
+/// the "every response carries the session's run-report counters" channel.
+struct TableStatus {
+  uint64_t num_fds = 0;
+  uint64_t live_rows = 0;
+  uint64_t total_rows = 0;  ///< including tombstones
+  uint64_t num_batches = 0;
+  uint64_t last_validations = 0;
+  uint64_t last_comparisons = 0;
+  /// Relation mutation counter — cheap change detector for clients.
+  uint64_t relation_version = 0;
+
+  friend bool operator==(const TableStatus&, const TableStatus&) = default;
+};
+
+/// One FD on the wire: LHS attribute indexes (ascending) → RHS index.
+struct WireFd {
+  std::vector<uint32_t> lhs;
+  uint32_t rhs = 0;
+
+  friend bool operator==(const WireFd&, const WireFd&) = default;
+};
+
+/// Body of a kReply frame. `request` echoes the request type; only the
+/// fields that request type populates are meaningful.
+struct ReplyBody {
+  MessageType request = MessageType::kListTables;
+  TableStatus status;
+  std::vector<WireFd> fds;                      ///< kQueryFds
+  std::vector<std::vector<uint32_t>> uccs;      ///< kQueryUccs
+  std::string report_json;                      ///< kFetchReport
+  uint64_t content_fingerprint = 0;             ///< kFetchReport
+  std::vector<std::string> tables;              ///< kListTables
+};
+
+/// Body of a kError frame.
+struct ErrorBody {
+  ServiceError code = ServiceError::kInternal;
+  /// ServiceErrorName(code), so clients on older enum tables still get a
+  /// readable identity.
+  std::string code_name;
+  /// Secondary machine-readable code: for kMemoryRejected this is the
+  /// GuardianReasonCode ("guardian.admission_denied"); empty otherwise.
+  std::string reason_code;
+  /// Human-readable context. Never required for dispatching.
+  std::string message;
+};
+
+std::string EncodeReply(const ReplyBody& body);
+std::string EncodeError(const ErrorBody& body);
+ReplyBody DecodeReply(std::string_view payload);
+ErrorBody DecodeError(std::string_view payload);
+
+// ---------------------------------------------------------------------------
+// Frames
+// ---------------------------------------------------------------------------
+
+struct Frame {
+  MessageType type = MessageType::kError;
+  std::string payload;
+};
+
+struct FrameHeader {
+  MessageType type = MessageType::kError;
+  uint64_t payload_bytes = 0;
+  uint64_t checksum = 0;
+};
+
+/// Serializes one frame (header + payload, checksum filled in).
+std::string EncodeFrame(MessageType type, std::string_view payload);
+
+/// Parses and validates a frame header (`bytes` must hold exactly
+/// kFrameHeaderBytes). Throws ProtocolError on bad magic, version, message
+/// type, or a payload length over kMaxPayloadBytes.
+FrameHeader ParseFrameHeader(const char* bytes);
+
+/// Verifies the payload against the header checksum; throws ProtocolError on
+/// mismatch.
+void VerifyPayloadChecksum(const FrameHeader& header,
+                           const std::string& payload);
+
+}  // namespace hyfd::service
+
+#endif  // HYFD_SERVICE_PROTOCOL_H_

@@ -1,0 +1,184 @@
+#include "service/server.h"
+
+#include <string>
+#include <utility>
+
+#include "service/net.h"
+#include "util/check.h"
+
+namespace hyfd::service {
+
+namespace {
+
+Frame ErrorFrame(ServiceError code, std::string reason_code,
+                 std::string message) {
+  ErrorBody body;
+  body.code = code;
+  body.code_name = ServiceErrorName(code);
+  body.reason_code = std::move(reason_code);
+  body.message = std::move(message);
+  return Frame{MessageType::kError, EncodeError(body)};
+}
+
+}  // namespace
+
+Frame HandleRequestFrame(FdService& service, const Frame& request) {
+  ServiceResult result;
+  try {
+    switch (request.type) {
+      case MessageType::kCreateTable:
+        result = service.CreateTable(DecodeCreateTable(request.payload));
+        break;
+      case MessageType::kIngestBatch:
+        result = service.IngestBatch(DecodeIngestBatch(request.payload));
+        break;
+      case MessageType::kApplyMixed:
+        result = service.ApplyMixed(DecodeApplyMixed(request.payload));
+        break;
+      case MessageType::kQueryFds:
+        result = service.QueryFds(DecodeQueryFds(request.payload));
+        break;
+      case MessageType::kQueryUccs:
+        result = service.QueryUccs(DecodeTableRequest(request.payload));
+        break;
+      case MessageType::kFetchReport:
+        result = service.FetchReport(DecodeTableRequest(request.payload));
+        break;
+      case MessageType::kDropTable:
+        result = service.DropTable(DecodeTableRequest(request.payload));
+        break;
+      case MessageType::kListTables: {
+        WireReader reader(request.payload);
+        reader.ExpectEnd();  // ListTables carries an empty payload
+        result = service.ListTables();
+        break;
+      }
+      default:
+        return ErrorFrame(ServiceError::kBadRequest, "",
+                          "frame type is not a request");
+    }
+  } catch (const ProtocolError& e) {
+    // Malformed payload inside a well-formed frame: this request fails, the
+    // connection's framing is still synchronized. No session was touched —
+    // decoding happens strictly before dispatch.
+    return ErrorFrame(ServiceError::kBadRequest, "", e.what());
+  }
+  if (result.ok()) {
+    return Frame{MessageType::kReply, EncodeReply(result.reply)};
+  }
+  return ErrorFrame(result.code, std::move(result.reason_code),
+                    std::move(result.message));
+}
+
+ServiceServer::ServiceServer(ServerConfig config)
+    : config_(config), service_(config.service) {}
+
+ServiceServer::~ServiceServer() { Stop(); }
+
+void ServiceServer::Start() {
+  MutexLock lock(mu_);
+  HYFD_CHECK(!started_, "ServiceServer::Start called twice");
+  uint16_t chosen_port = 0;
+  int fd = ListenLoopback(config_.port, &chosen_port);
+  HYFD_CHECK(fd >= 0, "ServiceServer: cannot bind a loopback socket");
+  listen_fd_ = fd;
+  port_ = chosen_port;
+  started_ = true;
+  active_tasks_ = 1;  // the accept loop
+  // One slot per admitted connection (each handler is a long-lived blocking
+  // task) plus the accept loop itself.
+  io_pool_ = std::make_unique<ThreadPool>(config_.max_connections + 1);
+  io_pool_->Submit([this] { AcceptLoop(); });
+}
+
+void ServiceServer::Stop() {
+  {
+    MutexLock lock(mu_);
+    stopping_ = true;
+    // Unblock the accept loop and every handler blocked in read(); the
+    // tasks then exit on their own and the wait below drains them. Closing
+    // happens later (listen fd here, connection fds by their handlers) so a
+    // racing thread can never touch a recycled descriptor.
+    if (listen_fd_ >= 0) ShutdownFd(listen_fd_);
+    for (int fd : conn_fds_) ShutdownFd(fd);
+    while (active_tasks_ > 0) tasks_done_.Wait(mu_);
+    if (listen_fd_ >= 0) {
+      CloseFd(listen_fd_);
+      listen_fd_ = -1;
+    }
+  }
+  service_.Shutdown();
+  io_pool_.reset();
+}
+
+void ServiceServer::AcceptLoop() {
+  while (true) {
+    int listen_fd;
+    {
+      MutexLock lock(mu_);
+      if (stopping_) break;
+      listen_fd = listen_fd_;
+    }
+    int conn = AcceptConnection(listen_fd);
+    if (conn < 0) {
+      MutexLock lock(mu_);
+      if (stopping_) break;
+      continue;  // transient accept failure
+    }
+    bool admitted = false;
+    {
+      MutexLock lock(mu_);
+      if (!stopping_ && conn_fds_.size() < config_.max_connections) {
+        conn_fds_.insert(conn);
+        ++active_tasks_;
+        admitted = true;
+      }
+    }
+    if (!admitted) {
+      // Typed refusal instead of a silent hangup, mirroring request-level
+      // backpressure.
+      Frame refusal = ErrorFrame(ServiceError::kBackpressure, "",
+                                 "connection limit reached");
+      WriteFrame(conn, refusal.type, refusal.payload);
+      CloseFd(conn);
+      continue;
+    }
+    io_pool_->Submit([this, conn] { ServeConnection(conn); });
+  }
+  MutexLock lock(mu_);
+  --active_tasks_;
+  if (active_tasks_ == 0) tasks_done_.NotifyAll();
+}
+
+void ServiceServer::ServeConnection(int fd) {
+  while (true) {
+    Frame request;
+    std::string error;
+    ReadStatus status = ReadFrame(fd, &request, &error);
+    if (status == ReadStatus::kEof) break;
+    if (status == ReadStatus::kBadFrame) {
+      // The stream's framing can no longer be trusted: answer once, close.
+      Frame response = ErrorFrame(ServiceError::kBadFrame, "", error);
+      WriteFrame(fd, response.type, response.payload);
+      break;
+    }
+    if (!IsRequestType(request.type)) {
+      Frame response = ErrorFrame(ServiceError::kBadFrame, "",
+                                  "clients may only send request frames");
+      WriteFrame(fd, response.type, response.payload);
+      break;
+    }
+    Frame response = HandleRequestFrame(service_, request);
+    if (!WriteFrame(fd, response.type, response.payload)) break;
+  }
+  ShutdownFd(fd);
+  {
+    MutexLock lock(mu_);
+    conn_fds_.erase(fd);
+    --active_tasks_;
+    if (active_tasks_ == 0) tasks_done_.NotifyAll();
+  }
+  CloseFd(fd);
+}
+
+}  // namespace hyfd::service

@@ -1,0 +1,84 @@
+#ifndef HYFD_SERVICE_SERVER_H_
+#define HYFD_SERVICE_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+
+#include "service/protocol.h"
+#include "service/service.h"
+#include "util/sync.h"
+#include "util/thread_pool.h"
+
+namespace hyfd::service {
+
+/// Decodes one request frame, runs it against `service`, and returns the
+/// response frame (kReply or kError). This is the whole dispatch layer,
+/// factored out of the socket loop so tests can drive it without a network.
+/// A ProtocolError from payload decoding answers kBadRequest; the caller's
+/// framing is intact, so its connection survives.
+Frame HandleRequestFrame(FdService& service, const Frame& request);
+
+struct ServerConfig {
+  ServiceConfig service;
+  /// Concurrent client connections; one blocking handler task each.
+  size_t max_connections = 32;
+  /// Port to bind on 127.0.0.1; 0 picks an ephemeral port (see port()).
+  uint16_t port = 0;
+};
+
+/// The daemon: owns an FdService, a loopback listening socket, and an IO
+/// pool running one accept loop plus one blocking handler task per
+/// connection. All threading goes through ThreadPool (the concurrency
+/// policy's only thread owner).
+///
+/// Shutdown order matters and Stop() encodes it: refuse new work, shut the
+/// listen fd and every connection fd down (unblocking the handlers' reads),
+/// wait for handlers to drain, then drain the service's in-flight requests.
+/// Only after that may the IO pool be destroyed — its destructor runs every
+/// queued task, so tasks must be unblockable by then.
+class ServiceServer {
+ public:
+  explicit ServiceServer(ServerConfig config = {});
+  ~ServiceServer();
+
+  ServiceServer(const ServiceServer&) = delete;
+  ServiceServer& operator=(const ServiceServer&) = delete;
+
+  /// Binds and starts accepting. Throws ContractViolation if the socket
+  /// cannot be bound. Call once.
+  void Start();
+
+  /// Stops accepting, disconnects clients, drains in-flight requests, and
+  /// joins the IO pool. Idempotent; also run by the destructor.
+  void Stop();
+
+  /// The bound port (valid after Start()).
+  uint16_t port() const { return port_; }
+
+  FdService& service() { return service_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  const ServerConfig config_;
+  FdService service_;
+
+  Mutex mu_;
+  int listen_fd_ HYFD_GUARDED_BY(mu_) = -1;
+  bool started_ HYFD_GUARDED_BY(mu_) = false;
+  bool stopping_ HYFD_GUARDED_BY(mu_) = false;
+  /// Live connection fds, tracked so Stop() can unblock their readers.
+  std::unordered_set<int> conn_fds_ HYFD_GUARDED_BY(mu_);
+  /// Accept loop + live handlers; Stop() waits for this to hit zero.
+  size_t active_tasks_ HYFD_GUARDED_BY(mu_) = 0;
+  CondVar tasks_done_;
+
+  uint16_t port_ = 0;
+  std::unique_ptr<ThreadPool> io_pool_;
+};
+
+}  // namespace hyfd::service
+
+#endif  // HYFD_SERVICE_SERVER_H_
